@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the cost-model evaluation path (E6).
+//!
+//! The paper's 40 K-sample budget "takes about 20 mins of CPU-time" with
+//! MAESTRO. These benches measure our equivalent: single-layer cost-model
+//! evaluations, full-genome evaluations, and codec decodes — the inner
+//! loops every search algorithm pays per sample.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use digamma::{CoOptProblem, Objective};
+use digamma_costmodel::{Evaluator, Mapping, Platform};
+use digamma_encoding::{Codec, Genome};
+use digamma_workload::zoo;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_single_layer_eval(c: &mut Criterion) {
+    let model = zoo::resnet50();
+    let layer = model.layers()[10].clone();
+    let mapping = Mapping::row_major_example(&layer, 8, 16);
+    let evaluator = Evaluator::new(Platform::edge());
+    c.bench_function("costmodel/single_conv_layer", |b| {
+        b.iter(|| evaluator.evaluate(&layer, &mapping).unwrap())
+    });
+}
+
+fn bench_full_model_genome(c: &mut Criterion) {
+    for model in [zoo::ncf(), zoo::resnet50()] {
+        let problem = CoOptProblem::new(model.clone(), Platform::edge(), Objective::Latency);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let genome = Genome::random(&mut rng, problem.unique_layers(), problem.platform(), 2);
+        c.bench_function(&format!("costmodel/genome_eval_{}", model.name()), |b| {
+            b.iter(|| problem.evaluate(&genome))
+        });
+    }
+}
+
+fn bench_codec_decode(c: &mut Criterion) {
+    let model = zoo::resnet50();
+    let unique = model.unique_layers();
+    let codec = Codec::new(&unique, &Platform::edge(), 2);
+    let mut rng = SmallRng::seed_from_u64(2);
+    c.bench_function("codec/decode_resnet50", |b| {
+        b.iter_batched(
+            || (0..codec.dimension()).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<f64>>(),
+            |x| codec.decode(&x),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_layer_eval,
+    bench_full_model_genome,
+    bench_codec_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the search algorithms themselves (E6):
+//! cost of one DiGamma generation, one GAMMA generation, and the per-ask
+//! overhead of the heaviest baseline (CMA-ES) at co-opt dimensionality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digamma::schemes::HwPreset;
+use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig, Objective};
+use digamma_costmodel::{Platform, AREA_MODEL_15NM};
+use digamma_opt::Algorithm;
+use digamma_workload::zoo;
+
+fn bench_digamma_generation(c: &mut Criterion) {
+    let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+    c.bench_function("search/digamma_60_samples_ncf", |b| {
+        b.iter(|| {
+            let cfg = DiGammaConfig { population_size: 20, seed: 1, ..Default::default() };
+            DiGamma::new(cfg).search(&problem, 60)
+        })
+    });
+}
+
+fn bench_gamma_generation(c: &mut Criterion) {
+    let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+    let hw = HwPreset::ComputeFocused.build(&Platform::edge(), &AREA_MODEL_15NM);
+    c.bench_function("search/gamma_60_samples_ncf", |b| {
+        b.iter(|| {
+            let cfg = GammaConfig { population_size: 20, seed: 1, ..Default::default() };
+            Gamma::new(cfg).search(&problem, &hw, 60)
+        })
+    });
+}
+
+fn bench_cma_ask_tell(c: &mut Criterion) {
+    // ResNet-50 co-opt dimensionality (the heaviest baseline workload).
+    let model = zoo::resnet50();
+    let unique = model.unique_layers();
+    let dim = 2 + unique.len() * 2 * 13;
+    c.bench_function("search/cma_ask_tell_resnet50_dim", |b| {
+        let mut opt = Algorithm::Cma.build(dim, 3);
+        b.iter(|| {
+            let x = opt.ask();
+            let v: f64 = x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum();
+            opt.tell(&x, v);
+        })
+    });
+}
+
+criterion_group!(benches, bench_digamma_generation, bench_gamma_generation, bench_cma_ask_tell);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Experiment E5: operator ablations of the DiGamma GA.
+//!
+//! The paper argues (Sec. IV-C, Fig. 4/5) that the *domain-aware*
+//! operators are what separate DiGamma from stdGA. This harness removes
+//! one operator family at a time and measures the damage at a fixed
+//! sampling budget — the classic ablation the paper's Fig. 5 stdGA column
+//! implies but does not tabulate.
+
+use crate::report::{fmt_ratio, Table};
+use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Objective};
+use digamma_costmodel::Platform;
+use digamma_workload::Model;
+
+/// Ablation variants, each a config transformation of the full GA.
+pub fn variants(seed: u64) -> Vec<(&'static str, DiGammaConfig)> {
+    let full = DiGammaConfig { seed, ..DiGammaConfig::default() };
+    vec![
+        ("full DiGamma", full.clone()),
+        ("no Mutate-HW", DiGammaConfig { mutate_hw_rate: 0.0, ..full.clone() }),
+        ("no Grow/Aging", DiGammaConfig { grow_aging_rate: 0.0, ..full.clone() }),
+        ("no Reorder", DiGammaConfig { reorder_rate: 0.0, ..full.clone() }),
+        ("no Mutate-Map", DiGammaConfig { mutate_map_rate: 0.0, ..full.clone() }),
+        ("no Crossover", DiGammaConfig { crossover_rate: 0.0, ..full.clone() }),
+        ("random init (no template seeding)", DiGammaConfig { template_seeding: false, ..full }),
+    ]
+}
+
+/// One ablation row: variant name and best latency found.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub name: &'static str,
+    /// Best feasible latency, if any.
+    pub latency: Option<f64>,
+}
+
+/// Runs the ablation on one model/platform at a fixed budget.
+pub fn run(model: &Model, platform: &Platform, budget: usize, seed: u64) -> Vec<AblationRow> {
+    let problem = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
+    variants(seed)
+        .into_iter()
+        .map(|(name, cfg)| {
+            let result = DiGamma::new(cfg).search(&problem, budget);
+            AblationRow { name, latency: result.best.map(|b| b.latency_cycles) }
+        })
+        .collect()
+}
+
+/// Renders the ablation table normalized to the full GA.
+pub fn table(model_name: &str, platform: &str, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        format!("Ablation (E5) — {model_name} @ {platform}, latency vs full DiGamma"),
+        vec!["normalized latency".into()],
+    );
+    let base = rows.first().and_then(|r| r.latency);
+    for row in rows {
+        let norm = match (row.latency, base) {
+            (Some(v), Some(b)) if b > 0.0 => Some(v / b),
+            (Some(v), _) => Some(v),
+            _ => None,
+        };
+        t.push_row(row.name, vec![fmt_ratio(norm)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn ablation_covers_all_operator_families() {
+        let names: Vec<&str> = variants(0).iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"no Mutate-HW"));
+        assert!(names.contains(&"no Grow/Aging"));
+        assert_eq!(names[0], "full DiGamma");
+    }
+
+    #[test]
+    fn ablation_runs_and_renders() {
+        let rows = run(&zoo::ncf(), &Platform::edge(), 100, 23);
+        assert_eq!(rows.len(), 7);
+        let t = table("ncf", "edge", &rows);
+        let md = t.to_markdown();
+        assert!(md.contains("full DiGamma"));
+        // The full variant normalizes to exactly 1.0.
+        assert!(md.contains("| full DiGamma | 1.0 |"));
+    }
+}

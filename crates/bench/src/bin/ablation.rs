@@ -1,0 +1,26 @@
+//! Runs the DiGamma operator ablation (E5).
+//!
+//! Usage:
+//!   cargo run -p digamma-bench --release --bin ablation -- \
+//!       [--budget 2000] [--seed 0] [--models mnasnet,resnet18]
+
+use digamma_bench::{ablation, resolve_models, Args};
+use digamma_costmodel::Platform;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let budget = args.get_usize("budget", 2000);
+    let seed = args.get_u64("seed", 0);
+    let models = match args.get("models") {
+        Some(names) => resolve_models(Some(names)),
+        None => resolve_models(Some("mnasnet,resnet18")),
+    };
+    let platform = Platform::edge();
+
+    println!("# E5 — DiGamma operator ablation, budget {budget}, seed {seed}\n");
+    for model in &models {
+        eprintln!("running {} (6 variants)...", model.name());
+        let rows = ablation::run(model, &platform, budget, seed);
+        println!("{}", ablation::table(model.name(), &platform.name, &rows).to_markdown());
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates paper Fig. 5: baseline optimization algorithms vs DiGamma.
+//!
+//! Usage:
+//!   cargo run -p digamma-bench --release --bin fig5 -- \
+//!       [--budget 2000] [--seed 0] [--models ncf,dlrm] [--platforms edge,cloud]
+//!
+//! The paper uses a 40 000-sample budget; the default here is 2 000 so a
+//! full run finishes in minutes on a laptop. Pass `--budget 40000` for
+//! the paper-scale experiment.
+
+use digamma_bench::{fig5, resolve_models, Args};
+use digamma_costmodel::Platform;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let budget = args.get_usize("budget", 2000);
+    let seed = args.get_u64("seed", 0);
+    let models = resolve_models(args.get("models"));
+    let platforms: Vec<Platform> = match args.get("platforms") {
+        Some(s) => s
+            .split(',')
+            .map(|p| match p.trim() {
+                "edge" => Platform::edge(),
+                "cloud" => Platform::cloud(),
+                other => panic!("unknown platform: {other}"),
+            })
+            .collect(),
+        None => vec![Platform::edge(), Platform::cloud()],
+    };
+
+    println!("# E1 / Fig. 5 — budget {budget} samples, seed {seed}\n");
+    for platform in &platforms {
+        eprintln!("running {} ({} models x 9 algorithms)...", platform.name, models.len());
+        let results = fig5::run(&models, platform, budget, seed);
+        let (latency, lat_area) = fig5::tables(&results);
+        println!("{}", latency.to_markdown());
+        println!("{}", lat_area.to_markdown());
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates paper Fig. 6: HW-opt vs Mapping-opt vs co-optimization.
+//!
+//! Usage:
+//!   cargo run -p digamma-bench --release --bin fig6 -- \
+//!       [--budget 2000] [--seed 0] [--models ncf,dlrm] [--platforms edge,cloud]
+
+use digamma_bench::{fig6, resolve_models, Args};
+use digamma_costmodel::Platform;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let budget = args.get_usize("budget", 2000);
+    let seed = args.get_u64("seed", 0);
+    let models = resolve_models(args.get("models"));
+    let platforms: Vec<Platform> = match args.get("platforms") {
+        Some(s) => s
+            .split(',')
+            .map(|p| match p.trim() {
+                "edge" => Platform::edge(),
+                "cloud" => Platform::cloud(),
+                other => panic!("unknown platform: {other}"),
+            })
+            .collect(),
+        None => vec![Platform::edge(), Platform::cloud()],
+    };
+
+    println!("# E2 / Fig. 6 — budget {budget} samples, seed {seed}\n");
+    for platform in &platforms {
+        eprintln!("running {} ({} models x 7 schemes)...", platform.name, models.len());
+        let results = fig6::run(&models, platform, budget, seed);
+        println!("{}", fig6::table(&results).to_markdown());
+    }
+}

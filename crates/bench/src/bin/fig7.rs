@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 7: the solutions found for MnasNet at edge.
+//!
+//! Usage:
+//!   cargo run -p digamma-bench --release --bin fig7 -- \
+//!       [--budget 2000] [--seed 0] [--model mnasnet]
+
+use digamma_bench::{fig7, Args};
+use digamma_costmodel::Platform;
+use digamma_workload::zoo;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let budget = args.get_usize("budget", 2000);
+    let seed = args.get_u64("seed", 0);
+    let model_name = args.get("model").unwrap_or("mnasnet");
+    let model = zoo::by_name(model_name).unwrap_or_else(|| panic!("unknown model {model_name}"));
+    let platform = Platform::edge();
+
+    println!("# E3 / Fig. 7 — {model_name} @ edge, budget {budget}, seed {seed}\n");
+    let solutions = fig7::run(&model, &platform, budget, seed);
+    println!("{}", fig7::table(&solutions, platform.area_budget_um2).to_markdown());
+
+    // The costliest unique layer's genes, paper-style, per scheme.
+    for s in &solutions {
+        if let Some(d) = &s.design {
+            println!("encoding — {} (layer 0 genes):", s.scheme);
+            println!("{}", fig7::encoding_snippet(&d.genome, 0));
+        }
+    }
+}

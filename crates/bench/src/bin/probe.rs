@@ -1,0 +1,41 @@
+//! Diagnostic: prints best-so-far cost at deciles of the budget for
+//! DiGamma and GAMMA on one model, to inspect search progress.
+//!
+//! Usage: cargo run --release -p digamma-bench --bin probe -- \
+//!     [--budget 2000] [--model mnasnet] [--seed 1]
+
+use digamma::schemes::HwPreset;
+use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig, Objective};
+use digamma_bench::Args;
+use digamma_costmodel::Platform;
+use digamma_workload::zoo;
+
+fn deciles(history: &[f64]) -> Vec<f64> {
+    (1..=10).map(|i| history[history.len() * i / 10 - 1]).collect()
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let budget = args.get_usize("budget", 2000);
+    let seed = args.get_u64("seed", 1);
+    let model_name = args.get("model").unwrap_or("mnasnet");
+    let model = zoo::by_name(model_name).expect("model");
+    let platform = Platform::edge();
+    let problem = CoOptProblem::new(model, platform.clone(), Objective::Latency);
+
+    let cfg = DiGammaConfig { seed, threads: 4, ..Default::default() };
+    let r = DiGamma::new(cfg).search(&problem, budget);
+    println!("digamma deciles: {:?}", deciles(&r.history));
+    if let Some(b) = &r.best {
+        println!("  best area fill: {:.3}", b.area_um2 / platform.area_budget_um2);
+    }
+
+    let cfg = DiGammaConfig { seed, threads: 4, template_seeding: false, ..Default::default() };
+    let r = DiGamma::new(cfg).search(&problem, budget);
+    println!("digamma (random init) deciles: {:?}", deciles(&r.history));
+
+    let preset = HwPreset::ComputeFocused.build(&platform, problem.evaluator().area_model());
+    let g = Gamma::new(GammaConfig { seed, threads: 4, ..Default::default() })
+        .search(&problem, &preset, budget);
+    println!("gamma   deciles: {:?}", deciles(&g.history));
+}

@@ -1,0 +1,31 @@
+//! Regenerates the design-space size estimates of Sec. I–II (E4).
+//!
+//! Usage:  cargo run -p digamma-bench --release --bin space
+
+use digamma_encoding::space;
+use digamma_workload::zoo;
+
+fn main() {
+    println!("# E4 — design-space cardinalities (log10)\n");
+    println!(
+        "paper HW envelope (128x128 PEs, 100 MB buffers): 10^{:.1}  (paper: O(10^12))",
+        space::paper_hw_space_log10()
+    );
+    println!();
+    println!("| model | mapping space (2 levels) | joint HW x mapping |");
+    println!("|---|---|---|");
+    for model in zoo::all_models() {
+        println!(
+            "| {} | 10^{:.0} | 10^{:.0} |",
+            model.name(),
+            space::log10_mapping_space(&model, 2),
+            space::log10_joint_space(&model, 2)
+        );
+    }
+    println!();
+    println!(
+        "naive two-loop sampling cost (10K outer x 160-point GAMMA runs): {} samples",
+        space::two_loop_sample_cost(10_000, 160)
+    );
+    println!("co-opt budget used throughout this reproduction: 40K samples (paper Sec. V-A)");
+}

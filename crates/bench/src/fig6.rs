@@ -1,0 +1,142 @@
+//! Experiment E2 (paper Fig. 6): optimization *schemes* compared.
+//!
+//! Three families, same area budget:
+//!
+//! * **HW-opt** — grid search over hardware with a fixed manual mapping
+//!   (dla-like / shi-like / eye-like),
+//! * **Mapping-opt** — GAMMA mapping search on a fixed HW preset
+//!   (Buffer-focused / Medium-Buf-Com / Compute-focused),
+//! * **HW-Map-co-opt** — DiGamma searching both.
+//!
+//! Values are latencies normalized by the best-performing baseline
+//! (Compute-focused + GAMMA), as in the paper.
+
+use crate::geomean;
+use crate::report::{fmt_ratio, Table};
+use digamma::schemes::HwPreset;
+use digamma::{
+    hw_grid_search, CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig, MappingStyle,
+    Objective,
+};
+use digamma_costmodel::Platform;
+use digamma_workload::Model;
+
+/// Scheme columns of Fig. 6, in paper order.
+pub const COLUMNS: [&str; 7] = [
+    "Grid-S HW + dla-like",
+    "Grid-S HW + shi-like",
+    "Grid-S HW + eye-like",
+    "Buffer-focused + Gamma",
+    "Medium-Buf-Com + Gamma",
+    "Compute-focused + Gamma",
+    "DiGamma",
+];
+
+/// Index of the normalization column (Compute-focused + Gamma).
+pub const NORM_COLUMN: usize = 5;
+
+/// Results for one platform: one row of per-scheme latencies per model.
+#[derive(Debug, Clone)]
+pub struct SchemeResults {
+    /// Platform name.
+    pub platform: String,
+    /// `(model name, latency per scheme column)`.
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+/// Runs E2 for one platform.
+pub fn run(models: &[Model], platform: &Platform, budget: usize, seed: u64) -> SchemeResults {
+    let mut rows = Vec::new();
+    for model in models {
+        let problem = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
+        let mut row: Vec<Option<f64>> = Vec::with_capacity(COLUMNS.len());
+
+        // HW-opt: grid search × fixed mapping style.
+        for style in MappingStyle::ALL {
+            let r = hw_grid_search(&problem, style);
+            row.push(r.best.map(|b| b.latency_cycles));
+        }
+        // Mapping-opt: GAMMA × fixed HW preset.
+        for (pi, preset) in HwPreset::ALL.into_iter().enumerate() {
+            let hw = preset.build(platform, problem.evaluator().area_model());
+            let cfg = GammaConfig { seed: seed + pi as u64, ..GammaConfig::default() };
+            let r = Gamma::new(cfg).search(&problem, &hw, budget);
+            row.push(r.best.map(|b| b.latency_cycles));
+        }
+        // Co-opt: DiGamma.
+        let cfg = DiGammaConfig { seed: seed + 50, ..DiGammaConfig::default() };
+        let r = DiGamma::new(cfg).search(&problem, budget);
+        row.push(r.best.map(|b| b.latency_cycles));
+
+        rows.push((model.name().to_owned(), row));
+    }
+    SchemeResults { platform: platform.name.clone(), rows }
+}
+
+/// Renders the normalized Fig. 6 table (with GeoMean row).
+pub fn table(results: &SchemeResults) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig. 6 ({}) — latency normalized to Compute-focused + Gamma (lower is better)",
+            results.platform
+        ),
+        COLUMNS.iter().map(|s| s.to_string()).collect(),
+    );
+    let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); COLUMNS.len()];
+    for (model, row) in &results.rows {
+        let base = row[NORM_COLUMN];
+        let norm: Vec<Option<f64>> = row
+            .iter()
+            .map(|v| match (v, base) {
+                (Some(v), Some(b)) if b > 0.0 => Some(v / b),
+                (Some(v), _) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        for (col, v) in norm.iter().enumerate() {
+            if let Some(v) = v {
+                normalized[col].push(*v);
+            }
+        }
+        t.push_row(model.clone(), norm.iter().map(|v| fmt_ratio(*v)).collect());
+    }
+    let geo: Vec<String> =
+        normalized.iter().map(|vs| fmt_ratio(geomean(vs.iter().copied()))).collect();
+    t.push_row("GeoMean", geo);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn small_fig6_run_covers_all_schemes() {
+        let models = vec![zoo::ncf()];
+        let results = run(&models, &Platform::edge(), 80, 7);
+        assert_eq!(results.rows.len(), 1);
+        assert_eq!(results.rows[0].1.len(), COLUMNS.len());
+        // Every scheme should find *something* on this small model.
+        for (i, v) in results.rows[0].1.iter().enumerate() {
+            assert!(v.is_some(), "scheme {} found nothing", COLUMNS[i]);
+        }
+        let t = table(&results);
+        assert!(t.to_markdown().contains("GeoMean"));
+    }
+
+    #[test]
+    fn co_opt_beats_or_matches_fixed_hw_grid_on_small_model() {
+        // The co-opt search space strictly contains each scheme's space,
+        // so with a reasonable budget DiGamma should not lose by much.
+        let models = vec![zoo::ncf()];
+        let results = run(&models, &Platform::edge(), 300, 9);
+        let row = &results.rows[0].1;
+        let digamma = row[6].unwrap();
+        let best_baseline = row[..6].iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(
+            digamma <= best_baseline * 2.0,
+            "digamma {digamma} vs best baseline {best_baseline}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Markdown/TSV table writer shared by the experiment binaries.
+//!
+//! Hand-rolled on purpose: the repository's dependency policy
+//! (`DESIGN.md` §5) avoids pulling a serialization format crate for what
+//! is a few dozen lines of formatting.
+
+use std::fmt::Write as _;
+
+/// A simple titled table with a label column.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates a table with the given title and data-column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell/column count mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| | {} |", self.columns.join(" | "));
+        let _ = writeln!(out, "|---{}|", "|---".repeat(self.columns.len()));
+        for (label, cells) in &self.rows {
+            let _ = writeln!(out, "| {} | {} |", label, cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders tab-separated values (one header line, no title).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}\t{}", self.title, self.columns.join("\t"));
+        for (label, cells) in &self.rows {
+            let _ = writeln!(out, "{}\t{}", label, cells.join("\t"));
+        }
+        out
+    }
+}
+
+/// Formats a normalized ratio the way the paper's tables do: `N/A` for
+/// missing values, two significant styles otherwise.
+pub fn fmt_ratio(v: Option<f64>) -> String {
+    match v {
+        None => "N/A".to_owned(),
+        Some(x) if !x.is_finite() => "N/A".to_owned(),
+        Some(x) if x >= 100.0 => format!("{x:.0}"),
+        Some(x) if x >= 0.095 => format!("{x:.1}"),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+/// Formats an absolute quantity in scientific notation (Fig. 7 style).
+pub fn fmt_sci(v: f64) -> String {
+    format!("{v:.2E}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row("row1", vec!["1.0".into(), "2.0".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| | a | b |"));
+        assert!(md.contains("| row1 | 1.0 | 2.0 |"));
+    }
+
+    #[test]
+    fn tsv_is_tab_separated() {
+        let tsv = sample().to_tsv();
+        assert!(tsv.contains("row1\t1.0\t2.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_width_is_checked() {
+        sample().push_row("bad", vec!["only one".into()]);
+    }
+
+    #[test]
+    fn ratio_formatting_matches_paper_style() {
+        assert_eq!(fmt_ratio(None), "N/A");
+        assert_eq!(fmt_ratio(Some(f64::INFINITY)), "N/A");
+        assert_eq!(fmt_ratio(Some(264.6)), "265");
+        assert_eq!(fmt_ratio(Some(3.02)), "3.0");
+        assert_eq!(fmt_ratio(Some(0.04)), "0.04");
+        assert_eq!(fmt_ratio(Some(1.0)), "1.0");
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(fmt_sci(3.74e6), "3.74E6");
+    }
+}

@@ -1,0 +1,634 @@
+//! The DiGamma domain-aware genetic algorithm (paper Sec. IV-C).
+//!
+//! Instead of perturbing the raw encoding arbitrarily (the stdGA
+//! baseline), DiGamma steps through the design space with operators that
+//! respect its structure (Fig. 4):
+//!
+//! | Operator    | Perturbs |
+//! |-------------|----------|
+//! | Crossover   | tiling, parallelism (and the derived buffers) |
+//! | Reorder     | loop order |
+//! | Grow/Aging  | clustering (level count), tiling, buffers |
+//! | Mutate-Map  | tiling, parallelism, buffers |
+//! | Mutate-HW   | PE array size/shape, buffers |
+//!
+//! Buffer sizes are never genes: after every perturbation the buffer
+//! allocation strategy re-derives the exact minimum capacities from the
+//! decoded mapping, keeping buffer utilization at 100%.
+
+use crate::problem::{CoOptProblem, Constraint, DesignEvaluation};
+use crate::result::{DesignPoint, SearchResult};
+use digamma_encoding::{repair, Genome};
+use digamma_workload::{Dim, UniqueLayer, NUM_DIMS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the DiGamma GA.
+///
+/// Defaults follow the magnitudes the paper's Bayesian-optimization
+/// tuning lands on (population ≈ 60, strong elitism, mapping mutations
+/// more frequent than hardware mutations); [`crate::tuning`] can re-tune
+/// them for a specific problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiGammaConfig {
+    /// Individuals per generation.
+    pub population_size: usize,
+    /// Fraction of the population surviving unchanged (elitism).
+    pub elite_fraction: f64,
+    /// Probability a child is produced by two-parent crossover.
+    pub crossover_rate: f64,
+    /// Probability of a loop-order swap (Reorder operator).
+    pub reorder_rate: f64,
+    /// Probability of a tiling/parallelism mutation (Mutate-Map).
+    pub mutate_map_rate: f64,
+    /// Probability of a PE-array mutation (Mutate-HW). Zero disables
+    /// hardware search (the GAMMA baseline).
+    pub mutate_hw_rate: f64,
+    /// Probability of inserting/removing a cluster level (Grow/Aging).
+    /// Zero pins the level count.
+    pub grow_aging_rate: f64,
+    /// Cluster levels of the initial population.
+    pub num_levels: usize,
+    /// Seed the initial population with template mappings (the manual
+    /// styles on the preset hardware flavours) before random fill.
+    /// Domain-aware initialization in the same spirit as the operators;
+    /// the E5 ablation quantifies its contribution.
+    pub template_seeding: bool,
+    /// Worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiGammaConfig {
+    fn default() -> DiGammaConfig {
+        DiGammaConfig {
+            population_size: 60,
+            elite_fraction: 0.10,
+            crossover_rate: 0.60,
+            // Per-layer rates: with ~L unique layers a child receives
+            // ~0.1·L mapping perturbations — enough to move, few enough
+            // that a good parent's offspring stay coherent.
+            reorder_rate: 0.10,
+            mutate_map_rate: 0.10,
+            mutate_hw_rate: 0.30,
+            grow_aging_rate: 0.05,
+            num_levels: 2,
+            template_seeding: true,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The domain-aware GA searcher.
+#[derive(Debug, Clone)]
+pub struct DiGamma {
+    config: DiGammaConfig,
+}
+
+impl DiGamma {
+    /// Creates a searcher with the given hyper-parameters.
+    pub fn new(config: DiGammaConfig) -> DiGamma {
+        assert!(config.population_size >= 4, "population too small");
+        assert!((0.0..=1.0).contains(&config.elite_fraction), "elite fraction out of range");
+        DiGamma { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DiGammaConfig {
+        &self.config
+    }
+
+    /// Runs the search for at most `budget` design-point evaluations.
+    pub fn search(&self, problem: &CoOptProblem, budget: usize) -> SearchResult {
+        let cfg = &self.config;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let unique = problem.unique_layers();
+        let platform = problem.platform();
+
+        let mut history = Vec::with_capacity(budget);
+        let mut best: Option<(Genome, DesignEvaluation)> = None;
+        let mut samples = 0usize;
+
+        let record = |genomes: &[Genome],
+                          evals: &[DesignEvaluation],
+                          best: &mut Option<(Genome, DesignEvaluation)>,
+                          history: &mut Vec<f64>,
+                          samples: &mut usize| {
+            for (g, e) in genomes.iter().zip(evals) {
+                *samples += 1;
+                let better = e.feasible
+                    && best.as_ref().map_or(true, |(_, b)| e.cost < b.cost);
+                if better {
+                    *best = Some((g.clone(), e.clone()));
+                }
+                history.push(best.as_ref().map_or(f64::INFINITY, |(_, b)| b.cost));
+            }
+        };
+
+        // Initial population. Under a Fixed-HW constraint the buffers are
+        // hard limits random tiles rarely respect, so — as GAMMA does —
+        // the population is seeded with feasible template mappings (one
+        // per manual style) before random exploration fills the rest.
+        let init_count = cfg.population_size.min(budget);
+        let mut population: Vec<Genome> = Vec::with_capacity(init_count);
+        if cfg.template_seeding {
+            let seed_hws: Vec<_> = match problem.constraint() {
+                Constraint::FixedHw(hw) => vec![hw.clone()],
+                // For co-optimization, seed each preset twice: at full
+                // buffer fill (best immediate cost) and at half fill —
+                // the half-fill seeds leave area slack so Mutate-HW /
+                // tile-growth mutations have room to move.
+                Constraint::None => crate::schemes::HwPreset::ALL
+                    .iter()
+                    .flat_map(|p| {
+                        let full = p.build(platform, problem.evaluator().area_model());
+                        let mut half = full.clone();
+                        half.l2_words = (half.l2_words / 2).max(1);
+                        half.l1_words_per_pe = (half.l1_words_per_pe / 2).max(1);
+                        [full, half]
+                    })
+                    .collect(),
+            };
+            'seeding: for hw in &seed_hws {
+                if hw.fanouts.len() != 2 {
+                    continue;
+                }
+                for style in crate::templates::MappingStyle::ALL {
+                    if population.len() >= init_count {
+                        break 'seeding;
+                    }
+                    let mappings = crate::templates::instantiate_all(style, unique, hw);
+                    population.push(Genome::from_mappings(&mappings));
+                }
+            }
+        }
+        while population.len() < init_count {
+            let mut g = Genome::random(&mut rng, unique, platform, cfg.num_levels);
+            if let Constraint::FixedHw(hw) = problem.constraint() {
+                g.fanouts = hw.fanouts.clone();
+            }
+            population.push(g);
+        }
+        let mut evals = crate::parallel::parallel_map(&population, cfg.threads, |g| {
+            problem.evaluate(g)
+        });
+        record(&population, &evals, &mut best, &mut history, &mut samples);
+
+        let elites = ((cfg.population_size as f64 * cfg.elite_fraction).ceil() as usize).max(1);
+
+        while samples < budget {
+            // Rank current population (ascending cost).
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| evals[a].cost.total_cmp(&evals[b].cost));
+
+            let want = (cfg.population_size).min(budget - samples);
+            let mut children: Vec<Genome> = Vec::with_capacity(want);
+            // Elites survive unchanged (re-evaluated only to keep the
+            // bookkeeping simple; evaluation is deterministic).
+            for &i in order.iter().take(elites.min(want)) {
+                children.push(population[i].clone());
+            }
+            // A trickle of random immigrants keeps diversity up.
+            let immigrants = (want / 20).min(want.saturating_sub(children.len()));
+            for _ in 0..immigrants {
+                let mut g = Genome::random(&mut rng, unique, platform, cfg.num_levels);
+                if let Constraint::FixedHw(hw) = problem.constraint() {
+                    g.fanouts = hw.fanouts.clone();
+                }
+                children.push(g);
+            }
+            // Exploiters: single-mutation neighbours of the incumbent
+            // best — cheap hill-climbing woven into the generation.
+            if let Some((best_genome, _)) = &best {
+                let exploiters = (want / 10).min(want.saturating_sub(children.len()));
+                for _ in 0..exploiters {
+                    let mut g = best_genome.clone();
+                    if cfg.mutate_hw_rate > 0.0 && rng.gen_bool(0.25) {
+                        operators::mutate_hw(&mut rng, &mut g, platform.max_pes);
+                    } else {
+                        let li = rng.gen_range(0..g.layers.len().max(1));
+                        operators::mutate_one_layer(&mut rng, &mut g, unique, li);
+                    }
+                    repair(&mut g, unique, platform);
+                    if let Constraint::FixedHw(hw) = problem.constraint() {
+                        g.fanouts = hw.fanouts.clone();
+                    }
+                    children.push(g);
+                }
+            }
+            while children.len() < want {
+                let parent_a = &population[tournament(&mut rng, &order, &evals)];
+                let mut child = if rng.gen_bool(cfg.crossover_rate) && population.len() >= 2 {
+                    let parent_b = &population[tournament(&mut rng, &order, &evals)];
+                    operators::crossover(&mut rng, parent_a, parent_b)
+                } else {
+                    parent_a.clone()
+                };
+                operators::reorder(&mut rng, &mut child, cfg.reorder_rate);
+                operators::mutate_map(&mut rng, &mut child, unique, cfg.mutate_map_rate);
+                if rng.gen_bool(cfg.mutate_hw_rate) {
+                    operators::mutate_hw(&mut rng, &mut child, platform.max_pes);
+                }
+                if rng.gen_bool(cfg.grow_aging_rate) {
+                    operators::grow_or_age(&mut rng, &mut child);
+                }
+                repair(&mut child, unique, platform);
+                if let Constraint::FixedHw(hw) = problem.constraint() {
+                    child.fanouts = hw.fanouts.clone();
+                }
+                children.push(child);
+            }
+
+            let child_evals = crate::parallel::parallel_map(&children, cfg.threads, |g| {
+                problem.evaluate(g)
+            });
+            record(&children, &child_evals, &mut best, &mut history, &mut samples);
+            population = children;
+            evals = child_evals;
+        }
+
+        SearchResult {
+            best: best.map(|(g, e)| DesignPoint::from_evaluation(g, &e)),
+            history,
+            samples,
+        }
+    }
+}
+
+/// Binary tournament over the *top half* of the ranked population
+/// (returns a population index). Restricting parents to the upper half
+/// keeps selection pressure high even while the population still carries
+/// many infeasible explorers.
+fn tournament(rng: &mut SmallRng, order: &[usize], evals: &[DesignEvaluation]) -> usize {
+    let half = (order.len() / 2).max(1);
+    let a = order[rng.gen_range(0..half)];
+    let b = order[rng.gen_range(0..half)];
+    if evals[a].cost <= evals[b].cost {
+        a
+    } else {
+        b
+    }
+}
+
+/// The specialized genetic operators (kept free-standing for unit tests
+/// and for the ablation benchmark E5).
+pub mod operators {
+    use super::*;
+
+    /// Crossover: blends two parents — per-layer mapping genes are
+    /// inherited from either parent, the PE-array genes from one of them.
+    pub fn crossover(rng: &mut SmallRng, a: &Genome, b: &Genome) -> Genome {
+        let mut child = a.clone();
+        // Mixing mapping genes only makes sense level-by-level when the
+        // parents agree on the level count; otherwise inherit whole sets.
+        if a.num_levels() == b.num_levels() {
+            for (cl, bl) in child.layers.iter_mut().zip(&b.layers) {
+                if rng.gen_bool(0.5) {
+                    *cl = bl.clone();
+                }
+            }
+            if rng.gen_bool(0.5) {
+                child.fanouts = b.fanouts.clone();
+            }
+        } else if rng.gen_bool(0.5) {
+            child = b.clone();
+        }
+        child
+    }
+
+    /// Reorder: per layer (with probability `rate`), swaps two positions
+    /// in a random level's loop order. Applying the operator per layer —
+    /// rather than to one layer per child — is what lets every layer's
+    /// mapping improve each generation on deep models.
+    pub fn reorder(rng: &mut SmallRng, g: &mut Genome, rate: f64) {
+        for lg in &mut g.layers {
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            let lvl = rng.gen_range(0..lg.levels.len());
+            let order = &mut lg.levels[lvl].order;
+            let i = rng.gen_range(0..NUM_DIMS);
+            let j = rng.gen_range(0..NUM_DIMS);
+            order.swap(i, j);
+        }
+    }
+
+    /// Mutate-Map: per layer (with probability `rate`), perturbs tiling
+    /// or parallelism of a random level; if no layer fires, one random
+    /// layer is mutated so a mutation pass is never a no-op.
+    ///
+    /// The operator mix favours area-neutral/structured moves (spatial
+    /// dim change, tile double/halve) over destructive full resamples —
+    /// the "structured manner" of stepping through the space the paper
+    /// credits for DiGamma's sample efficiency.
+    pub fn mutate_map(rng: &mut SmallRng, g: &mut Genome, unique: &[UniqueLayer], rate: f64) {
+        let mut fired = false;
+        for li in 0..g.layers.len() {
+            if rng.gen_bool(rate) {
+                mutate_one_layer(rng, g, unique, li);
+                fired = true;
+            }
+        }
+        if !fired && !g.layers.is_empty() {
+            let li = rng.gen_range(0..g.layers.len());
+            mutate_one_layer(rng, g, unique, li);
+        }
+    }
+
+    pub(crate) fn mutate_one_layer(
+        rng: &mut SmallRng,
+        g: &mut Genome,
+        unique: &[UniqueLayer],
+        li: usize,
+    ) {
+        let extents = *unique[li].layer.dims();
+        let lg = &mut g.layers[li];
+        let lvl = rng.gen_range(0..lg.levels.len());
+        let genes = &mut lg.levels[lvl];
+        let dim = Dim::from_index(rng.gen_range(0..NUM_DIMS));
+        match rng.gen_range(0..10) {
+            0..=2 => genes.tile[dim] = genes.tile[dim].saturating_mul(2),
+            3..=5 => genes.tile[dim] = (genes.tile[dim] / 2).max(1),
+            6 => {
+                let max = extents[dim];
+                genes.tile[dim] = super::log_uniform(rng, max);
+            }
+            _ => genes.spatial_dim = Dim::from_index(rng.gen_range(0..NUM_DIMS)),
+        }
+    }
+
+    /// Mutate-HW: perturbs the PE array — total size (double/halve one
+    /// level) or aspect ratio (move a factor of two between levels while
+    /// keeping the PE count). Buffer sizes follow automatically through
+    /// the allocation strategy.
+    pub fn mutate_hw(rng: &mut SmallRng, g: &mut Genome, max_pes: u64) {
+        let levels = g.fanouts.len();
+        match rng.gen_range(0..4) {
+            0 => {
+                let i = rng.gen_range(0..levels);
+                g.fanouts[i] = g.fanouts[i].saturating_mul(2).min(max_pes);
+            }
+            1 => {
+                let i = rng.gen_range(0..levels);
+                g.fanouts[i] = (g.fanouts[i] / 2).max(1);
+            }
+            2 if levels >= 2 => {
+                // Aspect-ratio move: ×2 one level, ÷2 another.
+                let i = rng.gen_range(0..levels);
+                let mut j = rng.gen_range(0..levels);
+                if i == j {
+                    j = (j + 1) % levels;
+                }
+                if g.fanouts[j] >= 2 {
+                    g.fanouts[i] = g.fanouts[i].saturating_mul(2);
+                    g.fanouts[j] /= 2;
+                }
+            }
+            _ => {
+                let i = rng.gen_range(0..levels);
+                g.fanouts[i] = super::log_uniform(rng, max_pes);
+            }
+        }
+    }
+
+    /// Grow/Aging: inserts a middle cluster level (grow) or removes one
+    /// (aging), re-shaping the clustering hierarchy.
+    pub fn grow_or_age(rng: &mut SmallRng, g: &mut Genome) {
+        let levels = g.fanouts.len();
+        let can_grow = levels < digamma_costmodel::MAX_LEVELS;
+        let can_age = levels > 2;
+        match (can_grow, can_age) {
+            (false, false) => {}
+            (true, false) => grow(rng, g),
+            (false, true) => age(rng, g),
+            (true, true) => {
+                if rng.gen_bool(0.5) {
+                    grow(rng, g)
+                } else {
+                    age(rng, g)
+                }
+            }
+        }
+    }
+
+    fn grow(rng: &mut SmallRng, g: &mut Genome) {
+        // Split the outermost fan-out and insert a middle level whose
+        // genes interpolate its neighbours.
+        let moved = if g.fanouts[0] >= 2 { 2 } else { 1 };
+        g.fanouts[0] = (g.fanouts[0] / moved).max(1);
+        g.fanouts.insert(1, moved);
+        for lg in &mut g.layers {
+            let outer = lg.levels[0];
+            let mut mid = outer;
+            mid.spatial_dim = Dim::from_index(rng.gen_range(0..NUM_DIMS));
+            // Mid tiles: geometric middle between outer and inner tiles.
+            if let Some(inner) = lg.levels.get(1) {
+                mid.tile = outer.tile.zip_with(inner.tile, |o, i| {
+                    (((o.max(1) * i.max(1)) as f64).sqrt().round() as u64).max(1)
+                });
+            }
+            lg.levels.insert(1, mid);
+        }
+    }
+
+    fn age(rng: &mut SmallRng, g: &mut Genome) {
+        // Remove a middle level, folding its fan-out into the level above.
+        let levels = g.fanouts.len();
+        let victim = rng.gen_range(1..levels - 1);
+        let folded = g.fanouts.remove(victim);
+        g.fanouts[victim - 1] = g.fanouts[victim - 1].saturating_mul(folded);
+        for lg in &mut g.layers {
+            lg.levels.remove(victim);
+        }
+    }
+}
+
+/// Log-uniform sample in `[1, max]` (shared with the encoding crate's
+/// sampler semantics).
+fn log_uniform(rng: &mut SmallRng, max: u64) -> u64 {
+    if max <= 1 {
+        return 1;
+    }
+    let exp = rng.gen_range(0.0..=(max as f64).ln());
+    (exp.exp().round() as u64).clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use digamma_costmodel::Platform;
+    use digamma_workload::zoo;
+
+    fn small_problem() -> CoOptProblem {
+        CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency)
+    }
+
+    fn quick_config(seed: u64) -> DiGammaConfig {
+        DiGammaConfig { population_size: 16, seed, ..DiGammaConfig::default() }
+    }
+
+    #[test]
+    fn search_finds_feasible_design() {
+        let result = DiGamma::new(quick_config(1)).search(&small_problem(), 200);
+        let best = result.best.expect("feasible design within 200 samples");
+        assert!(best.feasible);
+        assert!(best.area_um2 <= Platform::edge().area_budget_um2);
+        assert_eq!(result.samples, 200);
+        assert_eq!(result.history.len(), 200);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let result = DiGamma::new(quick_config(2)).search(&small_problem(), 150);
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn search_improves_over_random_initialization() {
+        let result = DiGamma::new(quick_config(3)).search(&small_problem(), 400);
+        let first_feasible =
+            result.history.iter().copied().find(|c| c.is_finite()).expect("feasible");
+        let final_cost = *result.history.last().unwrap();
+        assert!(
+            final_cost < first_feasible,
+            "no improvement: {first_feasible} → {final_cost}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = DiGamma::new(quick_config(7)).search(&small_problem(), 100);
+        let b = DiGamma::new(quick_config(7)).search(&small_problem(), 100);
+        assert_eq!(a.best_cost(), b.best_cost());
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let result = DiGamma::new(quick_config(4)).search(&small_problem(), 37);
+        assert_eq!(result.samples, 37);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let mut cfg = quick_config(5);
+        let seq = DiGamma::new(cfg.clone()).search(&small_problem(), 120);
+        cfg.threads = 4;
+        let par = DiGamma::new(cfg).search(&small_problem(), 120);
+        assert_eq!(seq.best_cost(), par.best_cost());
+    }
+
+    mod operator_tests {
+        use super::super::operators::*;
+        use super::*;
+        use digamma_encoding::Genome;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        fn setup() -> (SmallRng, Vec<digamma_workload::UniqueLayer>, Genome) {
+            let unique = zoo::ncf().unique_layers();
+            let mut rng = SmallRng::seed_from_u64(9);
+            let g = Genome::random(&mut rng, &unique, &Platform::edge(), 2);
+            (rng, unique, g)
+        }
+
+        #[test]
+        fn reorder_keeps_permutation() {
+            let (mut rng, _, mut g) = setup();
+            for _ in 0..50 {
+                reorder(&mut rng, &mut g, 1.0);
+            }
+            for lg in &g.layers {
+                for lvl in &lg.levels {
+                    let mut seen = [false; NUM_DIMS];
+                    for d in lvl.order {
+                        assert!(!std::mem::replace(&mut seen[d.index()], true));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn mutate_map_changes_only_mapping_genes() {
+            let (mut rng, unique, mut g) = setup();
+            let fanouts = g.fanouts.clone();
+            for _ in 0..50 {
+                mutate_map(&mut rng, &mut g, &unique, 1.0);
+            }
+            assert_eq!(g.fanouts, fanouts, "Mutate-Map must not touch HW genes");
+        }
+
+        #[test]
+        fn mutate_map_touches_every_layer_at_full_rate() {
+            let (mut rng, unique, g) = setup();
+            let mut mutated = vec![false; g.layers.len()];
+            for _ in 0..30 {
+                let mut child = g.clone();
+                mutate_map(&mut rng, &mut child, &unique, 1.0);
+                for (i, (a, b)) in child.layers.iter().zip(&g.layers).enumerate() {
+                    if a != b {
+                        mutated[i] = true;
+                    }
+                }
+            }
+            assert!(
+                mutated.iter().all(|&m| m),
+                "some layer never mutated: {mutated:?}"
+            );
+        }
+
+        #[test]
+        fn mutate_hw_changes_only_hw_genes() {
+            let (mut rng, _, mut g) = setup();
+            let layers = g.layers.clone();
+            for _ in 0..50 {
+                mutate_hw(&mut rng, &mut g, 1024);
+            }
+            assert_eq!(g.layers, layers, "Mutate-HW must not touch mapping genes");
+        }
+
+        #[test]
+        fn grow_and_age_preserve_level_consistency() {
+            let (mut rng, unique, mut g) = setup();
+            for _ in 0..20 {
+                grow_or_age(&mut rng, &mut g);
+                assert!(g.fanouts.len() >= 2 && g.fanouts.len() <= 3);
+                for lg in &g.layers {
+                    assert_eq!(lg.levels.len(), g.fanouts.len());
+                }
+                // Post-repair the genome must decode cleanly.
+                digamma_encoding::repair(&mut g, &unique, &Platform::edge());
+                for (u, m) in unique.iter().zip(g.decode(&unique)) {
+                    m.validate(&u.layer).unwrap();
+                }
+            }
+        }
+
+        #[test]
+        fn crossover_mixes_parents() {
+            let unique = zoo::ncf().unique_layers();
+            let mut rng = SmallRng::seed_from_u64(10);
+            let a = Genome::random(&mut rng, &unique, &Platform::edge(), 2);
+            let b = Genome::random(&mut rng, &unique, &Platform::edge(), 2);
+            let mut saw_a = false;
+            let mut saw_b = false;
+            for _ in 0..30 {
+                let child = crossover(&mut rng, &a, &b);
+                for (i, lg) in child.layers.iter().enumerate() {
+                    if *lg == a.layers[i] {
+                        saw_a = true;
+                    }
+                    if *lg == b.layers[i] {
+                        saw_b = true;
+                    }
+                }
+            }
+            assert!(saw_a && saw_b, "crossover never mixed both parents");
+        }
+    }
+}

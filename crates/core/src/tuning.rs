@@ -1,0 +1,92 @@
+//! Bayesian-optimization hyper-parameter tuning for DiGamma.
+//!
+//! Paper footnote 3: "The hyper-parameters of DiGamma (mutation rate,
+//! crossover rate, elite ratio, population size to number of generations
+//! ratio, and so on) are decided by a Bayesian optimization-based search
+//! process." This module reproduces that loop with the GP-BO optimizer
+//! from `digamma-opt`: each trial materializes a [`DiGammaConfig`] and
+//! scores it by a short proxy search.
+
+use crate::digamma_ga::{DiGamma, DiGammaConfig};
+use crate::problem::CoOptProblem;
+use digamma_opt::{GpBayesOpt, Optimizer};
+
+/// Decodes a 6-coordinate unit vector into a DiGamma configuration.
+///
+/// Coordinates: population size (16..=128), elite fraction (0.02..=0.3),
+/// crossover, reorder, mutate-map, mutate-HW rates (each 0..=0.9).
+pub fn config_from_vector(x: &[f64], seed: u64) -> DiGammaConfig {
+    assert!(x.len() >= 6, "need 6 tuning coordinates");
+    let clamp = |v: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.5 };
+    DiGammaConfig {
+        population_size: (16.0 + clamp(x[0]) * 112.0) as usize,
+        elite_fraction: 0.02 + clamp(x[1]) * 0.28,
+        crossover_rate: 0.9 * clamp(x[2]),
+        reorder_rate: 0.9 * clamp(x[3]),
+        mutate_map_rate: 0.9 * clamp(x[4]),
+        mutate_hw_rate: 0.9 * clamp(x[5]),
+        seed,
+        ..DiGammaConfig::default()
+    }
+}
+
+/// Runs `trials` BO iterations, each scoring a candidate configuration
+/// with a `proxy_budget`-sample DiGamma search, and returns the best
+/// configuration found.
+pub fn tune(
+    problem: &CoOptProblem,
+    trials: usize,
+    proxy_budget: usize,
+    seed: u64,
+) -> DiGammaConfig {
+    assert!(trials > 0, "need at least one trial");
+    let mut bo = GpBayesOpt::new(6, seed);
+    let mut best_cfg = DiGammaConfig { seed, ..DiGammaConfig::default() };
+    let mut best_score = f64::INFINITY;
+
+    for trial in 0..trials {
+        let x = bo.ask();
+        let cfg = config_from_vector(&x, seed.wrapping_add(trial as u64));
+        let result = DiGamma::new(cfg.clone()).search(problem, proxy_budget);
+        let score = result.best_cost().unwrap_or(f64::MAX);
+        bo.tell(&x, score);
+        if score < best_score {
+            best_score = score;
+            best_cfg = cfg;
+        }
+    }
+    best_cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use digamma_costmodel::Platform;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn vector_decodes_to_sane_config() {
+        let cfg = config_from_vector(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 1);
+        assert_eq!(cfg.population_size, 16);
+        assert!((cfg.elite_fraction - 0.02).abs() < 1e-9);
+        let cfg = config_from_vector(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 1);
+        assert_eq!(cfg.population_size, 128);
+        assert!(cfg.crossover_rate <= 0.9);
+    }
+
+    #[test]
+    fn nan_coordinates_are_tolerated() {
+        let cfg = config_from_vector(&[f64::NAN; 6], 1);
+        assert!(cfg.population_size >= 16 && cfg.population_size <= 128);
+    }
+
+    #[test]
+    fn tuning_returns_a_usable_config() {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let cfg = tune(&problem, 3, 60, 42);
+        // The tuned config must itself run.
+        let result = DiGamma::new(cfg).search(&problem, 60);
+        assert!(result.samples == 60);
+    }
+}

@@ -1,0 +1,78 @@
+//! Evaluation errors.
+
+use digamma_workload::DimVec;
+use std::error::Error;
+use std::fmt;
+
+/// Why a mapping could not be evaluated.
+///
+/// These are *structural* failures (a malformed mapping). Designs that are
+/// merely over budget evaluate fine and are penalized by the constraint
+/// checker in the `digamma` crate instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A level has a fan-out of zero.
+    ZeroFanout {
+        /// Index of the offending level (0 = outermost).
+        level: usize,
+    },
+    /// A level has a tile extent of zero.
+    ZeroTile {
+        /// Index of the offending level (0 = outermost).
+        level: usize,
+    },
+    /// A level's tile does not fit inside its parent's tile.
+    TileExceedsParent {
+        /// Index of the offending level (0 = outermost).
+        level: usize,
+        /// The offending tile.
+        tile: DimVec<u64>,
+        /// The parent extents it must fit within.
+        parent: DimVec<u64>,
+    },
+    /// A level's loop order is not a permutation of the six dims.
+    InvalidOrder {
+        /// Index of the offending level (0 = outermost).
+        level: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::ZeroFanout { level } => write!(f, "level {level} has zero fan-out"),
+            EvalError::ZeroTile { level } => write!(f, "level {level} has a zero tile extent"),
+            EvalError::TileExceedsParent { level, tile, parent } => {
+                write!(f, "level {level} tile {tile} exceeds parent extents {parent}")
+            }
+            EvalError::InvalidOrder { level } => {
+                write!(f, "level {level} loop order is not a permutation")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_level() {
+        let e = EvalError::ZeroFanout { level: 1 };
+        assert!(e.to_string().contains("level 1"));
+        let e = EvalError::TileExceedsParent {
+            level: 0,
+            tile: DimVec::splat(9),
+            parent: DimVec::splat(3),
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! The evaluator front door: `(layer, mapping) → CostReport`.
+
+use crate::accelerator::{HwConfig, Platform};
+use crate::analysis::analyze;
+use crate::area::{AreaModel, AREA_MODEL_15NM};
+use crate::energy::{EnergyModel, ENERGY_MODEL_DEFAULT};
+use crate::error::EvalError;
+use crate::latency::latency;
+use crate::mapping::Mapping;
+use crate::report::CostReport;
+use digamma_workload::Layer;
+
+/// Evaluates `(layer, mapping)` pairs on a platform.
+///
+/// This plays the role MAESTRO plays in the paper's evaluation block
+/// (Fig. 3(a)): it runs the reuse analysis, the latency/energy models, and
+/// derives the hardware (buffer allocation strategy) and its area.
+///
+/// # Example
+///
+/// ```
+/// use digamma_costmodel::{Evaluator, Mapping, Platform};
+/// use digamma_workload::Layer;
+///
+/// let layer = Layer::gemm("fc", 256, 64, 512);
+/// let mapping = Mapping::row_major_example(&layer, 4, 8);
+/// let report = Evaluator::new(Platform::edge()).evaluate(&layer, &mapping)?;
+/// assert!(report.utilization > 0.0);
+/// # Ok::<(), digamma_costmodel::EvalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    platform: Platform,
+    area_model: AreaModel,
+    energy_model: EnergyModel,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the default area and energy models.
+    pub fn new(platform: Platform) -> Evaluator {
+        Evaluator { platform, area_model: AREA_MODEL_15NM, energy_model: ENERGY_MODEL_DEFAULT }
+    }
+
+    /// Overrides the area model.
+    pub fn with_area_model(mut self, area_model: AreaModel) -> Evaluator {
+        self.area_model = area_model;
+        self
+    }
+
+    /// Overrides the energy model.
+    pub fn with_energy_model(mut self, energy_model: EnergyModel) -> Evaluator {
+        self.energy_model = energy_model;
+        self
+    }
+
+    /// The platform this evaluator scores against.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The active area model.
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area_model
+    }
+
+    /// Evaluates a mapping, deriving minimum-footprint hardware
+    /// (DiGamma's buffer allocation strategy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the mapping is structurally invalid for
+    /// the layer. Over-budget designs still evaluate — the constraint
+    /// checker upstream decides their fate.
+    pub fn evaluate(&self, layer: &Layer, mapping: &Mapping) -> Result<CostReport, EvalError> {
+        let fanouts: Vec<u64> = mapping.pe_shape();
+        let analysis = analyze(layer, mapping)?;
+        let hw = HwConfig::for_mapping_buffers(fanouts, &analysis.buffers);
+        self.finish(layer, mapping, hw)
+    }
+
+    /// Evaluates a mapping against **given** hardware (the Fixed-HW
+    /// use-case and the GAMMA baseline). The report carries the given
+    /// hardware's area; callers should first check
+    /// [`HwConfig::accommodates`] and penalize misfits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the mapping is structurally invalid.
+    pub fn evaluate_on_hw(
+        &self,
+        layer: &Layer,
+        mapping: &Mapping,
+        hw: &HwConfig,
+    ) -> Result<CostReport, EvalError> {
+        self.finish(layer, mapping, hw.clone())
+    }
+
+    fn finish(
+        &self,
+        layer: &Layer,
+        mapping: &Mapping,
+        hw: HwConfig,
+    ) -> Result<CostReport, EvalError> {
+        let analysis = analyze(layer, mapping)?;
+        let lat = latency(&analysis, &self.platform);
+        let energy = self.energy_model.energy_pj(&analysis);
+        let area = self.area_model.area_um2(&hw);
+        let pe_area = self.area_model.pe_area_um2(&hw);
+        Ok(CostReport::assemble(analysis, lat, energy, area, pe_area, hw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn evaluate_every_layer_of_every_model() {
+        // The cost model must handle every shape in the zoo without error.
+        let eval = Evaluator::new(Platform::edge());
+        for model in zoo::all_models() {
+            for layer in model.layers() {
+                let m = Mapping::row_major_example(layer, 4, 8);
+                let r = eval
+                    .evaluate(layer, &m)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", model.name(), layer.name()));
+                assert!(r.latency_cycles.is_finite() && r.latency_cycles > 0.0);
+                assert!(r.energy_pj > 0.0);
+                assert!(r.area_um2 > 0.0);
+                assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn derived_hw_matches_buffer_requirement() {
+        let layer = digamma_workload::Layer::conv("l", 64, 32, 16, 16, 3, 3, 1);
+        let m = Mapping::row_major_example(&layer, 8, 4);
+        let r = Evaluator::new(Platform::edge()).evaluate(&layer, &m).unwrap();
+        assert_eq!(r.hw.l2_words, r.buffers.l2_words);
+        assert_eq!(r.hw.l1_words_per_pe, r.buffers.l1_words_per_pe);
+        assert_eq!(r.hw.num_pes(), 32);
+    }
+
+    #[test]
+    fn evaluate_on_hw_uses_given_area() {
+        let layer = digamma_workload::Layer::conv("l", 64, 32, 16, 16, 3, 3, 1);
+        let m = Mapping::row_major_example(&layer, 8, 4);
+        let eval = Evaluator::new(Platform::edge());
+        let derived = eval.evaluate(&layer, &m).unwrap();
+        // An oversized fixed HW costs more area for identical latency.
+        let big_hw = HwConfig {
+            fanouts: vec![8, 4],
+            l2_words: derived.hw.l2_words * 10,
+            mid_words_per_unit: vec![],
+            l1_words_per_pe: derived.hw.l1_words_per_pe * 10,
+        };
+        let fixed = eval.evaluate_on_hw(&layer, &m, &big_hw).unwrap();
+        assert!(fixed.area_um2 > derived.area_um2);
+        assert!((fixed.latency_cycles - derived.latency_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_metrics_compose() {
+        let layer = digamma_workload::Layer::gemm("g", 128, 64, 256);
+        let m = Mapping::row_major_example(&layer, 4, 4);
+        let r = Evaluator::new(Platform::cloud()).evaluate(&layer, &m).unwrap();
+        assert!((r.edp() - r.energy_pj * r.latency_cycles).abs() < 1e-6);
+        assert!(r.latency_area_product() > 0.0);
+        let (pe, buf) = r.area_ratio_percent();
+        assert!((pe + buf - 100.0).abs() < 1e-9);
+        // Display must render without panicking and mention the bottleneck.
+        let shown = format!("{r}");
+        assert!(shown.contains("latency"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Design-space cardinality calculators (paper Sec. I–II, experiment E4).
+//!
+//! The paper motivates co-optimization with three numbers: a mapping space
+//! of O(10²⁴) per model, a HW space of O(10¹²) under a 128×128-PE /
+//! 100 MB envelope, and their O(10³⁶) cross product. These functions
+//! reproduce those estimates from first principles; everything works in
+//! log₁₀ to avoid overflow.
+
+use digamma_workload::{Dim, Model};
+
+/// log₁₀ of the number of mapping candidates for one model at the given
+/// number of cluster levels: per unique layer and level, `6!` loop orders
+/// × 6 parallel-dim choices × `Π_d extent_d` tile choices.
+pub fn log10_mapping_space(model: &Model, num_levels: u32) -> f64 {
+    let per_level_order: f64 = (720.0f64 * 6.0).log10(); // 6! orders × 6 parallel dims
+    model
+        .unique_layers()
+        .iter()
+        .map(|u| {
+            let tiles: f64 = Dim::ALL
+                .iter()
+                .map(|&d| (u.layer.dims()[d] as f64).log10())
+                .sum();
+            num_levels as f64 * (per_level_order + tiles)
+        })
+        .sum()
+}
+
+/// log₁₀ of the hardware configuration space under the paper's envelope
+/// (footnote 1): PE arrays up to `max_pe_side × max_pe_side`, buffers up
+/// to `max_buffer_bytes` allocated between two levels.
+pub fn log10_hw_space(max_pe_side: u64, max_buffer_bytes: u64) -> f64 {
+    // Every (width, height) PE-array shape × every split of the buffer
+    // budget between L1 and L2 (byte granularity).
+    let shapes = (max_pe_side as f64).log10() * 2.0;
+    let buffers = (max_buffer_bytes as f64).log10();
+    shapes + buffers
+}
+
+/// The paper's own envelope: 128×128 PEs, 100 MB of buffer → O(10¹²).
+pub fn paper_hw_space_log10() -> f64 {
+    log10_hw_space(128, 100_000_000)
+}
+
+/// log₁₀ of the joint HW × mapping space for a model.
+pub fn log10_joint_space(model: &Model, num_levels: u32) -> f64 {
+    paper_hw_space_log10() + log10_mapping_space(model, num_levels)
+}
+
+/// Sampling cost of naive two-loop optimization (Sec. II-C): an outer HW
+/// optimizer taking `outer_samples` points, each requiring a full inner
+/// mapping search of `inner_samples` points.
+pub fn two_loop_sample_cost(outer_samples: u64, inner_samples: u64) -> u64 {
+    outer_samples.saturating_mul(inner_samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn paper_hw_space_is_order_1e12() {
+        let l = paper_hw_space_log10();
+        assert!((12.0..13.0).contains(&l), "log10 HW space = {l}");
+    }
+
+    #[test]
+    fn mapping_space_is_astronomical_for_cnns() {
+        // The paper quotes O(10²⁴) for a single mapper (GAMMA, per layer
+        // searches); across a full model at 2 levels, the space is far
+        // beyond that.
+        let l = log10_mapping_space(&zoo::resnet18(), 2);
+        assert!(l > 24.0, "log10 mapping space = {l}");
+    }
+
+    #[test]
+    fn joint_space_exceeds_1e36() {
+        let l = log10_joint_space(&zoo::mnasnet(), 2);
+        assert!(l > 36.0, "log10 joint space = {l}");
+    }
+
+    #[test]
+    fn two_loop_cost_matches_paper_example() {
+        // "outer-loop can easily require more than 10K sampling points"
+        // × GAMMA's ~160-sample-per-generation budget → 1.6 M points.
+        assert_eq!(two_loop_sample_cost(10_000, 160), 1_600_000);
+    }
+
+    #[test]
+    fn more_levels_grow_the_space() {
+        let m = zoo::ncf();
+        assert!(log10_mapping_space(&m, 3) > log10_mapping_space(&m, 2));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the encoding layer: every vector decodes to
+//! a valid design, repair is idempotent, and the codec round-trips.
+
+use digamma_costmodel::Platform;
+use digamma_encoding::{repair, Codec, Genome};
+use digamma_workload::zoo;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary (even wildly out-of-range) vectors decode to genomes
+    /// whose mappings validate on every layer.
+    #[test]
+    fn any_vector_decodes_valid(values in prop::collection::vec(-10.0f64..10.0, 0..4), seed in 0u64..1_000) {
+        let unique = zoo::dlrm().unique_layers();
+        let platform = Platform::edge();
+        let codec = Codec::new(&unique, &platform, 2);
+        // Build a full-length vector from the short random prefix.
+        let x: Vec<f64> = (0..codec.dimension())
+            .map(|i| values.get(i % values.len().max(1)).copied()
+                .unwrap_or((seed as f64 + i as f64).sin()))
+            .collect();
+        let genome = codec.decode(&x);
+        prop_assert!(genome.num_pes() <= platform.max_pes);
+        for (u, m) in unique.iter().zip(genome.decode(&unique)) {
+            prop_assert!(m.validate(&u.layer).is_ok());
+        }
+    }
+
+    /// encode→decode is the identity on repaired genomes for both 2- and
+    /// 3-level encodings.
+    #[test]
+    fn roundtrip_identity(seed in 0u64..2_000, levels in 2usize..=3) {
+        let unique = zoo::ncf().unique_layers();
+        let platform = Platform::cloud();
+        let codec = Codec::new(&unique, &platform, levels);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(&mut rng, &unique, &platform, levels);
+        let back = codec.decode(&codec.encode(&g));
+        prop_assert_eq!(back, g);
+    }
+
+    /// Repair is idempotent for arbitrary damage.
+    #[test]
+    fn repair_idempotent(seed in 0u64..2_000, fanout0 in 0u64..1_000_000, tile in 0u64..1_000_000) {
+        let unique = zoo::ncf().unique_layers();
+        let platform = Platform::edge();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Genome::random(&mut rng, &unique, &platform, 2);
+        g.fanouts[0] = fanout0;
+        g.layers[0].levels[0].tile = digamma_workload::DimVec::splat(tile);
+        repair(&mut g, &unique, &platform);
+        let once = g.clone();
+        repair(&mut g, &unique, &platform);
+        prop_assert_eq!(g, once);
+    }
+
+    /// Mappings built from a genome rebuild the same genome through
+    /// `from_mappings` (the template/grid-search path).
+    #[test]
+    fn from_mappings_inverts_decode(seed in 0u64..2_000) {
+        let unique = zoo::dlrm().unique_layers();
+        let platform = Platform::edge();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(&mut rng, &unique, &platform, 2);
+        let mappings = g.decode(&unique);
+        let rebuilt = Genome::from_mappings(&mappings);
+        // decode() repairs (nests tiles), so compare decoded forms.
+        prop_assert_eq!(rebuilt.decode(&unique), mappings);
+    }
+}

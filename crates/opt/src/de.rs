@@ -1,0 +1,155 @@
+//! Differential evolution (DE/curr-to-best/1/bin).
+
+use crate::optimizer::{clamp_unit, seeded_rng, uniform_point, BestTracker, Optimizer};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Differential weight.
+const F: f64 = 0.8;
+/// Binomial crossover probability.
+const CR: f64 = 0.7;
+
+/// Classic differential evolution: each individual is challenged by a
+/// trial vector built from the population's own difference vectors
+/// (curr-to-best/1 mutation, binomial crossover, greedy selection).
+#[derive(Debug)]
+pub struct De {
+    dim: usize,
+    rng: SmallRng,
+    population: Vec<(Vec<f64>, f64)>,
+    pop_size: usize,
+    /// Trial vectors waiting to be asked, paired with their parent index.
+    pending: VecDeque<(usize, Vec<f64>)>,
+    /// Parent index of each outstanding (asked, un-told) trial.
+    outstanding: VecDeque<Option<usize>>,
+    initializing: usize,
+    best: BestTracker,
+}
+
+impl De {
+    /// Creates a seeded DE with a population scaled to the dimension
+    /// (`max(20, 4·√d)`).
+    pub fn new(dim: usize, seed: u64) -> De {
+        let pop_size = 20usize.max((4.0 * (dim as f64).sqrt()) as usize);
+        De {
+            dim,
+            rng: seeded_rng(seed),
+            population: Vec::new(),
+            pop_size,
+            pending: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            initializing: 0,
+            best: BestTracker::new(),
+        }
+    }
+
+    fn make_trials(&mut self) {
+        let best = self.best.get().map(|(x, _)| x.to_vec()).expect("population evaluated");
+        for i in 0..self.pop_size {
+            let r1 = self.rng.gen_range(0..self.pop_size);
+            let r2 = self.rng.gen_range(0..self.pop_size);
+            let parent = &self.population[i].0;
+            let mut trial = parent.clone();
+            let forced = self.rng.gen_range(0..self.dim);
+            for j in 0..self.dim {
+                if j == forced || self.rng.gen_bool(CR) {
+                    trial[j] = parent[j]
+                        + F * (best[j] - parent[j])
+                        + F * (self.population[r1].0[j] - self.population[r2].0[j]);
+                }
+            }
+            clamp_unit(&mut trial);
+            self.pending.push_back((i, trial));
+        }
+    }
+}
+
+impl Optimizer for De {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ask(&mut self) -> Vec<f64> {
+        // Phase 1: uniform initialization. Keep issuing explorers while
+        // the *evaluated* population is incomplete — a batching driver
+        // may ask far ahead of its tells.
+        if self.population.len() < self.pop_size {
+            self.initializing += 1;
+            self.outstanding.push_back(None);
+            return uniform_point(&mut self.rng, self.dim);
+        }
+        if self.pending.is_empty() {
+            self.make_trials();
+        }
+        let (parent, trial) = self.pending.pop_front().expect("refilled");
+        self.outstanding.push_back(Some(parent));
+        trial
+    }
+
+    fn tell(&mut self, x: &[f64], value: f64) {
+        self.best.observe(x, value);
+        match self.outstanding.pop_front().flatten() {
+            None => {
+                self.initializing = self.initializing.saturating_sub(1);
+                if self.population.len() < self.pop_size {
+                    self.population.push((x.to_vec(), value));
+                }
+                // Surplus initializers (over-asked batches) still inform
+                // `best` above; they just don't join the population.
+            }
+            Some(parent) => {
+                if value <= self.population[parent].1 {
+                    self.population[parent] = (x.to_vec(), value);
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.best.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "DE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut opt = De::new(6, 31);
+        let (_, v) = minimize(&mut opt, sphere, 2000);
+        assert!(v < 1e-4, "best {v}");
+    }
+
+    #[test]
+    fn handles_rugged_function() {
+        let mut opt = De::new(3, 33);
+        let (_, v) = minimize(&mut opt, rugged, 2000);
+        assert!(v < 0.1, "best {v}");
+    }
+
+    #[test]
+    fn greedy_selection_never_regresses() {
+        let mut opt = De::new(4, 35);
+        let mut best_so_far = f64::INFINITY;
+        for _ in 0..600 {
+            let x = opt.ask();
+            let v = sphere(&x);
+            opt.tell(&x, v);
+            best_so_far = best_so_far.min(v);
+            assert_eq!(opt.best().unwrap().1, best_so_far);
+        }
+    }
+
+    #[test]
+    fn population_scales_with_dimension() {
+        assert_eq!(De::new(4, 0).pop_size, 20);
+        assert!(De::new(400, 0).pop_size > 20);
+    }
+}

@@ -1,0 +1,70 @@
+//! Black-box optimization suite for the DiGamma reproduction.
+//!
+//! The paper benchmarks DiGamma against eight widely used gradient-free
+//! optimizers taken from [nevergrad]. No Rust equivalent of that library
+//! exists, so this crate re-implements each algorithm from scratch behind
+//! one ask/tell [`Optimizer`] trait, all searching the unit box
+//! `[0,1]^d` and minimizing:
+//!
+//! | Paper name   | Type                                              |
+//! |--------------|---------------------------------------------------|
+//! | Random       | [`RandomSearch`]                                  |
+//! | stdGA        | [`StdGa`] — real-coded genetic algorithm          |
+//! | PSO          | [`Pso`] — particle swarm (SPSO-2011 constants)    |
+//! | TBPSA        | [`Tbpsa`] — population ES with size adaptation    |
+//! | (1+1)-ES     | [`OnePlusOne`] — 1/5th success rule               |
+//! | DE           | [`De`] — differential evolution, curr-to-best/1   |
+//! | Portfolio    | [`Portfolio`] — passive portfolio of base solvers |
+//! | CMA          | [`CmaEs`] — full/diagonal covariance adaptation   |
+//!
+//! plus [`GpBayesOpt`], the small Gaussian-process Bayesian optimizer the
+//! paper uses to tune DiGamma's hyper-parameters (footnote 3), and
+//! [`linalg`], the dense kernels (Cholesky, Jacobi eigendecomposition)
+//! CMA-ES and the GP need.
+//!
+//! # Ask/tell contract
+//!
+//! Drivers may ask for several candidates before telling results (to
+//! evaluate in parallel), but must report values **in ask order**. The
+//! [`minimize`] helper implements the sequential loop:
+//!
+//! ```
+//! use digamma_opt::{minimize, Algorithm};
+//!
+//! // Minimize a 4-D sphere centered at 0.3 with a 200-sample budget.
+//! let f = |x: &[f64]| x.iter().map(|v| (v - 0.3).powi(2)).sum::<f64>();
+//! let mut opt = Algorithm::Cma.build(4, 42);
+//! let (best_x, best_v) = minimize(opt.as_mut(), f, 200);
+//! assert!(best_v < 0.05, "best {best_v} at {best_x:?}");
+//! ```
+//!
+//! [nevergrad]: https://github.com/FacebookResearch/Nevergrad
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod linalg;
+
+mod algorithm;
+mod bayes;
+mod cma;
+mod de;
+mod ga;
+mod one_plus_one;
+mod optimizer;
+mod portfolio;
+mod pso;
+mod random_search;
+mod tbpsa;
+
+pub use algorithm::Algorithm;
+pub use bayes::GpBayesOpt;
+pub use cma::CmaEs;
+pub use de::De;
+pub use ga::StdGa;
+pub use one_plus_one::OnePlusOne;
+pub use optimizer::{minimize, Optimizer};
+pub use portfolio::Portfolio;
+pub use pso::Pso;
+pub use random_search::RandomSearch;
+pub use tbpsa::Tbpsa;

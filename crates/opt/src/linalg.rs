@@ -1,0 +1,225 @@
+//! Minimal dense linear algebra for CMA-ES and the Gaussian process.
+//!
+//! Matrices are row-major `Vec<f64>` of size `d × d`. Only the symmetric
+//! kernels the optimizers need are provided: Jacobi eigendecomposition
+//! (CMA-ES covariance), Cholesky factorization and triangular solves
+//! (GP posterior).
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors stored
+/// row-major such that column `k` (`vectors[i*d + k]` for row `i`) is the
+/// unit eigenvector of `eigenvalues[k]`; i.e. `A = V·diag(w)·Vᵀ`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != d*d`.
+pub fn jacobi_eigen(a: &[f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), d * d, "matrix size mismatch");
+    let mut m = a.to_vec();
+    let mut v = vec![0.0; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+    // Cyclic Jacobi sweeps; 20 sweeps is far beyond what d ≤ a few hundred
+    // needs for 1e-12 convergence.
+    for _sweep in 0..20 {
+        let mut off = 0.0;
+        for p in 0..d {
+            for q in (p + 1)..d {
+                off += m[p * d + q] * m[p * d + q];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = m[p * d + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * d + p];
+                let aqq = m[q * d + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of m.
+                for k in 0..d {
+                    let mkp = m[k * d + p];
+                    let mkq = m[k * d + q];
+                    m[k * d + p] = c * mkp - s * mkq;
+                    m[k * d + q] = s * mkp + c * mkq;
+                }
+                for k in 0..d {
+                    let mpk = m[p * d + k];
+                    let mqk = m[q * d + k];
+                    m[p * d + k] = c * mpk - s * mqk;
+                    m[q * d + k] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let values: Vec<f64> = (0..d).map(|i| m[i * d + i]).collect();
+    (values, v)
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix. Returns the lower-triangular `L` (row-major), or `None` if the
+/// matrix is not positive definite.
+///
+/// # Panics
+///
+/// Panics if `a.len() != d*d`.
+pub fn cholesky(a: &[f64], d: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), d * d, "matrix size mismatch");
+    let mut l = vec![0.0; d * d];
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a[i * d + j];
+            for k in 0..j {
+                sum -= l[i * d + k] * l[j * d + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * d + i] = sum.sqrt();
+            } else {
+                l[i * d + j] = sum / l[j * d + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L·Lᵀ·x = b` given the Cholesky factor `L`.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn cholesky_solve(l: &[f64], d: usize, b: &[f64]) -> Vec<f64> {
+    assert_eq!(l.len(), d * d, "matrix size mismatch");
+    assert_eq!(b.len(), d, "vector size mismatch");
+    // Forward: L·y = b.
+    let mut y = vec![0.0; d];
+    for i in 0..d {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * d + k] * y[k];
+        }
+        y[i] = sum / l[i * d + i];
+    }
+    // Backward: Lᵀ·x = y.
+    let mut x = vec![0.0; d];
+    for i in (0..d).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..d {
+            sum -= l[k * d + i] * x[k];
+        }
+        x[i] = sum / l[i * d + i];
+    }
+    x
+}
+
+/// Dense matrix-vector product `A·x` for a row-major `d × d` matrix.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn matvec(a: &[f64], d: usize, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), d * d, "matrix size mismatch");
+    assert_eq!(x.len(), d, "vector size mismatch");
+    (0..d).map(|i| (0..d).map(|j| a[i * d + j] * x[j]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn jacobi_recovers_known_spectrum() {
+        // Symmetric matrix with eigenvalues 1 and 3: [[2,1],[1,2]].
+        let a = vec![2.0, 1.0, 1.0, 2.0];
+        let (mut w, _) = jacobi_eigen(&a, 2);
+        w.sort_by(f64::total_cmp);
+        assert!(approx(w[0], 1.0, 1e-9) && approx(w[1], 3.0, 1e-9), "{w:?}");
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let d = 5;
+        // Build a random-ish SPD matrix A = Mᵀ·M + I.
+        let mut m = vec![0.0; d * d];
+        let mut state = 12345u64;
+        for v in m.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        }
+        let mut a = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..d {
+                    s += m[k * d + i] * m[k * d + j];
+                }
+                a[i * d + j] = s;
+            }
+        }
+        let (w, v) = jacobi_eigen(&a, d);
+        // Reconstruct A = V diag(w) Vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = 0.0;
+                for k in 0..d {
+                    s += v[i * d + k] * w[k] * v[j * d + k];
+                }
+                assert!(approx(s, a[i * d + j], 1e-8), "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0];
+        let (_, v) = jacobi_eigen(&a, 3);
+        for c1 in 0..3 {
+            for c2 in 0..3 {
+                let dot: f64 = (0..3).map(|i| v[i * 3 + c1] * v[i * 3 + c2]).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!(approx(dot, expect, 1e-9), "columns {c1},{c2}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrips() {
+        let d = 3;
+        let a = vec![4.0, 2.0, 0.6, 2.0, 3.0, 0.4, 0.6, 0.4, 2.0];
+        let l = cholesky(&a, d).expect("SPD");
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = matvec(&a, d, &x_true);
+        let x = cholesky_solve(&l, d, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!(approx(*xi, *ti, 1e-9));
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! (1+1) evolution strategy with the 1/5th success rule.
+
+use crate::optimizer::{clamp_unit, seeded_rng, uniform_point, BestTracker, Optimizer};
+use rand::rngs::SmallRng;
+use rand_distr_shim::sample_standard_normal;
+
+/// A hill climber that mutates its incumbent with isotropic Gaussian
+/// noise, expanding the step size on success and contracting it on
+/// failure (Rechenberg's 1/5th rule, the classic `(1+1)-ES`).
+#[derive(Debug)]
+pub struct OnePlusOne {
+    dim: usize,
+    rng: SmallRng,
+    incumbent: Vec<f64>,
+    incumbent_value: f64,
+    sigma: f64,
+    initialized: bool,
+    best: BestTracker,
+}
+
+impl OnePlusOne {
+    /// Creates a seeded (1+1)-ES over `dim` coordinates.
+    pub fn new(dim: usize, seed: u64) -> OnePlusOne {
+        let mut rng = seeded_rng(seed);
+        let incumbent = uniform_point(&mut rng, dim);
+        OnePlusOne {
+            dim,
+            rng,
+            incumbent,
+            incumbent_value: f64::INFINITY,
+            sigma: 0.2,
+            initialized: false,
+            best: BestTracker::new(),
+        }
+    }
+}
+
+impl Optimizer for OnePlusOne {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ask(&mut self) -> Vec<f64> {
+        if !self.initialized {
+            return self.incumbent.clone();
+        }
+        let mut x: Vec<f64> = self
+            .incumbent
+            .iter()
+            .map(|&v| v + self.sigma * sample_standard_normal(&mut self.rng))
+            .collect();
+        clamp_unit(&mut x);
+        x
+    }
+
+    fn tell(&mut self, x: &[f64], value: f64) {
+        self.best.observe(x, value);
+        if !self.initialized {
+            self.incumbent_value = value;
+            self.initialized = true;
+            return;
+        }
+        if value <= self.incumbent_value {
+            self.incumbent = x.to_vec();
+            self.incumbent_value = value;
+            // Success: expand. Expansion factor e^0.8 ≈ 2.22 balanced by
+            // four contractions of e^-0.2 — the 1/5th rule.
+            self.sigma = (self.sigma * (0.8f64).exp()).min(0.5);
+        } else {
+            self.sigma = (self.sigma * (-0.2f64).exp()).max(1e-9);
+        }
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.best.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "(1+1)-ES"
+    }
+}
+
+/// `rand` 0.8 ships no Gaussian distribution without `rand_distr`; this
+/// tiny shim provides Box–Muller sampling so the crate stays within the
+/// approved dependency set.
+pub(crate) mod rand_distr_shim {
+    use rand::Rng;
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{minimize, test_functions::sphere};
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut opt = OnePlusOne::new(5, 3);
+        let (_, v) = minimize(&mut opt, sphere, 400);
+        assert!(v < 1e-3, "best {v}");
+    }
+
+    #[test]
+    fn beats_random_search_on_smooth_function() {
+        let budget = 300;
+        let mut es = OnePlusOne::new(8, 1);
+        let (_, es_v) = minimize(&mut es, sphere, budget);
+        let mut rs = crate::RandomSearch::new(8, 1);
+        let (_, rs_v) = minimize(&mut rs, sphere, budget);
+        assert!(es_v < rs_v, "es {es_v} vs random {rs_v}");
+    }
+
+    #[test]
+    fn sigma_contracts_on_failure() {
+        let mut opt = OnePlusOne::new(2, 5);
+        let x0 = opt.ask();
+        opt.tell(&x0, 1.0);
+        let s0 = opt.sigma;
+        for _ in 0..10 {
+            let x = opt.ask();
+            opt.tell(&x, 999.0); // always worse
+        }
+        assert!(opt.sigma < s0);
+    }
+
+    #[test]
+    fn normal_shim_has_zero_mean_unit_variance() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> =
+            (0..n).map(|_| rand_distr_shim::sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The ask/tell optimizer interface and the sequential driver.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A black-box minimizer over the unit box `[0,1]^d`.
+///
+/// # Contract
+///
+/// * [`ask`](Optimizer::ask) returns the next candidate to evaluate.
+///   Implementations may be asked several times before any `tell` (for
+///   parallel evaluation), at least up to their internal population size.
+/// * [`tell`](Optimizer::tell) reports objective values **in ask order**.
+/// * Lower objective values are better.
+pub trait Optimizer {
+    /// Search-space dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Proposes the next candidate (coordinates inside `[0,1]`).
+    fn ask(&mut self) -> Vec<f64>;
+
+    /// Reports the objective value of the oldest un-told candidate.
+    fn tell(&mut self, x: &[f64], value: f64);
+
+    /// Best `(point, value)` observed so far.
+    fn best(&self) -> Option<(&[f64], f64)>;
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Runs the sequential ask/evaluate/tell loop for `budget` samples and
+/// returns the best `(point, value)` found.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+pub fn minimize<F>(opt: &mut dyn Optimizer, mut f: F, budget: usize) -> (Vec<f64>, f64)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(budget > 0, "budget must be positive");
+    for _ in 0..budget {
+        let x = opt.ask();
+        let v = f(&x);
+        opt.tell(&x, v);
+    }
+    let (x, v) = opt.best().expect("told at least one candidate");
+    (x.to_vec(), v)
+}
+
+/// Shared helper: tracks the best observation. Embedded by every
+/// implementation in this crate.
+#[derive(Debug, Clone)]
+pub(crate) struct BestTracker {
+    x: Vec<f64>,
+    value: f64,
+    seen: bool,
+}
+
+impl BestTracker {
+    pub(crate) fn new() -> BestTracker {
+        BestTracker { x: Vec::new(), value: f64::INFINITY, seen: false }
+    }
+
+    pub(crate) fn observe(&mut self, x: &[f64], value: f64) -> bool {
+        if !self.seen || value < self.value {
+            self.x = x.to_vec();
+            self.value = value;
+            self.seen = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn get(&self) -> Option<(&[f64], f64)> {
+        self.seen.then_some((self.x.as_slice(), self.value))
+    }
+
+    pub(crate) fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Shared helper: a seeded RNG plus a uniform sample in the unit box.
+pub(crate) fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Uniform point in `[0,1]^d`.
+pub(crate) fn uniform_point(rng: &mut SmallRng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+/// Clamps all coordinates into `[0,1]`, mapping non-finite values to 0.5.
+pub(crate) fn clamp_unit(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v = if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.5 };
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_functions {
+    //! Objectives shared by the per-algorithm test suites.
+
+    /// Smooth unimodal bowl with optimum 0 at `x = 0.3·1`.
+    pub fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 0.3).powi(2)).sum()
+    }
+
+    /// Mildly rugged separable function, optimum 0 at `x = 0.5·1`.
+    pub fn rugged(x: &[f64]) -> f64 {
+        x.iter()
+            .map(|v| {
+                let d = v - 0.5;
+                d * d + 0.05 * (1.0 - (8.0 * std::f64::consts::PI * d).cos())
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_tracker_keeps_minimum() {
+        let mut t = BestTracker::new();
+        assert!(t.get().is_none());
+        assert!(t.observe(&[0.1], 5.0));
+        assert!(!t.observe(&[0.2], 7.0));
+        assert!(t.observe(&[0.3], 1.0));
+        let (x, v) = t.get().unwrap();
+        assert_eq!(x, &[0.3]);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn clamp_unit_handles_nan_and_bounds() {
+        let mut x = vec![-1.0, 0.5, 2.0, f64::NAN, f64::INFINITY];
+        clamp_unit(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn uniform_point_in_bounds() {
+        let mut rng = seeded_rng(1);
+        let x = uniform_point(&mut rng, 100);
+        assert!(x.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Particle swarm optimization with SPSO-2011 constants.
+
+use crate::optimizer::{clamp_unit, seeded_rng, uniform_point, BestTracker, Optimizer};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Inertia weight `1/(2·ln 2)` — the standard-PSO value nevergrad uses.
+const INERTIA: f64 = 0.721_347_520_444_481_7;
+/// Cognitive/social acceleration `0.5 + ln 2`.
+const ACCEL: f64 = 1.193_147_180_559_945_3;
+
+#[derive(Debug, Clone)]
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_position: Vec<f64>,
+    best_value: f64,
+}
+
+/// Global-best particle swarm: each particle is pulled toward its own and
+/// the swarm's best positions; positions clamp to the unit box with
+/// velocity zeroing at the walls.
+#[derive(Debug)]
+pub struct Pso {
+    dim: usize,
+    rng: SmallRng,
+    swarm: Vec<Particle>,
+    swarm_size: usize,
+    /// Particle indices not yet asked this round.
+    pending: VecDeque<usize>,
+    /// Particle indices asked but not yet told, in ask order.
+    outstanding: VecDeque<usize>,
+    global_best: BestTracker,
+}
+
+impl Pso {
+    /// Creates a seeded swarm of 40 particles.
+    pub fn new(dim: usize, seed: u64) -> Pso {
+        Pso {
+            dim,
+            rng: seeded_rng(seed),
+            swarm: Vec::new(),
+            swarm_size: 40,
+            pending: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            global_best: BestTracker::new(),
+        }
+    }
+
+    fn init_swarm(&mut self) {
+        for _ in 0..self.swarm_size {
+            let position = uniform_point(&mut self.rng, self.dim);
+            self.swarm.push(Particle {
+                best_position: position.clone(),
+                position,
+                velocity: vec![0.0; self.dim],
+                best_value: f64::INFINITY,
+            });
+        }
+        self.pending.extend(0..self.swarm_size);
+    }
+
+    fn advance_round(&mut self) {
+        let global = self.global_best.get().map(|(x, _)| x.to_vec());
+        for p in &mut self.swarm {
+            if let Some(g) = &global {
+                for i in 0..self.dim {
+                    let r1: f64 = self.rng.gen_range(0.0..1.0);
+                    let r2: f64 = self.rng.gen_range(0.0..1.0);
+                    p.velocity[i] = INERTIA * p.velocity[i]
+                        + ACCEL * r1 * (p.best_position[i] - p.position[i])
+                        + ACCEL * r2 * (g[i] - p.position[i]);
+                    p.position[i] += p.velocity[i];
+                    if p.position[i] < 0.0 || p.position[i] > 1.0 {
+                        p.velocity[i] = 0.0;
+                    }
+                }
+                clamp_unit(&mut p.position);
+            }
+        }
+        self.pending.extend(0..self.swarm_size);
+    }
+}
+
+impl Optimizer for Pso {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ask(&mut self) -> Vec<f64> {
+        if self.swarm.is_empty() {
+            self.init_swarm();
+        }
+        if self.pending.is_empty() {
+            self.advance_round();
+        }
+        let idx = self.pending.pop_front().expect("refilled");
+        self.outstanding.push_back(idx);
+        self.swarm[idx].position.clone()
+    }
+
+    fn tell(&mut self, x: &[f64], value: f64) {
+        self.global_best.observe(x, value);
+        if let Some(idx) = self.outstanding.pop_front() {
+            let p = &mut self.swarm[idx];
+            if value < p.best_value {
+                p.best_value = value;
+                p.best_position = x.to_vec();
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.global_best.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "PSO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut opt = Pso::new(6, 21);
+        let (_, v) = minimize(&mut opt, sphere, 1600);
+        assert!(v < 1e-3, "best {v}");
+    }
+
+    #[test]
+    fn handles_rugged_function() {
+        let mut opt = Pso::new(3, 23);
+        let (_, v) = minimize(&mut opt, rugged, 1600);
+        assert!(v < 0.2, "best {v}");
+    }
+
+    #[test]
+    fn positions_stay_in_unit_box() {
+        let mut opt = Pso::new(4, 25);
+        for _ in 0..300 {
+            let x = opt.ask();
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "{x:?}");
+            let v = sphere(&x);
+            opt.tell(&x, v);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Uniform random search — the paper's weakest baseline.
+
+use crate::optimizer::{clamp_unit, seeded_rng, uniform_point, BestTracker, Optimizer};
+use rand::rngs::SmallRng;
+
+/// Samples every candidate uniformly from the unit box.
+#[derive(Debug)]
+pub struct RandomSearch {
+    dim: usize,
+    rng: SmallRng,
+    best: BestTracker,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random search over `dim` coordinates.
+    pub fn new(dim: usize, seed: u64) -> RandomSearch {
+        RandomSearch { dim, rng: seeded_rng(seed), best: BestTracker::new() }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ask(&mut self) -> Vec<f64> {
+        let mut x = uniform_point(&mut self.rng, self.dim);
+        clamp_unit(&mut x);
+        x
+    }
+
+    fn tell(&mut self, x: &[f64], value: f64) {
+        self.best.observe(x, value);
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.best.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{minimize, test_functions::sphere};
+
+    #[test]
+    fn finds_decent_sphere_solution() {
+        let mut opt = RandomSearch::new(3, 7);
+        let (_, v) = minimize(&mut opt, sphere, 500);
+        assert!(v < 0.1, "best {v}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = RandomSearch::new(5, 9);
+        let mut b = RandomSearch::new(5, 9);
+        for _ in 0..10 {
+            assert_eq!(a.ask(), b.ask());
+        }
+    }
+}

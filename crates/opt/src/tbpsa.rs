@@ -1,0 +1,158 @@
+//! Test-based population size adaptation (TBPSA).
+//!
+//! Nevergrad's TBPSA is a `(μ, λ)` evolution strategy built for noisy
+//! objectives: it recenters a Gaussian on the elite mean each generation
+//! and *grows the population when progress stalls* (the "test"), trading
+//! evaluations for averaging. This is a from-scratch implementation of
+//! that behaviour.
+
+use crate::one_plus_one::rand_distr_shim::sample_standard_normal;
+use crate::optimizer::{clamp_unit, seeded_rng, BestTracker, Optimizer};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// `(μ, λ)`-ES with per-coordinate Gaussian sampling and stagnation-driven
+/// population growth.
+#[derive(Debug)]
+pub struct Tbpsa {
+    dim: usize,
+    rng: SmallRng,
+    mean: Vec<f64>,
+    sigma: Vec<f64>,
+    lambda: usize,
+    base_lambda: usize,
+    max_lambda: usize,
+    pending: VecDeque<Vec<f64>>,
+    generation: Vec<(Vec<f64>, f64)>,
+    last_gen_best: f64,
+    best: BestTracker,
+}
+
+impl Tbpsa {
+    /// Creates a seeded TBPSA centred on the box midpoint.
+    pub fn new(dim: usize, seed: u64) -> Tbpsa {
+        // Keep λ ≥ 16 so the elite quarter (μ = λ/4) gives a usable
+        // variance estimate.
+        let base_lambda = (4 + (3.0 * (dim.max(1) as f64).ln()) as usize).max(16);
+        Tbpsa {
+            dim,
+            rng: seeded_rng(seed),
+            mean: vec![0.5; dim],
+            sigma: vec![0.25; dim],
+            lambda: base_lambda,
+            base_lambda,
+            max_lambda: base_lambda * 16,
+            pending: VecDeque::new(),
+            generation: Vec::new(),
+            last_gen_best: f64::INFINITY,
+            best: BestTracker::new(),
+        }
+    }
+
+    fn sample(&mut self) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..self.dim)
+            .map(|i| self.mean[i] + self.sigma[i] * sample_standard_normal(&mut self.rng))
+            .collect();
+        clamp_unit(&mut x);
+        x
+    }
+
+    fn finish_generation(&mut self) {
+        self.generation.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mu = (self.generation.len() / 4).max(1);
+        // Recenter on the elite mean.
+        for i in 0..self.dim {
+            let elite_mean: f64 =
+                self.generation[..mu].iter().map(|(x, _)| x[i]).sum::<f64>() / mu as f64;
+            let elite_var: f64 = self.generation[..mu]
+                .iter()
+                .map(|(x, _)| (x[i] - elite_mean).powi(2))
+                .sum::<f64>()
+                / mu as f64;
+            self.mean[i] = elite_mean;
+            // Keep a sampling floor so the search never collapses early.
+            self.sigma[i] = (elite_var.sqrt() * 1.1).clamp(1e-5, 0.5);
+        }
+        // The "test": if this generation failed to improve the best seen
+        // value, grow the population (more averaging); otherwise decay
+        // toward the base size.
+        let gen_best = self.generation[0].1;
+        if gen_best >= self.last_gen_best {
+            self.lambda = (self.lambda + self.lambda / 5 + 1).min(self.max_lambda);
+        } else {
+            self.lambda = ((self.lambda * 9) / 10).max(self.base_lambda);
+        }
+        self.last_gen_best = self.last_gen_best.min(gen_best);
+        self.generation.clear();
+    }
+}
+
+impl Optimizer for Tbpsa {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ask(&mut self) -> Vec<f64> {
+        if self.pending.is_empty() {
+            for _ in 0..self.lambda {
+                let x = self.sample();
+                self.pending.push_back(x);
+            }
+        }
+        self.pending.pop_front().expect("refilled")
+    }
+
+    fn tell(&mut self, x: &[f64], value: f64) {
+        self.best.observe(x, value);
+        self.generation.push((x.to_vec(), value));
+        if self.generation.len() >= self.lambda {
+            self.finish_generation();
+        }
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.best.get()
+    }
+
+    fn name(&self) -> &'static str {
+        "TBPSA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{minimize, test_functions::sphere};
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut opt = Tbpsa::new(5, 41);
+        let (_, v) = minimize(&mut opt, sphere, 2000);
+        // TBPSA trades convergence speed for noise robustness; it should
+        // still land well inside the basin.
+        assert!(v < 0.02, "best {v}");
+    }
+
+    #[test]
+    fn population_grows_under_stagnation() {
+        let mut opt = Tbpsa::new(3, 43);
+        let l0 = opt.lambda;
+        // A constant objective can never improve → the test must trigger.
+        for _ in 0..l0 * 6 {
+            let x = opt.ask();
+            opt.tell(&x, 1.0);
+        }
+        assert!(opt.lambda > l0, "lambda {} did not grow", opt.lambda);
+    }
+
+    #[test]
+    fn sigma_stays_positive() {
+        let mut opt = Tbpsa::new(4, 47);
+        for _ in 0..500 {
+            let x = opt.ask();
+            let v = sphere(&x);
+            opt.tell(&x, v);
+        }
+        assert!(opt.sigma.iter().all(|&s| s >= 1e-5));
+    }
+}

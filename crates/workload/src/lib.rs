@@ -1,0 +1,39 @@
+//! DNN workload definitions for the DiGamma reproduction.
+//!
+//! DiGamma (DATE 2022) co-optimizes accelerator hardware and mappings for a
+//! target DNN model. This crate provides the workload side of that problem:
+//!
+//! * [`Dim`] / [`DimVec`] — the six canonical loop dimensions of a
+//!   convolution-shaped workload (`K, C, Y, X, R, S`),
+//! * [`Layer`] — one operator expressed as extents over those dimensions
+//!   (dense convolution, depthwise convolution, or GEMM),
+//! * [`Model`] — an ordered list of layers with repeat counts and
+//!   unique-layer deduplication, and
+//! * [`zoo`] — the seven models evaluated in the paper
+//!   (MobileNetV2, ResNet-18, ResNet-50, MnasNet, BERT, DLRM, NCF).
+//!
+//! # Examples
+//!
+//! ```
+//! use digamma_workload::{zoo, Dim};
+//!
+//! let model = zoo::resnet18();
+//! assert_eq!(model.name(), "resnet18");
+//! // The first layer of ResNet-18 is the 7x7 stem convolution.
+//! let stem = &model.layers()[0];
+//! assert_eq!(stem.dims()[Dim::R], 7);
+//! // Total multiply-accumulate work is mapping independent.
+//! assert!(model.total_macs() > 1_000_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dims;
+mod layer;
+mod model;
+pub mod zoo;
+
+pub use dims::{Dim, DimVec, NUM_DIMS};
+pub use layer::{tensor_footprint, Layer, LayerKind, Tensor};
+pub use model::{Model, UniqueLayer};

@@ -1,0 +1,63 @@
+//! BERT-base encoder as a sequence of GEMMs.
+
+use crate::{Layer, Model};
+
+/// BERT-base (Devlin et al., 2019): 12 encoder layers, hidden 768,
+/// 12 heads, FFN 3072, sequence length 512. ~48 GMACs per sequence.
+///
+/// Every operator is a GEMM; attention scores / context GEMMs are emitted
+/// per head (64-wide), which is exactly the granularity a spatial
+/// accelerator maps.
+pub fn bert() -> Model {
+    const LAYERS: u64 = 12;
+    const HIDDEN: u64 = 768;
+    const HEADS: u64 = 12;
+    const HEAD_DIM: u64 = HIDDEN / HEADS;
+    const SEQ: u64 = 512;
+    const FFN: u64 = 3072;
+
+    let mut layers = Vec::new();
+    for l in 0..LAYERS {
+        for proj in ["q", "k", "v"] {
+            layers.push(Layer::gemm(format!("l{l}_{proj}"), HIDDEN, SEQ, HIDDEN));
+        }
+        for h in 0..HEADS {
+            // scores = Q·Kᵀ : [SEQ×SEQ] with reduction over HEAD_DIM.
+            layers.push(Layer::gemm(format!("l{l}_h{h}_scores"), SEQ, SEQ, HEAD_DIM));
+            // context = scores·V : [SEQ×HEAD_DIM] with reduction over SEQ.
+            layers.push(Layer::gemm(format!("l{l}_h{h}_ctx"), SEQ, HEAD_DIM, SEQ));
+        }
+        layers.push(Layer::gemm(format!("l{l}_proj"), HIDDEN, SEQ, HIDDEN));
+        layers.push(Layer::gemm(format!("l{l}_ffn1"), FFN, SEQ, HIDDEN));
+        layers.push(Layer::gemm(format!("l{l}_ffn2"), HIDDEN, SEQ, FFN));
+    }
+    Model::new("bert", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_macs_near_published() {
+        // 12 layers * (4*768*512*768 + 24*512*512*64 + 2*3072*512*768) ≈ 48 G.
+        let g = bert().total_macs() as f64 / 1e9;
+        assert!((42.0..55.0).contains(&g), "bert GMACs = {g}");
+    }
+
+    #[test]
+    fn bert_dedups_to_six_unique_shapes() {
+        let uniq = bert().unique_layers();
+        // qkv+proj share one shape; scores; ctx; ffn1; ffn2 → 5 shapes.
+        assert_eq!(uniq.len(), 5);
+        let total: u64 = uniq.iter().map(|u| u.count).sum();
+        assert_eq!(total as usize, bert().layers().len());
+    }
+
+    #[test]
+    fn attention_gemms_are_per_head() {
+        let m = bert();
+        let scores = m.layers().iter().filter(|l| l.name().contains("scores")).count();
+        assert_eq!(scores, 12 * 12);
+    }
+}

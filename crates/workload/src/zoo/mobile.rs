@@ -1,0 +1,142 @@
+//! MobileNetV2 and MnasNet-B1: inverted-residual CNNs for 224×224 inputs.
+
+use crate::{Layer, Model};
+
+/// One inverted-residual block: optional 1×1 expand, depthwise k×k
+/// (carries the stride), 1×1 project.
+fn inverted_residual(
+    layers: &mut Vec<Layer>,
+    tag: &str,
+    cin: u64,
+    cout: u64,
+    expand: u64,
+    kernel: u64,
+    stride: u64,
+    in_sz: u64,
+    out_sz: u64,
+) {
+    let hidden = cin * expand;
+    if expand > 1 {
+        layers.push(Layer::conv(format!("{tag}_expand"), hidden, cin, in_sz, in_sz, 1, 1, 1));
+    }
+    layers.push(Layer::depthwise(format!("{tag}_dw"), hidden, out_sz, out_sz, kernel, kernel, stride));
+    layers.push(Layer::conv(format!("{tag}_project"), cout, hidden, out_sz, out_sz, 1, 1, 1));
+}
+
+/// Expands a `(expand, cout, repeats, stride, kernel)` stage table into layers.
+fn build_stages(
+    layers: &mut Vec<Layer>,
+    table: &[(u64, u64, u64, u64, u64)],
+    mut cin: u64,
+    mut sz: u64,
+) -> (u64, u64) {
+    for (si, &(t, c, n, s, k)) in table.iter().enumerate() {
+        for b in 0..n {
+            let stride = if b == 0 { s } else { 1 };
+            let in_sz = sz;
+            let out_sz = if stride == 2 { sz / 2 } else { sz };
+            inverted_residual(
+                layers,
+                &format!("st{si}b{b}"),
+                cin,
+                c,
+                t,
+                k,
+                stride,
+                in_sz,
+                out_sz,
+            );
+            cin = c;
+            sz = out_sz;
+        }
+    }
+    (cin, sz)
+}
+
+/// MobileNetV2 (Sandler et al., 2018), 224×224 input, ~0.3 GMACs.
+pub fn mobilenet_v2() -> Model {
+    let mut layers = vec![Layer::conv("stem", 32, 3, 112, 112, 3, 3, 2)];
+    // (expand t, channels c, repeats n, stride s, kernel k) — Table 2 of the paper.
+    let table: [(u64, u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 32, 3, 2, 3),
+        (6, 64, 4, 2, 3),
+        (6, 96, 3, 1, 3),
+        (6, 160, 3, 2, 3),
+        (6, 320, 1, 1, 3),
+    ];
+    let (cin, sz) = build_stages(&mut layers, &table, 32, 112);
+    layers.push(Layer::conv("head", 1280, cin, sz, sz, 1, 1, 1));
+    layers.push(Layer::gemm("fc", 1000, 1, 1280));
+    Model::new("mbnet-v2", layers)
+}
+
+/// MnasNet-B1 (Tan et al., 2019), 224×224 input, ~0.3 GMACs.
+///
+/// Uses the B1 stage table (mixed 3×3 / 5×5 kernels, no squeeze-excite);
+/// SE blocks are negligible MACs and are omitted.
+pub fn mnasnet() -> Model {
+    let mut layers = vec![
+        Layer::conv("stem", 32, 3, 112, 112, 3, 3, 2),
+        // SepConv 3x3 stage: depthwise + pointwise to 16 channels.
+        Layer::depthwise("sep_dw", 32, 112, 112, 3, 3, 1),
+        Layer::conv("sep_pw", 16, 32, 112, 112, 1, 1, 1),
+    ];
+    let table: [(u64, u64, u64, u64, u64); 6] = [
+        (3, 24, 3, 2, 3),
+        (3, 40, 3, 2, 5),
+        (6, 80, 3, 2, 5),
+        (6, 96, 2, 1, 3),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let (cin, sz) = build_stages(&mut layers, &table, 16, 112);
+    layers.push(Layer::conv("head", 1280, cin, sz, sz, 1, 1, 1));
+    layers.push(Layer::gemm("fc", 1000, 1, 1280));
+    Model::new("mnasnet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn mobilenet_macs_near_published() {
+        let g = mobilenet_v2().total_macs() as f64 / 1e9;
+        assert!((0.25..0.45).contains(&g), "mbnet-v2 GMACs = {g}");
+    }
+
+    #[test]
+    fn mnasnet_macs_near_published() {
+        let g = mnasnet().total_macs() as f64 / 1e9;
+        assert!((0.25..0.50).contains(&g), "mnasnet GMACs = {g}");
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_layers() {
+        let m = mobilenet_v2();
+        let dw = m.layers().iter().filter(|l| l.kind() == LayerKind::DepthwiseConv).count();
+        // One depthwise per inverted-residual block: 1+2+3+4+3+3+1 = 17.
+        assert_eq!(dw, 17);
+    }
+
+    #[test]
+    fn mnasnet_uses_5x5_kernels() {
+        let m = mnasnet();
+        assert!(m
+            .layers()
+            .iter()
+            .any(|l| l.kind() == LayerKind::DepthwiseConv && l.dims()[crate::Dim::R] == 5));
+    }
+
+    #[test]
+    fn spatial_sizes_shrink_to_seven() {
+        // The final head conv must operate at 7x7.
+        for m in [mobilenet_v2(), mnasnet()] {
+            let head = m.layers().iter().find(|l| l.name() == "head").unwrap();
+            assert_eq!(head.dims()[crate::Dim::Y], 7, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The seven DNN models evaluated in the DiGamma paper.
+//!
+//! Three application domains, matching Sec. V-A:
+//!
+//! * vision CNNs — [`mobilenet_v2`], [`resnet18`], [`resnet50`], [`mnasnet`],
+//! * language — [`bert`] (BERT-base encoder, sequence length 512),
+//! * recommendation — [`dlrm`], [`ncf`] (batched MLPs + embedding gathers).
+//!
+//! Shapes are layer-accurate for 224×224 ImageNet inputs (CNNs) and standard
+//! published configurations (BERT-base, DLRM/NCF with batch 256). Batch is
+//! folded into the GEMM `N` dimension; CNNs use batch 1 as in the paper's
+//! latency-per-inference setting.
+
+mod bert;
+mod mobile;
+mod recsys;
+mod resnet;
+
+pub use bert::bert;
+pub use mobile::{mnasnet, mobilenet_v2};
+pub use recsys::{dlrm, ncf};
+pub use resnet::{resnet18, resnet50};
+
+use crate::Model;
+
+/// All seven paper models, in the order used by the paper's tables.
+pub fn all_models() -> Vec<Model> {
+    vec![resnet18(), resnet50(), mobilenet_v2(), mnasnet(), bert(), dlrm(), ncf()]
+}
+
+/// Looks up a paper model by its table name
+/// (`resnet18`, `resnet50`, `mbnet-v2`, `mnasnet`, `bert`, `ncf`, `dlrm`).
+pub fn by_name(name: &str) -> Option<Model> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet18" => Some(resnet18()),
+        "resnet50" => Some(resnet50()),
+        "mbnet-v2" | "mobilenetv2" | "mobilenet_v2" => Some(mobilenet_v2()),
+        "mnasnet" => Some(mnasnet()),
+        "bert" => Some(bert()),
+        "dlrm" => Some(dlrm()),
+        "ncf" => Some(ncf()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_has_seven_entries() {
+        let models = all_models();
+        assert_eq!(models.len(), 7);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"bert"));
+        assert!(names.contains(&"dlrm"));
+    }
+
+    #[test]
+    fn by_name_resolves_paper_spellings() {
+        for name in ["Resnet18", "resnet50", "Mbnet-V2", "Mnasnet", "BERT", "NCF", "DLRM"] {
+            assert!(by_name(name).is_some(), "missing model {name}");
+        }
+        assert!(by_name("vgg").is_none());
+    }
+
+    #[test]
+    fn application_domains_have_distinct_intensity() {
+        // CNNs are compute-intensive; recommendation models carry
+        // memory-bound layers (paper Sec. V-C). The distinction shows up
+        // per layer: every ResNet conv has high intensity, while DLRM's
+        // embedding gathers sit below one MAC per word.
+        // (The batch-1 classifier FC is legitimately memory-bound, so only
+        // convolution layers are held to the compute-bound standard.)
+        let cnn_min = resnet50()
+            .layers()
+            .iter()
+            .filter(|l| l.kind() != crate::LayerKind::Gemm)
+            .map(|l| l.arithmetic_intensity())
+            .fold(f64::INFINITY, f64::min);
+        let rec_min = dlrm()
+            .layers()
+            .iter()
+            .map(|l| l.arithmetic_intensity())
+            .fold(f64::INFINITY, f64::min);
+        assert!(cnn_min > 5.0, "resnet50 min intensity {cnn_min}");
+        assert!(rec_min < 1.0, "dlrm min intensity {rec_min}");
+    }
+}

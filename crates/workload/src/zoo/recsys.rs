@@ -1,0 +1,90 @@
+//! Recommendation models: DLRM and NCF, batch 256.
+//!
+//! Embedding-table row gathers are modelled as reduction-free GEMMs
+//! (`K = embedding dim, Y = batch, C = 1`): one output word per word
+//! fetched, which exercises exactly the memory-bound code path the paper's
+//! recommendation workloads stress.
+
+use crate::{Layer, Model};
+
+const BATCH: u64 = 256;
+
+/// DLRM (Naumov et al., 2019): 26 embedding gathers (dim 64), bottom MLP
+/// 13→512→256→64, top MLP →512→256→1, batch 256.
+pub fn dlrm() -> Model {
+    let mut layers = Vec::new();
+    // Bottom MLP over the 13 dense features.
+    layers.push(Layer::gemm("bot0", 512, BATCH, 13));
+    layers.push(Layer::gemm("bot1", 256, BATCH, 512));
+    layers.push(Layer::gemm("bot2", 64, BATCH, 256));
+    // 26 sparse-feature embedding gathers, dim 64.
+    for t in 0..26 {
+        layers.push(Layer::gemm(format!("emb{t}"), 64, BATCH, 1));
+    }
+    // Pairwise feature interaction output (27 choose 2 = 351) concatenated
+    // with the bottom-MLP output (64) feeds the top MLP.
+    layers.push(Layer::gemm("top0", 512, BATCH, 415));
+    layers.push(Layer::gemm("top1", 256, BATCH, 512));
+    layers.push(Layer::gemm("top2", 1, BATCH, 256));
+    Model::new("dlrm", layers)
+}
+
+/// NCF / NeuMF (He et al., 2017): GMF + MLP towers, embedding dim 64,
+/// MLP pyramid 128→256→128→64, batch 256.
+pub fn ncf() -> Model {
+    let mut layers = Vec::new();
+    // User/item embeddings for both the GMF and MLP towers.
+    for name in ["gmf_user", "gmf_item", "mlp_user", "mlp_item"] {
+        layers.push(Layer::gemm(format!("emb_{name}"), 64, BATCH, 1));
+    }
+    // MLP tower over the concatenated 128-dim embedding.
+    layers.push(Layer::gemm("mlp0", 256, BATCH, 128));
+    layers.push(Layer::gemm("mlp1", 128, BATCH, 256));
+    layers.push(Layer::gemm("mlp2", 64, BATCH, 128));
+    // NeuMF head over concat(GMF 64, MLP 64).
+    layers.push(Layer::gemm("head", 1, BATCH, 128));
+    Model::new("ncf", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_is_memory_bound() {
+        let m = dlrm();
+        // Every embedding gather moves more data than it computes.
+        for l in m.layers().iter().filter(|l| l.name().starts_with("emb")) {
+            assert!(l.arithmetic_intensity() < 1.0, "{} intensity", l.name());
+        }
+        // The 26 gathers dominate the layer count.
+        assert_eq!(m.layers().iter().filter(|l| l.name().starts_with("emb")).count(), 26);
+    }
+
+    #[test]
+    fn ncf_structure() {
+        let m = ncf();
+        assert_eq!(m.layers().len(), 8);
+        let emb: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("emb"))
+            .map(|l| l.macs())
+            .sum();
+        assert_eq!(emb, 4 * 64 * BATCH);
+    }
+
+    #[test]
+    fn embedding_gathers_dedup() {
+        // All 26 DLRM gathers share one shape.
+        let uniq = dlrm().unique_layers();
+        let gather = uniq.iter().find(|u| u.layer.name() == "emb0").unwrap();
+        assert_eq!(gather.count, 26);
+    }
+
+    #[test]
+    fn recsys_macs_are_small() {
+        assert!(dlrm().total_macs() < 200_000_000);
+        assert!(ncf().total_macs() < 100_000_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! ResNet-18 and ResNet-50 for 224×224 inputs.
+
+use crate::{Layer, Model};
+
+/// ResNet-18 (He et al., 2016), 224×224 input, ~1.8 GMACs.
+pub fn resnet18() -> Model {
+    let mut layers = vec![Layer::conv("conv1", 64, 3, 112, 112, 7, 7, 2)];
+    // Four stages of two basic blocks each. (channels, output size, downsample)
+    let stages: [(u64, u64, bool); 4] =
+        [(64, 56, false), (128, 28, true), (256, 14, true), (512, 7, true)];
+    let mut cin = 64;
+    for (si, &(ch, sz, down)) in stages.iter().enumerate() {
+        for b in 0..2 {
+            let stride = if down && b == 0 { 2 } else { 1 };
+            let block_cin = if b == 0 { cin } else { ch };
+            layers.push(Layer::conv(
+                format!("s{si}b{b}_conv1"),
+                ch,
+                block_cin,
+                sz,
+                sz,
+                3,
+                3,
+                stride,
+            ));
+            layers.push(Layer::conv(format!("s{si}b{b}_conv2"), ch, ch, sz, sz, 3, 3, 1));
+            if b == 0 && down {
+                layers.push(Layer::conv(format!("s{si}_short"), ch, cin, sz, sz, 1, 1, 2));
+            }
+        }
+        cin = ch;
+    }
+    layers.push(Layer::gemm("fc", 1000, 1, 512));
+    Model::new("resnet18", layers)
+}
+
+/// ResNet-50 (He et al., 2016), 224×224 input, ~4.1 GMACs.
+pub fn resnet50() -> Model {
+    let mut layers = vec![Layer::conv("conv1", 64, 3, 112, 112, 7, 7, 2)];
+    // (bottleneck mid channels, output channels, blocks, output size)
+    let stages: [(u64, u64, u64, u64); 4] =
+        [(64, 256, 3, 56), (128, 512, 4, 28), (256, 1024, 6, 14), (512, 2048, 3, 7)];
+    let mut cin = 64;
+    let mut size_in = 56; // after the stem max-pool
+    for (si, &(mid, cout, blocks, sz)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            let block_cin = if b == 0 { cin } else { cout };
+            let in_sz = if b == 0 { size_in } else { sz };
+            // 1x1 reduce at input resolution, 3x3 (carries the stride), 1x1 expand.
+            layers.push(Layer::conv(format!("s{si}b{b}_c1"), mid, block_cin, in_sz, in_sz, 1, 1, 1));
+            layers.push(Layer::conv(format!("s{si}b{b}_c2"), mid, mid, sz, sz, 3, 3, stride));
+            layers.push(Layer::conv(format!("s{si}b{b}_c3"), cout, mid, sz, sz, 1, 1, 1));
+            if b == 0 {
+                layers.push(Layer::conv(format!("s{si}_short"), cout, block_cin, sz, sz, 1, 1, stride));
+            }
+        }
+        cin = cout;
+        size_in = sz;
+    }
+    layers.push(Layer::gemm("fc", 1000, 1, 2048));
+    Model::new("resnet50", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_macs_near_published() {
+        let g = resnet18().total_macs() as f64 / 1e9;
+        assert!((1.4..2.2).contains(&g), "resnet18 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_near_published() {
+        let g = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.5..4.6).contains(&g), "resnet50 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_has_bottleneck_structure() {
+        let m = resnet50();
+        // 1 stem + 16 blocks * 3 convs + 4 shortcuts + 1 fc = 54 layers.
+        assert_eq!(m.layers().len(), 54);
+        // Deduplication compresses repeated blocks substantially.
+        assert!(m.unique_layers().len() < m.layers().len());
+    }
+
+    #[test]
+    fn resnet18_layer_count() {
+        // 1 stem + 4 stages * (2 blocks * 2 convs) + 3 shortcuts + 1 fc = 21.
+        assert_eq!(resnet18().layers().len(), 21);
+    }
+}

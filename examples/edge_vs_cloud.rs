@@ -1,0 +1,48 @@
+//! Edge vs cloud co-design: how the optimal accelerator changes with the
+//! area budget (the paper's two platform settings, Sec. V-A).
+//!
+//! Co-optimizes the same recommendation model (DLRM — memory-bound, the
+//! kind of workload the paper's intro motivates) under both budgets and
+//! contrasts the resulting hardware: the cloud design should spend its
+//! extra area on very different resources than a scaled-up edge design.
+//!
+//! Run with:
+//!   cargo run --release --example edge_vs_cloud
+
+use digamma_repro::prelude::*;
+
+fn design_for(platform: Platform, budget_samples: usize) -> DesignPoint {
+    let problem = CoOptProblem::new(zoo::dlrm(), platform, Objective::Latency);
+    let config = DiGammaConfig { seed: 7, threads: 4, ..Default::default() };
+    DiGamma::new(config)
+        .search(&problem, budget_samples)
+        .best
+        .expect("feasible design")
+}
+
+fn describe(tag: &str, d: &DesignPoint) {
+    let (pe, buf) = d.area_ratio_percent();
+    println!("{tag}:");
+    println!("  hw      : {}", d.hw);
+    println!("  latency : {:.3e} cycles", d.latency_cycles);
+    println!("  area    : {:.3e} µm² (PE {pe:.0}% / buffer {buf:.0}%)", d.area_um2);
+}
+
+fn main() {
+    println!("co-designing for DLRM (memory-bound recommendation model)\n");
+    let edge = design_for(Platform::edge(), 1200);
+    let cloud = design_for(Platform::cloud(), 1200);
+
+    describe("edge  (0.2 mm²)", &edge);
+    println!();
+    describe("cloud (7.0 mm²)", &cloud);
+
+    let speedup = edge.latency_cycles / cloud.latency_cycles;
+    println!("\ncloud design is {speedup:.1}x faster — with {:.0}x the area",
+        cloud.area_um2 / edge.area_um2);
+    println!(
+        "PE scale-up: {}x PEs, L2 scale-up: {}x words",
+        cloud.hw.num_pes() / edge.hw.num_pes().max(1),
+        cloud.hw.l2_words / edge.hw.l2_words.max(1)
+    );
+}

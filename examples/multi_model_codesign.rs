@@ -1,0 +1,48 @@
+//! Multi-model co-design: one accelerator for a whole workload suite.
+//!
+//! The paper's framework "takes in any DNN model(s)". Composing models
+//! with [`Model::concat`] searches one hardware configuration whose
+//! per-layer mappings serve every network — and shows the cost of
+//! generality: the shared design trades a little per-model latency for
+//! covering both a compute-bound CNN and a memory-bound recommender.
+//!
+//! Run with:
+//!   cargo run --release --example multi_model_codesign
+
+use digamma_repro::prelude::*;
+
+fn best_latency(model: Model, budget: usize) -> DesignPoint {
+    let problem = CoOptProblem::new(model, Platform::edge(), Objective::Latency);
+    DiGamma::new(DiGammaConfig { seed: 13, threads: 4, ..Default::default() })
+        .search(&problem, budget)
+        .best
+        .expect("feasible design")
+}
+
+fn main() {
+    let budget = 1200;
+    let cnn = zoo::resnet18();
+    let rec = zoo::ncf();
+
+    // Specialists: one accelerator per model.
+    let cnn_design = best_latency(cnn.clone(), budget);
+    let rec_design = best_latency(rec.clone(), budget);
+
+    // Generalist: one accelerator for both.
+    let suite = Model::concat("resnet18+ncf", &[cnn.clone(), rec.clone()]);
+    let shared = best_latency(suite, budget);
+
+    println!("specialist for {}:", cnn.name());
+    println!("  {}  ({:.3e} cycles)", cnn_design.hw, cnn_design.latency_cycles);
+    println!("specialist for {}:", rec.name());
+    println!("  {}  ({:.3e} cycles)", rec_design.hw, rec_design.latency_cycles);
+    println!("shared accelerator (sum of both workloads):");
+    println!("  {}  ({:.3e} cycles total)", shared.hw, shared.latency_cycles);
+
+    let specialist_total = cnn_design.latency_cycles + rec_design.latency_cycles;
+    println!(
+        "\ngenerality cost: shared / sum-of-specialists = {:.2}x",
+        shared.latency_cycles / specialist_total
+    );
+    println!("(>1.0 is the price of one design serving both models)");
+}

@@ -1,0 +1,35 @@
+//! Alternative objectives (paper Sec. V-A): the framework also optimizes
+//! energy and EDP, and the winning hardware changes with the objective.
+//!
+//! Run with:
+//!   cargo run --release --example objective_tradeoffs
+
+use digamma_repro::prelude::*;
+
+fn main() {
+    let model = zoo::resnet18();
+    let platform = Platform::edge();
+    println!("objective trade-offs for {} @ {}\n", model.name(), platform.name);
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>10}",
+        "objective", "latency (cyc)", "energy (pJ)", "area (µm²)", "PEs"
+    );
+
+    for objective in [Objective::Latency, Objective::Energy, Objective::Edp] {
+        let problem = CoOptProblem::new(model.clone(), platform.clone(), objective);
+        let config = DiGammaConfig { seed: 11, threads: 4, ..Default::default() };
+        let result = DiGamma::new(config).search(&problem, 1200);
+        let best = result.best.expect("feasible design");
+        println!(
+            "{:<10} {:>14.3e} {:>14.3e} {:>12.3e} {:>10}",
+            objective.to_string(),
+            best.latency_cycles,
+            best.energy_pj,
+            best.area_um2,
+            best.hw.num_pes()
+        );
+    }
+
+    println!("\nlatency-optimal designs spend area on PEs; energy-optimal");
+    println!("designs trade compute for buffers to cut DRAM traffic.");
+}

@@ -1,0 +1,42 @@
+//! Facade for the DiGamma (DATE 2022) reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, tests, and
+//! downstream users can depend on a single crate:
+//!
+//! * [`workload`] — DNN models and layer shapes,
+//! * [`costmodel`] — the MAESTRO-class analytical cost model,
+//! * [`encoding`] — the HW+mapping genome and continuous codec,
+//! * [`opt`] — the black-box optimizer suite,
+//! * [`core`] — the co-opt framework, DiGamma GA, and baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use digamma_repro::prelude::*;
+//!
+//! let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+//! let config = DiGammaConfig { population_size: 16, seed: 7, ..Default::default() };
+//! let result = DiGamma::new(config).search(&problem, 120);
+//! assert!(result.best.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use digamma as core;
+pub use digamma_costmodel as costmodel;
+pub use digamma_encoding as encoding;
+pub use digamma_opt as opt;
+pub use digamma_workload as workload;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use digamma::schemes::HwPreset;
+    pub use digamma::{
+        hw_grid_search, run_algorithm, CoOptProblem, Constraint, DesignPoint, DiGamma,
+        DiGammaConfig, Gamma, GammaConfig, MappingStyle, Objective, SearchResult,
+    };
+    pub use digamma_costmodel::{Evaluator, HwConfig, Mapping, Platform};
+    pub use digamma_encoding::{Codec, Genome};
+    pub use digamma_opt::{minimize, Algorithm, Optimizer};
+    pub use digamma_workload::{zoo, Dim, DimVec, Layer, LayerKind, Model};
+}

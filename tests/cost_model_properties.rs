@@ -1,0 +1,86 @@
+//! Property-based tests for the cost model's invariants, driven through
+//! the public encoding (so the properties hold for everything a search
+//! can ever produce).
+
+use digamma_repro::costmodel::{analyze, Evaluator, Platform};
+use digamma_repro::encoding::Genome;
+use digamma_repro::prelude::*;
+use digamma_repro::workload::Tensor;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    (
+        1u64..=128,                                // K
+        1u64..=64,                                 // C
+        1u64..=56,                                 // Y
+        1u64..=56,                                 // X
+        prop::sample::select(vec![1u64, 3, 5, 7]), // square filter
+        1u64..=2,                                  // stride
+    )
+        .prop_map(|(k, c, y, x, f, stride)| Layer::conv("p", k, c, y, x, f, f, stride))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random genome decodes to mappings whose analysis satisfies the
+    /// core conservation laws.
+    #[test]
+    fn analysis_invariants_hold_for_random_genomes(seed in 0u64..10_000) {
+        let model = zoo::ncf();
+        let unique = model.unique_layers();
+        let platform = Platform::edge();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let genome = Genome::random(&mut rng, &unique, &platform, 2);
+        for (u, mapping) in unique.iter().zip(genome.decode(&unique)) {
+            let a = analyze(&u.layer, &mapping).expect("decoded mappings are valid");
+            // MAC conservation: issued slots cover the true work.
+            prop_assert_eq!(a.macs_total, u.layer.macs());
+            prop_assert!(a.utilization > 0.0 && a.utilization <= 1.0 + 1e-9);
+            // DRAM traffic covers each tensor at least once.
+            let dram = &a.levels[0].traffic;
+            prop_assert!(dram.weight >= u.layer.tensor_size(Tensor::Weight) as u128);
+            prop_assert!(dram.input >= u.layer.tensor_size(Tensor::Input) as u128);
+            prop_assert!(dram.output_write >= u.layer.tensor_size(Tensor::Output) as u128);
+            // Output reads never exceed writes.
+            prop_assert!(dram.output_read <= dram.output_write);
+            // Buffers: L1 holds at least one word per tensor; L2 at least
+            // as much as one PE's tile.
+            prop_assert!(a.buffers.l1_words_per_pe >= 3);
+            prop_assert!(a.buffers.l2_words >= a.buffers.l1_words_per_pe);
+        }
+    }
+
+    /// Latency respects the compute lower bound for arbitrary conv layers
+    /// under an arbitrary (valid) example mapping.
+    #[test]
+    fn latency_lower_bound(layer in layer_strategy(), rows in 1u64..=16, cols in 1u64..=16) {
+        let mapping = Mapping::row_major_example(&layer, rows, cols);
+        let report = Evaluator::new(Platform::edge()).evaluate(&layer, &mapping).unwrap();
+        let ideal = layer.macs() as f64 / (rows * cols) as f64;
+        prop_assert!(report.latency_cycles + 1e-9 >= ideal,
+            "latency {} below ideal {}", report.latency_cycles, ideal);
+    }
+
+    /// Area is monotone: larger PE arrays never shrink the area.
+    #[test]
+    fn area_monotone_in_pes(layer in layer_strategy(), rows in 1u64..=8, cols in 1u64..=8) {
+        let eval = Evaluator::new(Platform::edge());
+        let small = eval.evaluate(&layer, &Mapping::row_major_example(&layer, rows, cols)).unwrap();
+        let big = eval
+            .evaluate(&layer, &Mapping::row_major_example(&layer, rows * 2, cols))
+            .unwrap();
+        prop_assert!(big.pe_area_um2 > small.pe_area_um2);
+    }
+
+    /// Energy is bounded below by pure compute energy and is finite.
+    #[test]
+    fn energy_sane(layer in layer_strategy()) {
+        let mapping = Mapping::row_major_example(&layer, 4, 4);
+        let report = Evaluator::new(Platform::edge()).evaluate(&layer, &mapping).unwrap();
+        prop_assert!(report.energy_pj.is_finite());
+        prop_assert!(report.energy_pj >= layer.macs() as f64);
+    }
+}

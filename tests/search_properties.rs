@@ -1,0 +1,59 @@
+//! Property-based tests on the search stack: any continuous vector must
+//! decode and evaluate safely, and the GA must uphold its bookkeeping
+//! invariants for arbitrary seeds and budgets.
+
+use digamma_repro::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The evaluation block never panics and never returns NaN costs for
+    /// arbitrary codec inputs (this is the contract that keeps every
+    /// baseline algorithm safe).
+    #[test]
+    fn any_vector_evaluates_to_finite_cost(seed in 0u64..1000, fill in 0.0f64..1.0) {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let codec = Codec::new(problem.unique_layers(), problem.platform(), 2);
+        // A mix of constant and seed-derived coordinates.
+        let x: Vec<f64> = (0..codec.dimension())
+            .map(|i| if i % 3 == 0 { fill } else { ((seed + i as u64) % 97) as f64 / 96.0 })
+            .collect();
+        let genome = codec.decode(&x);
+        let eval = problem.evaluate(&genome);
+        prop_assert!(!eval.cost.is_nan());
+        prop_assert!(eval.latency_cycles > 0.0);
+        prop_assert!(eval.area_um2 > 0.0);
+    }
+
+    /// DiGamma's sample accounting is exact and its history is monotone
+    /// for arbitrary small budgets and seeds.
+    #[test]
+    fn ga_bookkeeping_invariants(seed in 0u64..500, budget in 8usize..60) {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let config = DiGammaConfig { population_size: 8, seed, ..Default::default() };
+        let result = DiGamma::new(config).search(&problem, budget);
+        prop_assert_eq!(result.samples, budget);
+        prop_assert_eq!(result.history.len(), budget);
+        for w in result.history.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        if let Some(best) = &result.best {
+            prop_assert!(best.feasible);
+            prop_assert_eq!(Some(*result.history.last().unwrap()), result.best_cost());
+        }
+    }
+
+    /// Feasible designs always respect the platform budget, whatever the
+    /// algorithm that produced them.
+    #[test]
+    fn feasible_designs_respect_budget(alg_idx in 0usize..8, seed in 0u64..200) {
+        let problem = CoOptProblem::new(zoo::dlrm(), Platform::edge(), Objective::Latency);
+        let alg = Algorithm::ALL[alg_idx];
+        let result = run_algorithm(alg, &problem, 30, seed);
+        if let Some(best) = result.best {
+            prop_assert!(best.area_um2 <= Platform::edge().area_budget_um2);
+            prop_assert!(best.hw.num_pes() >= 1);
+        }
+    }
+}
