@@ -48,10 +48,5 @@ fn bench_codec_decode(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_single_layer_eval,
-    bench_full_model_genome,
-    bench_codec_decode
-);
+criterion_group!(benches, bench_single_layer_eval, bench_full_model_genome, bench_codec_decode);
 criterion_main!(benches);

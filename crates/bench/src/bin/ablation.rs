@@ -1,7 +1,7 @@
 //! Runs the DiGamma operator ablation (E5).
 //!
 //! Usage:
-//!   cargo run -p digamma-bench --release --bin ablation -- \
+//!   cargo run -p digamma_bench --release --bin ablation -- \
 //!       [--budget 2000] [--seed 0] [--models mnasnet,resnet18]
 
 use digamma_bench::{ablation, resolve_models, Args};

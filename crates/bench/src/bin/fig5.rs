@@ -1,7 +1,7 @@
 //! Regenerates paper Fig. 5: baseline optimization algorithms vs DiGamma.
 //!
 //! Usage:
-//!   cargo run -p digamma-bench --release --bin fig5 -- \
+//!   cargo run -p digamma_bench --release --bin fig5 -- \
 //!       [--budget 2000] [--seed 0] [--models ncf,dlrm] [--platforms edge,cloud]
 //!
 //! The paper uses a 40 000-sample budget; the default here is 2 000 so a

@@ -1,7 +1,7 @@
 //! Regenerates paper Fig. 6: HW-opt vs Mapping-opt vs co-optimization.
 //!
 //! Usage:
-//!   cargo run -p digamma-bench --release --bin fig6 -- \
+//!   cargo run -p digamma_bench --release --bin fig6 -- \
 //!       [--budget 2000] [--seed 0] [--models ncf,dlrm] [--platforms edge,cloud]
 
 use digamma_bench::{fig6, resolve_models, Args};

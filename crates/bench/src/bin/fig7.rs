@@ -1,7 +1,7 @@
 //! Regenerates paper Fig. 7: the solutions found for MnasNet at edge.
 //!
 //! Usage:
-//!   cargo run -p digamma-bench --release --bin fig7 -- \
+//!   cargo run -p digamma_bench --release --bin fig7 -- \
 //!       [--budget 2000] [--seed 0] [--model mnasnet]
 
 use digamma_bench::{fig7, Args};

@@ -4,12 +4,10 @@
 //! the paper's two operating points.
 //!
 //! Usage:
-//!   cargo run --release -p digamma-bench --bin pareto -- \
+//!   cargo run --release -p digamma_bench --bin pareto -- \
 //!       [--budget 1500] [--model resnet18] [--points 6] [--seed 0]
 
-use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Objective};
-use digamma_bench::Args;
-use digamma_costmodel::Platform;
+use digamma_bench::{pareto, Args};
 use digamma_workload::zoo;
 
 fn main() {
@@ -20,38 +18,7 @@ fn main() {
     let model_name = args.get("model").unwrap_or("resnet18");
     let model = zoo::by_name(model_name).expect("model");
 
-    println!("# Pareto sweep — {model_name}, {points} area points, budget {budget}\n");
-    println!("| area budget (mm²) | latency (cycles) | PEs | L2 (words) | PE:buffer |");
-    println!("|---|---|---|---|---|");
-
-    let lo: f64 = 0.2e6;
-    let hi: f64 = 7.0e6;
-    for i in 0..points {
-        let frac = i as f64 / (points - 1).max(1) as f64;
-        let area = lo * (hi / lo).powf(frac);
-        let mut platform = Platform::cloud();
-        platform.name = format!("sweep-{i}");
-        platform.area_budget_um2 = area;
-        // Scale bandwidth with the budget between the two paper settings.
-        let edge = Platform::edge();
-        let cloud = Platform::cloud();
-        platform.bw_dram = edge.bw_dram * (cloud.bw_dram / edge.bw_dram).powf(frac);
-        platform.bw_noc = edge.bw_noc * (cloud.bw_noc / edge.bw_noc).powf(frac);
-
-        let problem = CoOptProblem::new(model.clone(), platform, Objective::Latency);
-        let cfg = DiGammaConfig { seed: seed + i as u64, threads: 4, ..Default::default() };
-        match DiGamma::new(cfg).search(&problem, budget).best {
-            Some(d) => {
-                let (pe, buf) = d.area_ratio_percent();
-                println!(
-                    "| {:.2} | {:.3e} | {} | {} | {pe:.0}:{buf:.0} |",
-                    area / 1e6,
-                    d.latency_cycles,
-                    d.hw.num_pes(),
-                    d.hw.l2_words
-                );
-            }
-            None => println!("| {:.2} | N/A | - | - | - |", area / 1e6),
-        }
-    }
+    eprintln!("sweeping {points} area points, budget {budget}...");
+    let sweep = pareto::run(&model, points, budget, seed);
+    println!("{}", pareto::table(model_name, &sweep).to_markdown());
 }

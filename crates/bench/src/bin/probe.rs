@@ -1,7 +1,7 @@
 //! Diagnostic: prints best-so-far cost at deciles of the budget for
 //! DiGamma and GAMMA on one model, to inspect search progress.
 //!
-//! Usage: cargo run --release -p digamma-bench --bin probe -- \
+//! Usage: cargo run --release -p digamma_bench --bin probe -- \
 //!     [--budget 2000] [--model mnasnet] [--seed 1]
 
 use digamma::schemes::HwPreset;

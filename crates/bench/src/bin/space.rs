@@ -1,6 +1,6 @@
 //! Regenerates the design-space size estimates of Sec. I–II (E4).
 //!
-//! Usage:  cargo run -p digamma-bench --release --bin space
+//! Usage:  cargo run -p digamma_bench --release --bin space
 
 use digamma_encoding::space;
 use digamma_workload::zoo;

@@ -7,8 +7,8 @@
 //! are the best feasible latency and latency·area product, normalized by
 //! CMA's (the best-performing baseline, exactly as the paper normalizes).
 
-use crate::report::{fmt_ratio, Table};
 use crate::geomean;
+use crate::report::{fmt_ratio, Table};
 use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Objective};
 use digamma_costmodel::Platform;
 use digamma_opt::Algorithm;
@@ -64,7 +64,9 @@ pub fn run(models: &[Model], platform: &Platform, budget: usize, seed: u64) -> P
 fn to_cell(best: &Option<digamma::DesignPoint>) -> Cell {
     match best {
         None => Cell { latency: None, lat_area: None },
-        Some(p) => Cell { latency: Some(p.latency_cycles), lat_area: Some(p.latency_area_product()) },
+        Some(p) => {
+            Cell { latency: Some(p.latency_cycles), lat_area: Some(p.latency_area_product()) }
+        }
     }
 }
 
@@ -102,10 +104,7 @@ pub fn tables(results: &PlatformResults) -> (Table, Table) {
         t.push_row("GeoMean", geo);
         t
     };
-    (
-        build(|c| c.latency, "latency"),
-        build(|c| c.lat_area, "latency-area-product"),
-    )
+    (build(|c| c.latency, "latency"), build(|c| c.lat_area, "latency-area-product"))
 }
 
 #[cfg(test)]

@@ -7,11 +7,12 @@
 //! * [`fig6`] — HW-opt / Mapping-opt / co-opt scheme comparison,
 //! * [`fig7`] — found-solution breakdown for MnasNet at edge,
 //! * [`ablation`] — operator ablations of the DiGamma GA (E5),
+//! * [`pareto`] — the latency-vs-area sweep (an extension),
 //! * [`report`] — the markdown/TSV table writer the binaries share.
 //!
-//! The binaries (`fig5`, `fig6`, `fig7`, `space`, `ablation`) are thin
-//! wrappers over these modules; everything here is unit-testable at small
-//! budgets.
+//! The binaries (`fig5`, `fig6`, `fig7`, `pareto`, `space`, `ablation`)
+//! are thin wrappers over these modules; everything here is
+//! unit-testable at small budgets.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,6 +21,7 @@ pub mod ablation;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod pareto;
 pub mod report;
 
 use digamma_workload::{zoo, Model};
@@ -110,8 +112,7 @@ mod tests {
     #[test]
     fn args_parse_key_values() {
         let args = Args::parse(
-            ["--budget", "500", "--models", "ncf", "--budget", "900"]
-                .map(String::from),
+            ["--budget", "500", "--models", "ncf", "--budget", "900"].map(String::from),
         );
         assert_eq!(args.get_usize("budget", 1), 900, "last flag wins");
         assert_eq!(args.get("models"), Some("ncf"));

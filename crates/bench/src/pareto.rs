@@ -1,0 +1,126 @@
+//! Latency-vs-area Pareto sweep: DiGamma across a geometric ladder of
+//! area budgets between the paper's edge (0.2 mm²) and cloud (7 mm²)
+//! settings, tracing how the optimal design scales. An extension beyond
+//! the paper's two operating points.
+
+use crate::report::Table;
+use digamma::{CoOptProblem, DesignPoint, DiGamma, DiGammaConfig, Objective};
+use digamma_costmodel::Platform;
+use digamma_workload::Model;
+
+/// One rung of the area-budget ladder and the best design found on it.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The area budget of this rung in µm².
+    pub area_budget_um2: f64,
+    /// Best feasible design within the budget, if any.
+    pub design: Option<DesignPoint>,
+}
+
+/// The sweep's end points: the paper's edge and cloud area budgets.
+const AREA_LO_UM2: f64 = 0.2e6;
+const AREA_HI_UM2: f64 = 7.0e6;
+
+/// The interpolated platform for rung `i` of a `points`-rung ladder:
+/// area budget and bandwidths scale geometrically from edge to cloud.
+pub fn sweep_platform(i: usize, points: usize) -> Platform {
+    let frac = i as f64 / (points - 1).max(1) as f64;
+    let edge = Platform::edge();
+    let cloud = Platform::cloud();
+    let mut platform = Platform::cloud();
+    platform.name = format!("sweep-{i}");
+    platform.area_budget_um2 = AREA_LO_UM2 * (AREA_HI_UM2 / AREA_LO_UM2).powf(frac);
+    platform.bw_dram = edge.bw_dram * (cloud.bw_dram / edge.bw_dram).powf(frac);
+    platform.bw_noc = edge.bw_noc * (cloud.bw_noc / edge.bw_noc).powf(frac);
+    platform
+}
+
+/// Runs the sweep: one DiGamma search per rung.
+pub fn run(model: &Model, points: usize, budget: usize, seed: u64) -> Vec<ParetoPoint> {
+    (0..points)
+        .map(|i| {
+            let platform = sweep_platform(i, points);
+            let area_budget_um2 = platform.area_budget_um2;
+            let problem = CoOptProblem::new(model.clone(), platform, Objective::Latency);
+            let cfg = DiGammaConfig { seed: seed + i as u64, ..Default::default() };
+            let design = DiGamma::new(cfg).search(&problem, budget).best;
+            ParetoPoint { area_budget_um2, design }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the markdown table the binary prints.
+pub fn table(model_name: &str, sweep: &[ParetoPoint]) -> Table {
+    let mut t = Table::new(
+        format!("Pareto sweep — {model_name}, latency vs area budget"),
+        ["area budget (mm²)", "latency (cycles)", "PEs", "L2 (words)", "PE:buffer"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (i, p) in sweep.iter().enumerate() {
+        let area = format!("{:.2}", p.area_budget_um2 / 1e6);
+        let cells = match &p.design {
+            Some(d) => {
+                let (pe, buf) = d.area_ratio_percent();
+                vec![
+                    area,
+                    format!("{:.3e}", d.latency_cycles),
+                    d.hw.num_pes().to_string(),
+                    d.hw.l2_words.to_string(),
+                    format!("{pe:.0}:{buf:.0}"),
+                ]
+            }
+            None => vec![area, "N/A".into(), "-".into(), "-".into(), "-".into()],
+        };
+        t.push_row(format!("p{i}"), cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_workload::zoo;
+
+    #[test]
+    fn sweep_covers_the_ladder_and_finds_designs() {
+        // Tiny budget: this guards the harness wiring, not the numbers.
+        let sweep = run(&zoo::ncf(), 3, 80, 1);
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep[0].area_budget_um2 < sweep[2].area_budget_um2);
+        assert!(sweep.iter().any(|p| p.design.is_some()), "no rung found any design at budget 80");
+        for p in &sweep {
+            if let Some(d) = &p.design {
+                assert!(d.area_um2 <= p.area_budget_um2);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_budgets_admit_no_slower_designs() {
+        let sweep = run(&zoo::ncf(), 2, 150, 2);
+        if let (Some(lo), Some(hi)) = (&sweep[0].design, &sweep[1].design) {
+            // 35× the area budget should never cost latency (allow a
+            // small slack for search noise at tiny budgets).
+            assert!(hi.latency_cycles <= lo.latency_cycles * 1.5);
+        }
+    }
+
+    #[test]
+    fn table_renders_every_rung() {
+        let sweep = run(&zoo::ncf(), 2, 60, 3);
+        let md = table("ncf", &sweep).to_markdown();
+        assert!(md.contains("p0") && md.contains("p1"));
+        assert!(md.contains("area budget"));
+    }
+
+    #[test]
+    fn sweep_platform_interpolates_between_edge_and_cloud() {
+        let first = sweep_platform(0, 5);
+        let last = sweep_platform(4, 5);
+        assert!((first.area_budget_um2 - 0.2e6).abs() < 1.0);
+        assert!((last.area_budget_um2 - 7.0e6).abs() < 1.0);
+        assert!((first.bw_dram - Platform::edge().bw_dram).abs() < 1e-9);
+        assert!((last.bw_dram - Platform::cloud().bw_dram).abs() < 1e-9);
+    }
+}

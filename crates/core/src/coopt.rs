@@ -32,7 +32,7 @@ pub fn run_algorithm(
         let genome = codec.decode(&x);
         let eval = problem.evaluate(&genome);
         opt.tell(&x, eval.cost);
-        let better = eval.feasible && best.as_ref().map_or(true, |b| eval.cost < b.cost);
+        let better = eval.feasible && best.as_ref().is_none_or(|b| eval.cost < b.cost);
         if better {
             best = Some(DesignPoint::from_evaluation(genome, &eval));
         }

@@ -54,7 +54,11 @@ pub struct DiGammaConfig {
     /// Domain-aware initialization in the same spirit as the operators;
     /// the E5 ablation quantifies its contribution.
     pub template_seeding: bool,
-    /// Worker threads for fitness evaluation (1 = sequential).
+    /// Worker threads for fitness evaluation. Defaults to the machine's
+    /// available parallelism; `1` evaluates inline on the caller's
+    /// thread. Results are identical for any value (the parallel map
+    /// preserves order and evaluation is deterministic), so this only
+    /// trades wall-clock for cores.
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -75,7 +79,7 @@ impl Default for DiGammaConfig {
             grow_aging_rate: 0.05,
             num_levels: 2,
             template_seeding: true,
-            threads: 1,
+            threads: crate::parallel::default_threads(),
             seed: 0,
         }
     }
@@ -112,14 +116,13 @@ impl DiGamma {
         let mut samples = 0usize;
 
         let record = |genomes: &[Genome],
-                          evals: &[DesignEvaluation],
-                          best: &mut Option<(Genome, DesignEvaluation)>,
-                          history: &mut Vec<f64>,
-                          samples: &mut usize| {
+                      evals: &[DesignEvaluation],
+                      best: &mut Option<(Genome, DesignEvaluation)>,
+                      history: &mut Vec<f64>,
+                      samples: &mut usize| {
             for (g, e) in genomes.iter().zip(evals) {
                 *samples += 1;
-                let better = e.feasible
-                    && best.as_ref().map_or(true, |(_, b)| e.cost < b.cost);
+                let better = e.feasible && best.as_ref().is_none_or(|(_, b)| e.cost < b.cost);
                 if better {
                     *best = Some((g.clone(), e.clone()));
                 }
@@ -171,9 +174,8 @@ impl DiGamma {
             }
             population.push(g);
         }
-        let mut evals = crate::parallel::parallel_map(&population, cfg.threads, |g| {
-            problem.evaluate(g)
-        });
+        let mut evals =
+            crate::parallel::parallel_map(&population, cfg.threads, |g| problem.evaluate(g));
         record(&population, &evals, &mut best, &mut history, &mut samples);
 
         let elites = ((cfg.population_size as f64 * cfg.elite_fraction).ceil() as usize).max(1);
@@ -241,9 +243,8 @@ impl DiGamma {
                 children.push(child);
             }
 
-            let child_evals = crate::parallel::parallel_map(&children, cfg.threads, |g| {
-                problem.evaluate(g)
-            });
+            let child_evals =
+                crate::parallel::parallel_map(&children, cfg.threads, |g| problem.evaluate(g));
             record(&children, &child_evals, &mut best, &mut history, &mut samples);
             population = children;
             evals = child_evals;
@@ -494,10 +495,7 @@ mod tests {
         let first_feasible =
             result.history.iter().copied().find(|c| c.is_finite()).expect("feasible");
         let final_cost = *result.history.last().unwrap();
-        assert!(
-            final_cost < first_feasible,
-            "no improvement: {first_feasible} → {final_cost}"
-        );
+        assert!(final_cost < first_feasible, "no improvement: {first_feasible} → {final_cost}");
     }
 
     #[test]
@@ -576,10 +574,7 @@ mod tests {
                     }
                 }
             }
-            assert!(
-                mutated.iter().all(|&m| m),
-                "some layer never mutated: {mutated:?}"
-            );
+            assert!(mutated.iter().all(|&m| m), "some layer never mutated: {mutated:?}");
         }
 
         #[test]

@@ -8,7 +8,7 @@
 //! relationship between the two tools.
 
 use crate::digamma_ga::{DiGamma, DiGammaConfig};
-use crate::problem::{Constraint, CoOptProblem};
+use crate::problem::{CoOptProblem, Constraint};
 use crate::result::SearchResult;
 use digamma_costmodel::HwConfig;
 
@@ -19,7 +19,8 @@ pub struct GammaConfig {
     pub population_size: usize,
     /// Fraction of the population surviving unchanged.
     pub elite_fraction: f64,
-    /// Worker threads for fitness evaluation.
+    /// Worker threads for fitness evaluation (same contract as
+    /// [`DiGammaConfig::threads`]: any value yields identical results).
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -27,7 +28,12 @@ pub struct GammaConfig {
 
 impl Default for GammaConfig {
     fn default() -> GammaConfig {
-        GammaConfig { population_size: 60, elite_fraction: 0.10, threads: 1, seed: 0 }
+        GammaConfig {
+            population_size: 60,
+            elite_fraction: 0.10,
+            threads: crate::parallel::default_threads(),
+            seed: 0,
+        }
     }
 }
 
@@ -85,9 +91,8 @@ mod tests {
     #[test]
     fn gamma_finds_fitting_mappings() {
         let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
-        let result =
-            Gamma::new(GammaConfig { population_size: 16, seed: 3, ..Default::default() })
-                .search(&problem, &fixed_hw(), 300);
+        let result = Gamma::new(GammaConfig { population_size: 16, seed: 3, ..Default::default() })
+            .search(&problem, &fixed_hw(), 300);
         let best = result.best.expect("a mapping fitting the fixed HW");
         assert!(best.feasible);
         assert_eq!(best.hw, fixed_hw());
@@ -98,9 +103,8 @@ mod tests {
     fn gamma_never_mutates_hardware() {
         let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
         let hw = fixed_hw();
-        let result =
-            Gamma::new(GammaConfig { population_size: 12, seed: 5, ..Default::default() })
-                .search(&problem, &hw, 200);
+        let result = Gamma::new(GammaConfig { population_size: 12, seed: 5, ..Default::default() })
+            .search(&problem, &hw, 200);
         if let Some(best) = result.best {
             assert_eq!(best.hw.fanouts, hw.fanouts);
             assert_eq!(best.hw.l2_words, hw.l2_words);

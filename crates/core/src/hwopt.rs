@@ -7,7 +7,7 @@
 //! buffer takes whatever area remains under the budget (a larger L2 is
 //! never harmful, so gridding it separately would only waste points).
 
-use crate::problem::{Constraint, CoOptProblem};
+use crate::problem::{CoOptProblem, Constraint};
 use crate::result::{DesignPoint, SearchResult};
 use crate::templates::{instantiate_all, MappingStyle};
 use digamma_costmodel::HwConfig;
@@ -83,15 +83,14 @@ pub fn hw_grid_search(problem: &CoOptProblem, style: MappingStyle) -> GridSearch
                 let hw = HwConfig { l2_words, ..probe };
 
                 let mappings = instantiate_all(style, problem.unique_layers(), &hw);
-                let constrained =
-                    problem.clone().with_constraint(Constraint::FixedHw(hw.clone()));
+                let constrained = problem.clone().with_constraint(Constraint::FixedHw(hw.clone()));
                 let Ok(eval) = constrained.evaluate_mappings(&hw.fanouts, &mappings) else {
                     continue;
                 };
                 points += 1;
                 if eval.feasible {
                     feasible += 1;
-                    if best.as_ref().map_or(true, |b| eval.cost < b.cost) {
+                    if best.as_ref().is_none_or(|b| eval.cost < b.cost) {
                         let genome = Genome::from_mappings(&mappings);
                         best = Some(DesignPoint::from_evaluation(genome, &eval));
                     }

@@ -62,7 +62,7 @@ pub use digamma_ga::{DiGamma, DiGammaConfig};
 pub use gamma::{Gamma, GammaConfig};
 pub use hwopt::{hw_grid_search, GridSearchResult};
 pub use objective::Objective;
-pub use templates::MappingStyle;
-pub use parallel::parallel_map;
-pub use problem::{Constraint, CoOptProblem, DesignEvaluation};
+pub use parallel::{default_threads, parallel_map};
+pub use problem::{CoOptProblem, Constraint, DesignEvaluation};
 pub use result::{DesignPoint, SearchResult};
+pub use templates::MappingStyle;

@@ -1,16 +1,21 @@
-//! Scoped-thread parallel map built on crossbeam.
+//! Scoped-thread parallel map built on `std::thread::scope`.
 //!
 //! GA fitness evaluation is embarrassingly parallel — the paper calls GA
 //! "light, fast, and highly parallelizable" (Sec. IV-B). This helper
 //! splits a slice across a bounded number of worker threads and collects
 //! results in order.
 
-use crossbeam::thread;
+/// A sensible default worker count: the machine's available parallelism,
+/// or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Applies `f` to every item, fanning out across up to `threads` workers.
 ///
-/// Results preserve input order. With `threads <= 1` (or a single item)
-/// the map runs inline — handy for deterministic debugging.
+/// Results preserve input order, so callers observe the exact same
+/// output regardless of `threads`. With `threads <= 1` (or a single
+/// item) the map runs inline — handy for deterministic debugging.
 ///
 /// # Panics
 ///
@@ -29,17 +34,18 @@ where
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
 
-    thread::scope(|scope| {
+    // Worker panics propagate on scope exit, after the remaining workers
+    // finish (std scoped threads join implicitly).
+    std::thread::scope(|scope| {
         for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     out.into_iter().map(|v| v.expect("all slots filled")).collect()
 }

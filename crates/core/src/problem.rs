@@ -324,8 +324,7 @@ mod tests {
     #[test]
     fn objective_changes_ranking_dimension() {
         let p_lat = problem();
-        let p_edp =
-            CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Edp);
+        let p_edp = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Edp);
         let mut rng = SmallRng::seed_from_u64(5);
         let g = Genome::random(&mut rng, p_lat.unique_layers(), p_lat.platform(), 2);
         let e_lat = p_lat.evaluate(&g);
@@ -333,8 +332,7 @@ mod tests {
         if e_lat.feasible {
             assert!((e_lat.cost - e_lat.latency_cycles).abs() < 1e-9);
             assert!(
-                (e_edp.cost - e_lat.latency_cycles * e_lat.energy_pj).abs()
-                    / e_edp.cost.max(1.0)
+                (e_edp.cost - e_lat.latency_cycles * e_lat.energy_pj).abs() / e_edp.cost.max(1.0)
                     < 1e-9
             );
         }

@@ -5,7 +5,7 @@ use digamma_costmodel::HwConfig;
 use digamma_encoding::Genome;
 
 /// A fully evaluated design point kept as a search outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// The winning genome.
     pub genome: Genome,
@@ -53,7 +53,7 @@ impl DesignPoint {
 }
 
 /// Outcome of one search run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
     /// Best *feasible* design found, if any (the paper reports `N/A`
     /// when an algorithm finds no valid solution within budget).

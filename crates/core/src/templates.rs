@@ -78,10 +78,7 @@ impl fmt::Display for MappingStyle {
 
 /// Sum of the three tensor footprints for a tile, in words.
 fn tile_words(layer: &Layer, tile: &DimVec<u64>) -> u64 {
-    Tensor::ALL
-        .iter()
-        .map(|&t| tensor_footprint(layer.kind(), t, tile, layer.stride()))
-        .sum()
+    Tensor::ALL.iter().map(|&t| tensor_footprint(layer.kind(), t, tile, layer.stride())).sum()
 }
 
 /// Grows `tile` multiplicatively along `priority` while `fits` holds and
@@ -246,8 +243,7 @@ mod tests {
         big.l2_words *= 16;
         let m_small = instantiate(MappingStyle::DlaLike, layer, &small);
         let m_big = instantiate(MappingStyle::DlaLike, layer, &big);
-        let words =
-            |m: &Mapping| tile_words(layer, &m.levels()[1].tile);
+        let words = |m: &Mapping| tile_words(layer, &m.levels()[1].tile);
         assert!(words(&m_big) > words(&m_small));
     }
 

@@ -70,9 +70,7 @@ impl HwConfig {
     pub fn grow_to_fit(&mut self, buffers: &BufferRequirement) {
         self.l2_words = self.l2_words.max(buffers.l2_words);
         self.l1_words_per_pe = self.l1_words_per_pe.max(buffers.l1_words_per_pe);
-        for (have, need) in
-            self.mid_words_per_unit.iter_mut().zip(&buffers.mid_words_per_unit)
-        {
+        for (have, need) in self.mid_words_per_unit.iter_mut().zip(&buffers.mid_words_per_unit) {
             *have = (*have).max(*need);
         }
     }

@@ -133,11 +133,7 @@ pub struct Analysis {
 /// Product of iteration counts from the outermost loop down to the
 /// innermost loop that is relevant to the tensor and iterates more than
 /// once; 1 when no such loop exists (the tensor is fully stationary).
-fn refetch_factor(
-    order: &[Dim; NUM_DIMS],
-    counts: &DimVec<u64>,
-    relevance: &DimVec<bool>,
-) -> u128 {
+fn refetch_factor(order: &[Dim; NUM_DIMS], counts: &DimVec<u64>, relevance: &DimVec<bool>) -> u128 {
     let mut innermost_active = None;
     for (pos, &d) in order.iter().enumerate() {
         if relevance[d] && counts[d] > 1 {
@@ -187,8 +183,7 @@ pub fn analyze(layer: &Layer, mapping: &Mapping) -> Result<Analysis, EvalError> 
             let unicast = if relevance[level.spatial_dim] { level.fanout as u128 } else { 1 };
             cum_unicast[ti] *= unicast;
             let footprint = tensor_footprint(kind, tensor, &level.tile, stride) as u128;
-            let has_active_relevant_loop =
-                Dim::ALL.iter().any(|&d| relevance[d] && counts[d] > 1);
+            let has_active_relevant_loop = Dim::ALL.iter().any(|&d| relevance[d] && counts[d] > 1);
             if has_active_relevant_loop {
                 combined_refetch[ti] =
                     exec_multiplier * refetch_factor(&level.order, &counts, &relevance);
@@ -343,7 +338,12 @@ mod tests {
         let mk = |order| {
             Mapping::new(vec![
                 LevelSpec { fanout: 1, spatial_dim: Dim::X, order, tile },
-                LevelSpec { fanout: 4, spatial_dim: Dim::Y, order: Dim::ALL, tile: DimVec([1, 1, 1, 1, 1, 1]) },
+                LevelSpec {
+                    fanout: 4,
+                    spatial_dim: Dim::Y,
+                    order: Dim::ALL,
+                    tile: DimVec([1, 1, 1, 1, 1, 1]),
+                },
             ])
         };
         let ws = analyze(&l, &mk(ws_order)).unwrap();
@@ -386,8 +386,8 @@ mod tests {
         let mut tile = *l.dims();
         tile[Dim::C] = 4; // C iterates 8 times at the outer level
         tile[Dim::K] = 8; // K iterates 8 times, *inside* the C loop
-        // C (reduction) outer with an O-relevant loop (K) inside it ⇒ each
-        // output tile is evicted per K step and revisited per C step.
+                          // C (reduction) outer with an O-relevant loop (K) inside it ⇒ each
+                          // output tile is evicted per K step and revisited per C step.
         let order = [Dim::C, Dim::K, Dim::Y, Dim::X, Dim::R, Dim::S];
         let m = Mapping::new(vec![
             LevelSpec { fanout: 1, spatial_dim: Dim::X, order, tile },
@@ -402,10 +402,7 @@ mod tests {
         assert!(a.levels[0].traffic.output_read > 0);
         // Writes exceed reads by exactly one pass over the output tensor.
         let out_words = l.tensor_size(Tensor::Output) as u128;
-        assert_eq!(
-            a.levels[0].traffic.output_write - a.levels[0].traffic.output_read,
-            out_words
-        );
+        assert_eq!(a.levels[0].traffic.output_write - a.levels[0].traffic.output_read, out_words);
     }
 
     #[test]
@@ -413,8 +410,8 @@ mod tests {
         let l = layer();
         let mut tile = *l.dims();
         tile[Dim::C] = 4; // C iterates 8 times; K, Y, X do not iterate.
-        // With no O-relevant loop active, the output tile stays resident in
-        // L2 across all C steps: zero DRAM readback, one final write pass.
+                          // With no O-relevant loop active, the output tile stays resident in
+                          // L2 across all C steps: zero DRAM readback, one final write pass.
         let order = [Dim::C, Dim::K, Dim::Y, Dim::X, Dim::R, Dim::S];
         let m = Mapping::new(vec![
             LevelSpec { fanout: 1, spatial_dim: Dim::X, order, tile },

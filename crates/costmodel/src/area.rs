@@ -30,12 +30,8 @@ pub struct AreaModel {
 /// hundred PEs with tens of KB of buffer, and the cloud budget (7 mm²)
 /// admits several thousand PEs with MBs of buffer — the regimes the
 /// paper's Fig. 7 solutions occupy.
-pub const AREA_MODEL_15NM: AreaModel = AreaModel {
-    pe_um2: 350.0,
-    l1_um2_per_word: 2.4,
-    mid_um2_per_word: 1.6,
-    l2_um2_per_word: 1.2,
-};
+pub const AREA_MODEL_15NM: AreaModel =
+    AreaModel { pe_um2: 350.0, l1_um2_per_word: 2.4, mid_um2_per_word: 1.6, l2_um2_per_word: 1.2 };
 
 impl AreaModel {
     /// Total area of a hardware configuration in µm².

@@ -27,14 +27,8 @@ pub struct EnergyModel {
 }
 
 /// Default energy model (Eyeriss-style ratios, 16-bit words).
-pub const ENERGY_MODEL_DEFAULT: EnergyModel = EnergyModel {
-    mac_pj: 1.0,
-    l1_pj: 1.5,
-    mid_pj: 3.0,
-    l2_pj: 6.0,
-    noc_pj: 2.0,
-    dram_pj: 200.0,
-};
+pub const ENERGY_MODEL_DEFAULT: EnergyModel =
+    EnergyModel { mac_pj: 1.0, l1_pj: 1.5, mid_pj: 3.0, l2_pj: 6.0, noc_pj: 2.0, dram_pj: 200.0 };
 
 /// Operand accesses charged at L1 per MAC (weight read, input read,
 /// partial-sum update).
@@ -104,9 +98,7 @@ mod tests {
         bad.levels_mut()[1].tile = digamma_workload::DimVec([1, 1, 1, 1, 1, 1]);
         let a_good = analyze(&l, &good).unwrap();
         let a_bad = analyze(&l, &bad).unwrap();
-        assert!(
-            ENERGY_MODEL_DEFAULT.energy_pj(&a_bad) > ENERGY_MODEL_DEFAULT.energy_pj(&a_good)
-        );
+        assert!(ENERGY_MODEL_DEFAULT.energy_pj(&a_bad) > ENERGY_MODEL_DEFAULT.energy_pj(&a_good));
     }
 
     #[test]

@@ -46,10 +46,8 @@ pub fn latency(analysis: &Analysis, platform: &Platform) -> LatencyBreakdown {
 
     // Link 0 is fed by DRAM; links 1.. are on-chip NoC stages.
     let dram_cycles = analysis.levels[0].traffic.total() as f64 / platform.bw_dram;
-    let noc_cycles: Vec<f64> = analysis.levels[1..]
-        .iter()
-        .map(|l| l.traffic.total() as f64 / platform.bw_noc)
-        .collect();
+    let noc_cycles: Vec<f64> =
+        analysis.levels[1..].iter().map(|l| l.traffic.total() as f64 / platform.bw_noc).collect();
 
     let fill_cycles = analysis.buffers.l2_words as f64 / platform.bw_dram;
 
@@ -122,6 +120,8 @@ mod tests {
         let m = Mapping::row_major_example(&l, 8, 4);
         let a = analyze(&l, &m).unwrap();
         let lat = latency(&a, &Platform::edge());
-        assert!((lat.fill_cycles - a.buffers.l2_words as f64 / Platform::edge().bw_dram).abs() < 1e-9);
+        assert!(
+            (lat.fill_cycles - a.buffers.l2_words as f64 / Platform::edge().bw_dram).abs() < 1e-9
+        );
     }
 }

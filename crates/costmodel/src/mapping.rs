@@ -130,11 +130,7 @@ impl Mapping {
                 return Err(EvalError::ZeroTile { level: i });
             }
             if !level.tile.fits_within(&parent) {
-                return Err(EvalError::TileExceedsParent {
-                    level: i,
-                    tile: level.tile,
-                    parent,
-                });
+                return Err(EvalError::TileExceedsParent { level: i, tile: level.tile, parent });
             }
             let mut seen = [false; NUM_DIMS];
             for d in level.order {

@@ -76,7 +76,11 @@ impl CostReport {
 impl fmt::Display for CostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (pe, buf) = self.area_ratio_percent();
-        writeln!(f, "latency  {:.3e} cycles ({:?}-bound)", self.latency_cycles, self.latency.bottleneck)?;
+        writeln!(
+            f,
+            "latency  {:.3e} cycles ({:?}-bound)",
+            self.latency_cycles, self.latency.bottleneck
+        )?;
         writeln!(f, "energy   {:.3e} pJ  (EDP {:.3e})", self.energy_pj, self.edp())?;
         writeln!(f, "area     {:.3e} um2  (PE {pe:.0}% : buffer {buf:.0}%)", self.area_um2)?;
         writeln!(f, "hw       {}", self.hw)?;

@@ -91,11 +91,8 @@ impl<'a> Sim<'a> {
     fn step(&mut self, idx: &[DimVec<u64>]) {
         let levels = self.mapping.levels();
         // Parents at depth 0: the chip, owning the whole layer.
-        let mut parents = vec![ActiveUnit {
-            unit_id: 0,
-            origin: DimVec::splat(0),
-            clipped: *self.layer.dims(),
-        }];
+        let mut parents =
+            vec![ActiveUnit { unit_id: 0, origin: DimVec::splat(0), clipped: *self.layer.dims() }];
 
         for (ell, level) in levels.iter().enumerate() {
             let fanout = level.fanout as usize;
@@ -111,8 +108,7 @@ impl<'a> Sim<'a> {
                 // This level's step origin inside the parent's tile.
                 let mut step_origin = parent.origin;
                 for d in Dim::ALL {
-                    let stride =
-                        level.tile[d] * if d == spatial { level.fanout } else { 1 };
+                    let stride = level.tile[d] * if d == spatial { level.fanout } else { 1 };
                     step_origin[d] += idx[ell][d] * stride;
                 }
                 for c in 0..fanout {
@@ -120,14 +116,14 @@ impl<'a> Sim<'a> {
                     child_origin[spatial] += c as u64 * level.tile[spatial];
                     // Active iff the origin lies inside the parent's
                     // *clipped* region (idle ceil-folds drop out here).
-                    let inside = Dim::ALL.iter().all(|&d| {
-                        child_origin[d] < parent.origin[d] + parent.clipped[d]
-                    });
+                    let inside = Dim::ALL
+                        .iter()
+                        .all(|&d| child_origin[d] < parent.origin[d] + parent.clipped[d]);
                     if !inside {
                         continue;
                     }
                     let child_unit = parent.unit_id * fanout + c;
-                    for ti in 0..3 {
+                    for (ti, delivered_t) in delivered.iter_mut().enumerate() {
                         let id = self.project(&child_origin, ti);
                         let cache = &mut self.caches[ell][child_unit];
                         if cache.resident[ti] == Some(id) {
@@ -142,11 +138,10 @@ impl<'a> Sim<'a> {
                             if self.flushed[ell].contains(&id) {
                                 read_back.insert(id);
                             }
-                            cache.resident[ti] = Some(id);
                         } else {
-                            delivered[ti].insert(id);
-                            cache.resident[ti] = Some(id);
+                            delivered_t.insert(id);
                         }
+                        cache.resident[ti] = Some(id);
                     }
                     // Clip the child's tile to the data that exists.
                     let mut clipped = level.tile;
@@ -154,7 +149,11 @@ impl<'a> Sim<'a> {
                         let end = parent.origin[d] + parent.clipped[d];
                         clipped[d] = clipped[d].min(end - child_origin[d]);
                     }
-                    children.push(ActiveUnit { unit_id: child_unit, origin: child_origin, clipped });
+                    children.push(ActiveUnit {
+                        unit_id: child_unit,
+                        origin: child_origin,
+                        clipped,
+                    });
                 }
             }
 
@@ -280,7 +279,15 @@ mod tests {
     use crate::analysis::analyze;
     use crate::mapping::LevelSpec;
 
-    fn divisible_mapping(layer: &Layer, p2: Dim, p1: Dim, t2: DimVec<u64>, t1: DimVec<u64>, f2: u64, f1: u64) -> Mapping {
+    fn divisible_mapping(
+        layer: &Layer,
+        p2: Dim,
+        p1: Dim,
+        t2: DimVec<u64>,
+        t1: DimVec<u64>,
+        f2: u64,
+        f1: u64,
+    ) -> Mapping {
         let m = Mapping::new(vec![
             LevelSpec { fanout: f2, spatial_dim: p2, order: Dim::ALL, tile: t2 },
             LevelSpec { fanout: f1, spatial_dim: p1, order: Dim::ALL, tile: t1 },
@@ -385,9 +392,24 @@ mod tests {
     fn three_level_simulation_runs() {
         let layer = Layer::conv("l", 4, 4, 4, 4, 1, 1, 1);
         let m = Mapping::new(vec![
-            LevelSpec { fanout: 2, spatial_dim: Dim::K, order: Dim::ALL, tile: DimVec([2, 4, 4, 4, 1, 1]) },
-            LevelSpec { fanout: 2, spatial_dim: Dim::Y, order: Dim::ALL, tile: DimVec([2, 4, 2, 4, 1, 1]) },
-            LevelSpec { fanout: 2, spatial_dim: Dim::X, order: Dim::ALL, tile: DimVec([2, 2, 2, 2, 1, 1]) },
+            LevelSpec {
+                fanout: 2,
+                spatial_dim: Dim::K,
+                order: Dim::ALL,
+                tile: DimVec([2, 4, 4, 4, 1, 1]),
+            },
+            LevelSpec {
+                fanout: 2,
+                spatial_dim: Dim::Y,
+                order: Dim::ALL,
+                tile: DimVec([2, 4, 2, 4, 1, 1]),
+            },
+            LevelSpec {
+                fanout: 2,
+                spatial_dim: Dim::X,
+                order: Dim::ALL,
+                tile: DimVec([2, 2, 2, 2, 1, 1]),
+            },
         ]);
         let sim = simulate(&layer, &m).unwrap();
         assert_eq!(sim.levels.len(), 3);

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 
 /// Picks a divisor of `n` uniformly from its divisor set.
 fn divisor_of(n: u64) -> impl Strategy<Value = u64> {
-    let divisors: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+    let divisors: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
     prop::sample::select(divisors)
 }
 
@@ -60,7 +60,7 @@ proptest! {
             (rng >> 33) % max.max(1)
         };
         let pick_div = |n: u64, r: u64| -> u64 {
-            let divs: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+            let divs: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
             divs[(r % divs.len() as u64) as usize]
         };
         let mut t2 = DimVec::splat(1u64);

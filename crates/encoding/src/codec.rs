@@ -59,9 +59,8 @@ impl Codec {
         assert_eq!(x.len(), self.dimension(), "vector length mismatch");
         let clamp = |v: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.5 };
 
-        let fanouts: Vec<u64> = (0..self.num_levels)
-            .map(|i| log_scale(clamp(x[i]), self.platform.max_pes))
-            .collect();
+        let fanouts: Vec<u64> =
+            (0..self.num_levels).map(|i| log_scale(clamp(x[i]), self.platform.max_pes)).collect();
 
         let mut layers = Vec::with_capacity(self.unique.len());
         let mut off = self.num_levels;

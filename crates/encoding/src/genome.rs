@@ -75,9 +75,7 @@ impl Genome {
     ) -> Genome {
         assert!(num_levels >= 1, "need at least one level");
         let max_fanout = platform.max_pes;
-        let fanouts = (0..num_levels)
-            .map(|_| log_uniform(rng, max_fanout))
-            .collect();
+        let fanouts = (0..num_levels).map(|_| log_uniform(rng, max_fanout)).collect();
         let layers = unique
             .iter()
             .map(|u| LayerGenes {
@@ -171,9 +169,7 @@ impl std::fmt::Display for Genome {
             if self.layers.len() > 1 {
                 writeln!(f, "layer {li}:")?;
             }
-            for (level, (&fanout, genes)) in
-                self.fanouts.iter().zip(&lg.levels).enumerate().map(|(i, p)| (i, p))
-            {
+            for (level, (&fanout, genes)) in self.fanouts.iter().zip(&lg.levels).enumerate() {
                 let tag = self.fanouts.len() - level; // L2 outer, L1 inner
                 write!(f, "  pi_L{tag}:{fanout} P:{} |", genes.spatial_dim)?;
                 for d in genes.order {

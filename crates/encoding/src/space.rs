@@ -17,10 +17,7 @@ pub fn log10_mapping_space(model: &Model, num_levels: u32) -> f64 {
         .unique_layers()
         .iter()
         .map(|u| {
-            let tiles: f64 = Dim::ALL
-                .iter()
-                .map(|&d| (u.layer.dims()[d] as f64).log10())
-                .sum();
+            let tiles: f64 = Dim::ALL.iter().map(|&d| (u.layer.dims()[d] as f64).log10()).sum();
             num_levels as f64 * (per_level_order + tiles)
         })
         .sum()

@@ -43,6 +43,36 @@ proptest! {
         prop_assert_eq!(back, g);
     }
 
+    /// encode→decode round-trips for *arbitrary valid* genomes — not
+    /// just fresh random ones: any damaged genome becomes valid again
+    /// through `repair` (the invariant every searcher maintains), and
+    /// the codec must round-trip those too, for both level counts.
+    #[test]
+    fn roundtrip_identity_on_repaired_damage(
+        seed in 0u64..2_000,
+        fanout0 in 0u64..1_000_000,
+        fanout1 in 0u64..1_000_000,
+        tile in 0u64..1_000_000,
+        levels in 2usize..=3,
+    ) {
+        let unique = zoo::ncf().unique_layers();
+        let platform = Platform::edge();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Genome::random(&mut rng, &unique, &platform, levels);
+        // Arbitrary damage to HW and mapping genes…
+        g.fanouts[0] = fanout0;
+        g.fanouts[1] = fanout1;
+        g.layers[0].levels[0].tile = digamma_workload::DimVec::splat(tile);
+        let li = (seed as usize) % g.layers.len();
+        g.layers[li].levels[levels - 1].tile =
+            digamma_workload::DimVec::splat(tile / 7 + 1);
+        // …made valid again by repair, which every searcher guarantees.
+        repair(&mut g, &unique, &platform);
+        let codec = Codec::new(&unique, &platform, levels);
+        let back = codec.decode(&codec.encode(&g));
+        prop_assert_eq!(back, g);
+    }
+
     /// Repair is idempotent for arbitrary damage.
     #[test]
     fn repair_idempotent(seed in 0u64..2_000, fanout0 in 0u64..1_000_000, tile in 0u64..1_000_000) {

@@ -1,8 +1,6 @@
 //! Named algorithm factory matching the paper's Fig. 5 columns.
 
-use crate::{
-    CmaEs, De, OnePlusOne, Optimizer, Portfolio, Pso, RandomSearch, StdGa, Tbpsa,
-};
+use crate::{CmaEs, De, OnePlusOne, Optimizer, Portfolio, Pso, RandomSearch, StdGa, Tbpsa};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -74,9 +72,7 @@ impl Algorithm {
     /// Parses a paper-style name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Algorithm> {
         let lower = name.to_ascii_lowercase();
-        Algorithm::ALL
-            .into_iter()
-            .find(|a| a.paper_name().to_ascii_lowercase() == lower)
+        Algorithm::ALL.into_iter().find(|a| a.paper_name().to_ascii_lowercase() == lower)
     }
 }
 

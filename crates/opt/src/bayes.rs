@@ -54,13 +54,7 @@ impl GpBayesOpt {
 
     /// GP posterior mean and variance at `x` given the Cholesky factor of
     /// the kernel matrix and the precomputed `α = K⁻¹·(y - mean(y))`.
-    fn posterior(
-        &self,
-        x: &[f64],
-        chol: &[f64],
-        alpha: &[f64],
-        y_mean: f64,
-    ) -> (f64, f64) {
+    fn posterior(&self, x: &[f64], chol: &[f64], alpha: &[f64], y_mean: f64) -> (f64, f64) {
         let n = self.xs.len();
         let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel(x, xi)).collect();
         let mean = y_mean + k_star.iter().zip(alpha).map(|(k, a)| k * a).sum::<f64>();
@@ -93,7 +87,8 @@ fn standard_normal_cdf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     let erf = if x >= 0.0 { erf } else { -erf };
     0.5 * (1.0 + erf)

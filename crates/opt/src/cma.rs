@@ -33,7 +33,7 @@ pub struct CmaEs {
     // State.
     mean: Vec<f64>,
     sigma: f64,
-    cov: Vec<f64>,        // full: d×d row-major; diagonal: d entries
+    cov: Vec<f64>,         // full: d×d row-major; diagonal: d entries
     eig_vectors: Vec<f64>, // full mode only
     eig_values: Vec<f64>,  // full: eigenvalues; diagonal: cov itself
     path_c: Vec<f64>,
@@ -64,8 +64,7 @@ impl CmaEs {
         let cc = (4.0 + mueff / d) / (d + 4.0 + 2.0 * mueff / d);
         let cs = (mueff + 2.0) / (d + mueff + 5.0);
         let c1 = 2.0 / ((d + 1.3).powi(2) + mueff);
-        let cmu =
-            (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((d + 2.0).powi(2) + mueff));
+        let cmu = (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((d + 2.0).powi(2) + mueff));
         let damps = 1.0 + 2.0 * (0.0f64).max(((mueff - 1.0) / (d + 1.0)).sqrt() - 1.0) + cs;
         let chi_n = d.sqrt() * (1.0 - 1.0 / (4.0 * d) + 1.0 / (21.0 * d * d));
         let diagonal = dim > Self::DIAGONAL_THRESHOLD;
@@ -134,22 +133,30 @@ impl CmaEs {
 
     /// Samples `m + σ·B·(D ∘ z)` (full) or `m + σ·√c ∘ z` (diagonal).
     fn sample(&mut self) -> Vec<f64> {
-        let z: Vec<f64> =
-            (0..self.dim).map(|_| sample_standard_normal(&mut self.rng)).collect();
-        let mut x = vec![0.0; self.dim];
-        if self.diagonal {
-            for i in 0..self.dim {
-                x[i] = self.mean[i] + self.sigma * self.cov[i].max(1e-14).sqrt() * z[i];
-            }
+        let d = self.dim;
+        let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(&mut self.rng)).collect();
+        let mut x: Vec<f64> = if self.diagonal {
+            self.mean
+                .iter()
+                .zip(&self.cov)
+                .zip(&z)
+                .map(|((m, c), zi)| m + self.sigma * c.max(1e-14).sqrt() * zi)
+                .collect()
         } else {
-            for i in 0..self.dim {
-                let mut s = 0.0;
-                for k in 0..self.dim {
-                    s += self.eig_vectors[i * self.dim + k] * self.eig_values[k].sqrt() * z[k];
-                }
-                x[i] = self.mean[i] + self.sigma * s;
-            }
-        }
+            self.mean
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let row = &self.eig_vectors[i * d..(i + 1) * d];
+                    let s: f64 = row
+                        .iter()
+                        .zip(self.eig_values.iter().zip(&z))
+                        .map(|(b, (lam, zk))| b * lam.sqrt() * zk)
+                        .sum();
+                    m + self.sigma * s
+                })
+                .collect()
+        };
         clamp_unit(&mut x);
         x
     }
@@ -157,31 +164,26 @@ impl CmaEs {
     /// Applies `C^{-1/2}·v` (full) or element-wise `v/√c` (diagonal).
     fn inv_sqrt_cov(&self, v: &[f64]) -> Vec<f64> {
         if self.diagonal {
-            return v
-                .iter()
-                .zip(&self.cov)
-                .map(|(vi, ci)| vi / ci.max(1e-14).sqrt())
-                .collect();
+            return v.iter().zip(&self.cov).map(|(vi, ci)| vi / ci.max(1e-14).sqrt()).collect();
         }
         // B·diag(1/√D)·Bᵀ·v
         let d = self.dim;
-        let mut bt_v = vec![0.0; d];
-        for k in 0..d {
-            let mut s = 0.0;
-            for i in 0..d {
-                s += self.eig_vectors[i * d + k] * v[i];
-            }
-            bt_v[k] = s / self.eig_values[k].sqrt();
-        }
-        let mut out = vec![0.0; d];
-        for i in 0..d {
-            let mut s = 0.0;
-            for k in 0..d {
-                s += self.eig_vectors[i * d + k] * bt_v[k];
-            }
-            out[i] = s;
-        }
-        out
+        let bt_v: Vec<f64> = self
+            .eig_values
+            .iter()
+            .enumerate()
+            .map(|(k, lam)| {
+                let s: f64 =
+                    v.iter().enumerate().map(|(i, vi)| self.eig_vectors[i * d + k] * vi).sum();
+                s / lam.sqrt()
+            })
+            .collect();
+        (0..d)
+            .map(|i| {
+                let row = &self.eig_vectors[i * d..(i + 1) * d];
+                row.iter().zip(&bt_v).map(|(b, bv)| b * bv).sum()
+            })
+            .collect()
     }
 
     fn update_distribution(&mut self) {
@@ -199,14 +201,13 @@ impl CmaEs {
         self.mean = new_mean;
 
         // y_w = (m - m_old)/σ.
-        let y_w: Vec<f64> =
-            (0..d).map(|i| (self.mean[i] - old_mean[i]) / self.sigma).collect();
+        let y_w: Vec<f64> = (0..d).map(|i| (self.mean[i] - old_mean[i]) / self.sigma).collect();
 
         // Step-size path.
         let c_inv_y = self.inv_sqrt_cov(&y_w);
         let cs_coeff = (self.cs * (2.0 - self.cs) * self.mueff).sqrt();
-        for i in 0..d {
-            self.path_s[i] = (1.0 - self.cs) * self.path_s[i] + cs_coeff * c_inv_y[i];
+        for (ps, ciy) in self.path_s.iter_mut().zip(&c_inv_y) {
+            *ps = (1.0 - self.cs) * *ps + cs_coeff * ciy;
         }
         let ps_norm = self.path_s.iter().map(|v| v * v).sum::<f64>().sqrt();
         let expected_decay =
@@ -215,9 +216,8 @@ impl CmaEs {
 
         // Covariance path.
         let cc_coeff = (self.cc * (2.0 - self.cc) * self.mueff).sqrt();
-        for i in 0..d {
-            self.path_c[i] =
-                (1.0 - self.cc) * self.path_c[i] + if hsig { cc_coeff * y_w[i] } else { 0.0 };
+        for (pc, yw) in self.path_c.iter_mut().zip(&y_w) {
+            *pc = (1.0 - self.cc) * *pc + if hsig { cc_coeff * yw } else { 0.0 };
         }
         let delta_hsig = if hsig { 0.0 } else { self.cc * (2.0 - self.cc) };
 
@@ -299,7 +299,10 @@ impl Optimizer for CmaEs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+    use crate::optimizer::{
+        minimize,
+        test_functions::{rugged, sphere},
+    };
 
     #[test]
     fn converges_fast_on_sphere() {

@@ -118,7 +118,10 @@ impl Optimizer for De {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+    use crate::optimizer::{
+        minimize,
+        test_functions::{rugged, sphere},
+    };
 
     #[test]
     fn converges_on_sphere() {

@@ -117,7 +117,10 @@ impl Optimizer for StdGa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+    use crate::optimizer::{
+        minimize,
+        test_functions::{rugged, sphere},
+    };
 
     #[test]
     fn improves_on_sphere() {

@@ -1,8 +1,8 @@
 //! (1+1) evolution strategy with the 1/5th success rule.
 
+use self::rand_distr_shim::sample_standard_normal;
 use crate::optimizer::{clamp_unit, seeded_rng, uniform_point, BestTracker, Optimizer};
 use rand::rngs::SmallRng;
-use rand_distr_shim::sample_standard_normal;
 
 /// A hill climber that mutates its incumbent with isotropic Gaussian
 /// noise, expanding the step size on success and contracting it on

@@ -39,7 +39,13 @@ impl Portfolio {
             Box::new(De::new(dim, seed ^ 0x85eb_ca6b)),
             Box::new(Pso::new(dim, seed ^ 0xc2b2_ae35)),
         ];
-        Portfolio { dim, members, next_member: 0, outstanding: VecDeque::new(), best: BestTracker::new() }
+        Portfolio {
+            dim,
+            members,
+            next_member: 0,
+            outstanding: VecDeque::new(),
+            best: BestTracker::new(),
+        }
     }
 
     /// Number of member optimizers.

@@ -65,12 +65,12 @@ impl Pso {
         let global = self.global_best.get().map(|(x, _)| x.to_vec());
         for p in &mut self.swarm {
             if let Some(g) = &global {
-                for i in 0..self.dim {
+                for (i, gi) in g.iter().enumerate() {
                     let r1: f64 = self.rng.gen_range(0.0..1.0);
                     let r2: f64 = self.rng.gen_range(0.0..1.0);
                     p.velocity[i] = INERTIA * p.velocity[i]
                         + ACCEL * r1 * (p.best_position[i] - p.position[i])
-                        + ACCEL * r2 * (g[i] - p.position[i]);
+                        + ACCEL * r2 * (gi - p.position[i]);
                     p.position[i] += p.velocity[i];
                     if p.position[i] < 0.0 || p.position[i] > 1.0 {
                         p.velocity[i] = 0.0;
@@ -123,7 +123,10 @@ impl Optimizer for Pso {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{minimize, test_functions::{rugged, sphere}};
+    use crate::optimizer::{
+        minimize,
+        test_functions::{rugged, sphere},
+    };
 
     #[test]
     fn converges_on_sphere() {

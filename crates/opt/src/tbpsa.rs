@@ -64,11 +64,9 @@ impl Tbpsa {
         for i in 0..self.dim {
             let elite_mean: f64 =
                 self.generation[..mu].iter().map(|(x, _)| x[i]).sum::<f64>() / mu as f64;
-            let elite_var: f64 = self.generation[..mu]
-                .iter()
-                .map(|(x, _)| (x[i] - elite_mean).powi(2))
-                .sum::<f64>()
-                / mu as f64;
+            let elite_var: f64 =
+                self.generation[..mu].iter().map(|(x, _)| (x[i] - elite_mean).powi(2)).sum::<f64>()
+                    / mu as f64;
             self.mean[i] = elite_mean;
             // Keep a sampling floor so the search never collapses early.
             self.sigma[i] = (elite_var.sqrt() * 1.1).clamp(1e-5, 0.5);

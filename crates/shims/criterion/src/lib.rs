@@ -1,0 +1,176 @@
+//! Offline in-tree shim for the subset of `criterion` this workspace
+//! uses: `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a plain wall-clock harness — a short warm-up, then timed
+//! batches with a median-of-batches estimate — not a statistical engine.
+//! Numbers are printed in criterion's `name ... time: [x]` shape so
+//! existing eyeballs and scripts keep working. Swap the real criterion
+//! back into the workspace manifest for serious measurements.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (API-compatible subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup.
+    SmallInput,
+    /// Large inputs: one routine call per setup.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// The benchmark context handed to each registered function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a timing estimate.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { estimate_ns: 0.0 };
+        f(&mut bencher);
+        println!("{id:<44} time: [{}]", format_ns(bencher.estimate_ns));
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    estimate_ns: f64,
+}
+
+/// Target wall-clock spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+impl Bencher {
+    /// Times `routine` called in a tight loop.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also discovers a per-batch iteration count that keeps
+        // timer overhead below ~1% of a batch.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = WARMUP_BUDGET.as_secs_f64() / calls.max(1) as f64;
+        let batch = ((1e-4 / per_call.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.estimate_ns = median(&mut samples) * 1e9;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            let input = setup();
+            black_box(routine(input));
+            calls += 1;
+        }
+
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET || samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        self.estimate_ns = median(&mut samples) * 1e9;
+        let _ = calls;
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_positive_estimate() {
+        let mut b = Bencher { estimate_ns: 0.0 };
+        b.iter(|| 2u64.wrapping_mul(3));
+        assert!(b.estimate_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut b = Bencher { estimate_ns: 0.0 };
+        b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        assert!(b.estimate_ns > 0.0);
+    }
+
+    #[test]
+    fn format_covers_all_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5_000.0).ends_with("µs"));
+        assert!(format_ns(5_000_000.0).ends_with("ms"));
+        assert!(format_ns(5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,23 @@
+//! `prop::array` — fixed-size arrays of independently drawn elements.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// A `[T; 6]` with each element drawn independently from `element`.
+pub fn uniform6<S: Strategy>(element: S) -> UniformArray<S, 6> {
+    UniformArray { element }
+}
+
+/// See [`uniform6`].
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, runner: &mut TestRunner) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.sample(runner))
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline in-tree shim for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate stands in
+//! for the real proptest. It keeps the same API shape — the `proptest!`
+//! macro, `Strategy` combinators (`prop_map`, `prop_shuffle`), range and
+//! tuple strategies, `prop::sample::select`, `prop::collection::vec`,
+//! `prop::array::uniform6`, `TestRunner`/`ValueTree` — but runs plain
+//! deterministic random sampling with **no shrinking**: a failing case
+//! panics with the case index so it can be replayed (the runner is
+//! seeded with a fixed constant, so every run explores the same cases).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod array;
+pub mod collection;
+pub mod sample;
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times
+/// and runs the body on every sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::default();
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut runner);
+                    )+
+                    let guard = $crate::test_runner::CaseGuard::new(case);
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure; this
+/// shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

@@ -1,0 +1,30 @@
+//! `prop::sample` — choosing among explicit values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use rand::Rng;
+
+/// Uniformly selects one of the given values.
+///
+/// # Panics
+///
+/// The returned strategy panics when sampled if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        assert!(!self.values.is_empty(), "prop::sample::select on empty set");
+        let i = runner.rng().gen_range(0..self.values.len());
+        self.values[i].clone()
+    }
+}

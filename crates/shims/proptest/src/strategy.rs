@@ -1,0 +1,172 @@
+//! Strategies: composable value generators.
+
+use crate::test_runner::TestRunner;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A generator of test values (the shim keeps proptest's name and
+/// combinator surface, minus shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Uniformly permutes produced collections (arrays or vectors).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+
+    /// Samples a value wrapped in a [`ValueTree`] (compatibility with
+    /// explicit `TestRunner` use; the shim's trees do not shrink).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, String> {
+        Ok(Sampled(self.sample(runner)))
+    }
+}
+
+/// A sampled value posing as proptest's shrinkable tree.
+pub trait ValueTree {
+    /// The type of value in the tree.
+    type Value;
+
+    /// The current (only) value.
+    fn current(&self) -> Self::Value;
+}
+
+/// The shim's only tree shape: a single sampled value.
+#[derive(Debug, Clone)]
+pub struct Sampled<T>(pub T);
+
+impl<T: Clone> ValueTree for Sampled<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy always producing clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S> Strategy for Shuffle<S>
+where
+    S: Strategy,
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S::Value {
+        let mut value = self.inner.sample(runner);
+        value.shuffle_in_place(runner);
+        value
+    }
+}
+
+/// Collections `prop_shuffle` knows how to permute.
+pub trait Shuffleable {
+    /// Fisher–Yates shuffle using the runner's RNG.
+    fn shuffle_in_place(&mut self, runner: &mut TestRunner);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle_in_place(&mut self, runner: &mut TestRunner) {
+        self.as_mut_slice().shuffle(runner.rng());
+    }
+}
+
+impl<T, const N: usize> Shuffleable for [T; N] {
+    fn shuffle_in_place(&mut self, runner: &mut TestRunner) {
+        self.as_mut_slice().shuffle(runner.rng());
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i32, i64, u32, u64, usize, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6)
+}

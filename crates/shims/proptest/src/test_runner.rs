@@ -1,0 +1,78 @@
+//! The deterministic sampling runner behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only `cases` is honored by the shim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Source of randomness for strategies.
+///
+/// Always seeded with a fixed constant, so a property explores the same
+/// case sequence on every run — failures are reproducible by design.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> TestRunner {
+        TestRunner { rng: SmallRng::seed_from_u64(0x0BAD_5EED_CAFE_F00D) }
+    }
+}
+
+impl TestRunner {
+    /// The runner's RNG, for strategies to draw from.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Prints the failing case index if a property body panics (the shim's
+/// substitute for proptest's failure persistence).
+#[derive(Debug)]
+pub struct CaseGuard {
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for case number `case`.
+    pub fn new(case: u32) -> CaseGuard {
+        CaseGuard { case, armed: true }
+    }
+
+    /// Marks the case as passed; the guard stays silent on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property failed on case #{} \
+                 (cases are deterministic; rerun reproduces it)",
+                self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline in-tree shim for the subset of `serde` this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no
+//! `#[serde(...)]` attributes, no serializer in tree), so this shim just
+//! re-exports the no-op derives from the sibling `serde_derive` shim.
+//! Swapping the real serde back in is a one-line workspace change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -106,7 +106,11 @@ impl<T: Copy> DimVec<T> {
     }
 
     /// Combines two `DimVec`s entry-wise.
-    pub fn zip_with<U: Copy, V, F: FnMut(T, U) -> V>(self, other: DimVec<U>, mut f: F) -> DimVec<V> {
+    pub fn zip_with<U: Copy, V, F: FnMut(T, U) -> V>(
+        self,
+        other: DimVec<U>,
+        mut f: F,
+    ) -> DimVec<V> {
         let a = self.0;
         let b = other.0;
         DimVec([

@@ -311,15 +311,9 @@ mod tests {
     #[test]
     fn relevance_masks_cover_expected_dims() {
         let w = LayerKind::Conv.relevance(Tensor::Weight);
-        assert_eq!(
-            Dim::ALL.map(|d| w[d]),
-            [true, true, false, false, true, true]
-        );
+        assert_eq!(Dim::ALL.map(|d| w[d]), [true, true, false, false, true, true]);
         let o = LayerKind::Gemm.relevance(Tensor::Output);
-        assert_eq!(
-            Dim::ALL.map(|d| o[d]),
-            [true, false, true, true, false, false]
-        );
+        assert_eq!(Dim::ALL.map(|d| o[d]), [true, false, true, true, false, false]);
     }
 
     #[test]

@@ -19,7 +19,15 @@ fn inverted_residual(
     if expand > 1 {
         layers.push(Layer::conv(format!("{tag}_expand"), hidden, cin, in_sz, in_sz, 1, 1, 1));
     }
-    layers.push(Layer::depthwise(format!("{tag}_dw"), hidden, out_sz, out_sz, kernel, kernel, stride));
+    layers.push(Layer::depthwise(
+        format!("{tag}_dw"),
+        hidden,
+        out_sz,
+        out_sz,
+        kernel,
+        kernel,
+        stride,
+    ));
     layers.push(Layer::conv(format!("{tag}_project"), cout, hidden, out_sz, out_sz, 1, 1, 1));
 }
 
@@ -35,17 +43,7 @@ fn build_stages(
             let stride = if b == 0 { s } else { 1 };
             let in_sz = sz;
             let out_sz = if stride == 2 { sz / 2 } else { sz };
-            inverted_residual(
-                layers,
-                &format!("st{si}b{b}"),
-                cin,
-                c,
-                t,
-                k,
-                stride,
-                in_sz,
-                out_sz,
-            );
+            inverted_residual(layers, &format!("st{si}b{b}"), cin, c, t, k, stride, in_sz, out_sz);
             cin = c;
             sz = out_sz;
         }

@@ -78,11 +78,8 @@ mod tests {
             .filter(|l| l.kind() != crate::LayerKind::Gemm)
             .map(|l| l.arithmetic_intensity())
             .fold(f64::INFINITY, f64::min);
-        let rec_min = dlrm()
-            .layers()
-            .iter()
-            .map(|l| l.arithmetic_intensity())
-            .fold(f64::INFINITY, f64::min);
+        let rec_min =
+            dlrm().layers().iter().map(|l| l.arithmetic_intensity()).fold(f64::INFINITY, f64::min);
         assert!(cnn_min > 5.0, "resnet50 min intensity {cnn_min}");
         assert!(rec_min < 1.0, "dlrm min intensity {rec_min}");
     }

@@ -65,12 +65,8 @@ mod tests {
     fn ncf_structure() {
         let m = ncf();
         assert_eq!(m.layers().len(), 8);
-        let emb: u64 = m
-            .layers()
-            .iter()
-            .filter(|l| l.name().starts_with("emb"))
-            .map(|l| l.macs())
-            .sum();
+        let emb: u64 =
+            m.layers().iter().filter(|l| l.name().starts_with("emb")).map(|l| l.macs()).sum();
         assert_eq!(emb, 4 * 64 * BATCH);
     }
 

@@ -48,11 +48,29 @@ pub fn resnet50() -> Model {
             let block_cin = if b == 0 { cin } else { cout };
             let in_sz = if b == 0 { size_in } else { sz };
             // 1x1 reduce at input resolution, 3x3 (carries the stride), 1x1 expand.
-            layers.push(Layer::conv(format!("s{si}b{b}_c1"), mid, block_cin, in_sz, in_sz, 1, 1, 1));
+            layers.push(Layer::conv(
+                format!("s{si}b{b}_c1"),
+                mid,
+                block_cin,
+                in_sz,
+                in_sz,
+                1,
+                1,
+                1,
+            ));
             layers.push(Layer::conv(format!("s{si}b{b}_c2"), mid, mid, sz, sz, 3, 3, stride));
             layers.push(Layer::conv(format!("s{si}b{b}_c3"), cout, mid, sz, sz, 1, 1, 1));
             if b == 0 {
-                layers.push(Layer::conv(format!("s{si}_short"), cout, block_cin, sz, sz, 1, 1, stride));
+                layers.push(Layer::conv(
+                    format!("s{si}_short"),
+                    cout,
+                    block_cin,
+                    sz,
+                    sz,
+                    1,
+                    1,
+                    stride,
+                ));
             }
         }
         cin = cout;

@@ -14,10 +14,7 @@ use digamma_repro::prelude::*;
 fn design_for(platform: Platform, budget_samples: usize) -> DesignPoint {
     let problem = CoOptProblem::new(zoo::dlrm(), platform, Objective::Latency);
     let config = DiGammaConfig { seed: 7, threads: 4, ..Default::default() };
-    DiGamma::new(config)
-        .search(&problem, budget_samples)
-        .best
-        .expect("feasible design")
+    DiGamma::new(config).search(&problem, budget_samples).best.expect("feasible design")
 }
 
 fn describe(tag: &str, d: &DesignPoint) {
@@ -38,8 +35,10 @@ fn main() {
     describe("cloud (7.0 mm²)", &cloud);
 
     let speedup = edge.latency_cycles / cloud.latency_cycles;
-    println!("\ncloud design is {speedup:.1}x faster — with {:.0}x the area",
-        cloud.area_um2 / edge.area_um2);
+    println!(
+        "\ncloud design is {speedup:.1}x faster — with {:.0}x the area",
+        cloud.area_um2 / edge.area_um2
+    );
     println!(
         "PE scale-up: {}x PEs, L2 scale-up: {}x words",
         cloud.hw.num_pes() / edge.hw.num_pes().max(1),

@@ -29,9 +29,7 @@ fn main() {
     println!("workload: {model}");
 
     // Manual mapping styles on this hardware.
-    let constrained = problem
-        .clone()
-        .with_constraint(Constraint::FixedHw(hw.clone()));
+    let constrained = problem.clone().with_constraint(Constraint::FixedHw(hw.clone()));
     for style in MappingStyle::ALL {
         let mappings = templates::instantiate_all(style, problem.unique_layers(), &hw);
         match constrained.evaluate_mappings(&hw.fanouts, &mappings) {
@@ -49,11 +47,8 @@ fn main() {
     println!("  GAMMA     : {:.3e} cycles  <- searched", best.latency_cycles);
 
     println!("\nbest searched mapping for the attention-score GEMM:");
-    let score_idx = problem
-        .unique_layers()
-        .iter()
-        .position(|u| u.layer.name().contains("scores"))
-        .unwrap_or(0);
+    let score_idx =
+        problem.unique_layers().iter().position(|u| u.layer.name().contains("scores")).unwrap_or(0);
     let single = Genome {
         fanouts: best.genome.fanouts.clone(),
         layers: vec![best.genome.layers[score_idx].clone()],

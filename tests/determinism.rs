@@ -1,0 +1,63 @@
+//! Determinism contract: a fixed seed yields the identical
+//! [`SearchResult`] — across repeated runs and across any worker-thread
+//! count. This is what makes parallel fitness evaluation safe to enable
+//! by default: `parallel_map` preserves input order and evaluation is a
+//! pure function of the genome, so threads only change wall-clock time.
+
+use digamma_repro::prelude::*;
+
+fn problem() -> CoOptProblem {
+    CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency)
+}
+
+fn config(seed: u64, threads: usize) -> DiGammaConfig {
+    DiGammaConfig { population_size: 16, seed, threads, ..Default::default() }
+}
+
+#[test]
+fn same_seed_gives_identical_search_results_across_runs() {
+    let p = problem();
+    let a = DiGamma::new(config(11, 1)).search(&p, 150);
+    let b = DiGamma::new(config(11, 1)).search(&p, 150);
+    // Full structural equality: best genome, hardware, metrics, history.
+    assert_eq!(a, b);
+    assert!(a.best.is_some(), "seed 11 should find a feasible design");
+}
+
+#[test]
+fn thread_count_never_changes_the_search_result() {
+    let p = problem();
+    let sequential = DiGamma::new(config(23, 1)).search(&p, 150);
+    for threads in [2, 4, digamma_repro::core::default_threads().max(2)] {
+        let parallel = DiGamma::new(config(23, threads)).search(&p, 150);
+        assert_eq!(sequential, parallel, "threads = {threads} diverged from sequential evaluation");
+    }
+}
+
+#[test]
+fn gamma_inherits_the_same_determinism_contract() {
+    let hw = HwConfig {
+        fanouts: vec![8, 16],
+        l2_words: 32 * 1024,
+        mid_words_per_unit: vec![],
+        l1_words_per_pe: 128,
+    };
+    let p = problem();
+    let mk = |threads| {
+        Gamma::new(GammaConfig { population_size: 12, seed: 31, threads, ..Default::default() })
+            .search(&p, &hw, 150)
+    };
+    let one = mk(1);
+    assert_eq!(one, mk(1));
+    assert_eq!(one, mk(4));
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let p = problem();
+    let a = DiGamma::new(config(1, 1)).search(&p, 150);
+    let b = DiGamma::new(config(2, 1)).search(&p, 150);
+    // Histories track best-so-far per sample; two seeds matching on the
+    // whole trace would point at a seeding bug.
+    assert_ne!(a.history, b.history);
+}

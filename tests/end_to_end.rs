@@ -35,9 +35,8 @@ fn digamma_beats_random_search_at_equal_budget() {
         .search(&problem, budget)
         .best_cost()
         .expect("digamma finds a design");
-    let random = run_algorithm(Algorithm::Random, &problem, budget, 1)
-        .best_cost()
-        .unwrap_or(f64::INFINITY);
+    let random =
+        run_algorithm(Algorithm::Random, &problem, budget, 1).best_cost().unwrap_or(f64::INFINITY);
     assert!(dg < random, "digamma {dg} vs random {random}");
 }
 
@@ -70,8 +69,8 @@ fn fixed_hw_constraint_pins_the_hardware_end_to_end() {
         l1_words_per_pe: 64,
     };
     let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
-    let result = Gamma::new(GammaConfig { seed: 9, ..Default::default() })
-        .search(&problem, &hw, 200);
+    let result =
+        Gamma::new(GammaConfig { seed: 9, ..Default::default() }).search(&problem, &hw, 200);
     let best = result.best.expect("gamma finds a fitting mapping");
     assert_eq!(best.hw, hw);
     // Every layer's decoded mapping must genuinely fit the fixed buffers.
