@@ -1,0 +1,37 @@
+//! Criterion benchmark: the fitness memo cache's effect on a whole
+//! search — nocache vs cold-cache vs warm-cache on `zoo::ncf()`.
+//!
+//! The measured medians are recorded in
+//! `digamma_bench::cachebench`'s module docs; re-run with
+//! `cargo bench -p digamma_bench --bench cache`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use digamma_bench::cachebench::{prewarmed_cache, timed_search, CacheBenchConfig};
+use digamma_server::ShardedFitnessCache;
+use std::sync::Arc;
+
+const CONFIG: CacheBenchConfig = CacheBenchConfig { budget: 600, population_size: 16, seed: 1 };
+
+fn bench_nocache(c: &mut Criterion) {
+    c.bench_function("cache/nocache_search_ncf_600", |b| b.iter(|| timed_search(CONFIG, None)));
+}
+
+fn bench_cold(c: &mut Criterion) {
+    c.bench_function("cache/cold_search_ncf_600", |b| {
+        b.iter_batched(
+            || Arc::new(ShardedFitnessCache::new(1 << 18)),
+            |cache| timed_search(CONFIG, Some(cache)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_warm(c: &mut Criterion) {
+    let warm = prewarmed_cache(CONFIG, 1);
+    c.bench_function("cache/warm_search_ncf_600", |b| {
+        b.iter(|| timed_search(CONFIG, Some(Arc::clone(&warm))))
+    });
+}
+
+criterion_group!(benches, bench_nocache, bench_cold, bench_warm);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //! * [`fig7`] — found-solution breakdown for MnasNet at edge,
 //! * [`ablation`] — operator ablations of the DiGamma GA (E5),
 //! * [`pareto`] — the latency-vs-area sweep (an extension),
+//! * [`cachebench`] — cold- vs warm-cache search comparison for the
+//!   server's fitness memo (recorded numbers in its module docs),
 //! * [`report`] — the markdown/TSV table writer the binaries share.
 //!
 //! The binaries (`fig5`, `fig6`, `fig7`, `pareto`, `space`, `ablation`)
@@ -18,6 +20,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod cachebench;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -85,6 +85,79 @@ impl Default for DiGammaConfig {
     }
 }
 
+/// Mid-search GA state: everything [`DiGamma::step`] reads and writes.
+///
+/// A `SearchState` is only ever observed at a *generation boundary*, and
+/// at a boundary it is a pure function of `(config, problem, generation)`
+/// — the per-generation RNG is re-derived from the seed and the
+/// generation counter, never carried across generations. That invariant
+/// is what makes text checkpoints possible: a snapshot needs only the
+/// population genomes, the best-so-far genome, the history, and two
+/// counters, and a restored search replays the exact byte-for-byte
+/// trajectory of an uninterrupted one (the `digamma-server` crate builds
+/// its versioned snapshot format and determinism tests on this).
+#[derive(Debug, Clone)]
+pub struct SearchState {
+    population: Vec<Genome>,
+    evals: Vec<DesignEvaluation>,
+    best: Option<(Genome, DesignEvaluation)>,
+    history: Vec<f64>,
+    samples: usize,
+    generation: u64,
+}
+
+impl SearchState {
+    /// The current population, in the order it was produced.
+    pub fn population(&self) -> &[Genome] {
+        &self.population
+    }
+
+    /// The best feasible genome found so far, if any.
+    pub fn best_genome(&self) -> Option<&Genome> {
+        self.best.as_ref().map(|(g, _)| g)
+    }
+
+    /// The best feasible cost found so far, if any.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|(_, e)| e.cost)
+    }
+
+    /// Best-so-far cost after each evaluated sample.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Design points evaluated so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Completed generations (0 = only the initial population).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Finishes the search, converting the state into its result.
+    pub fn into_result(self) -> SearchResult {
+        SearchResult {
+            best: self.best.map(|(g, e)| DesignPoint::from_evaluation(g, &e)),
+            history: self.history,
+            samples: self.samples,
+        }
+    }
+
+    fn record(&mut self, genomes: &[Genome], evals: &[DesignEvaluation]) {
+        for (g, e) in genomes.iter().zip(evals) {
+            self.samples += 1;
+            let better = e.feasible && self.best.as_ref().is_none_or(|(_, b)| e.cost < b.cost);
+            if better {
+                self.best = Some((g.clone(), e.clone()));
+            }
+            self.history.push(self.best.as_ref().map_or(f64::INFINITY, |(_, b)| b.cost));
+        }
+    }
+}
+
 /// The domain-aware GA searcher.
 #[derive(Debug, Clone)]
 pub struct DiGamma {
@@ -104,30 +177,38 @@ impl DiGamma {
         &self.config
     }
 
+    /// The RNG driving generation `g` — a pure function of the seed and
+    /// the generation counter, so checkpoints need not serialize RNG
+    /// internals: "position in the stream" restores by reseeding.
+    fn generation_rng(&self, generation: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.config.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// Runs the search for at most `budget` design-point evaluations.
     pub fn search(&self, problem: &CoOptProblem, budget: usize) -> SearchResult {
+        let mut state = self.init(problem, budget);
+        while self.step(problem, &mut state, budget) {}
+        state.into_result()
+    }
+
+    /// Builds and evaluates the initial population (generation 0).
+    ///
+    /// Consumes `min(population_size, budget)` samples. Drive the
+    /// returned state with [`DiGamma::step`], or let [`DiGamma::search`]
+    /// do both.
+    pub fn init(&self, problem: &CoOptProblem, budget: usize) -> SearchState {
         let cfg = &self.config;
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng = self.generation_rng(0);
         let unique = problem.unique_layers();
         let platform = problem.platform();
 
-        let mut history = Vec::with_capacity(budget);
-        let mut best: Option<(Genome, DesignEvaluation)> = None;
-        let mut samples = 0usize;
-
-        let record = |genomes: &[Genome],
-                      evals: &[DesignEvaluation],
-                      best: &mut Option<(Genome, DesignEvaluation)>,
-                      history: &mut Vec<f64>,
-                      samples: &mut usize| {
-            for (g, e) in genomes.iter().zip(evals) {
-                *samples += 1;
-                let better = e.feasible && best.as_ref().is_none_or(|(_, b)| e.cost < b.cost);
-                if better {
-                    *best = Some((g.clone(), e.clone()));
-                }
-                history.push(best.as_ref().map_or(f64::INFINITY, |(_, b)| b.cost));
-            }
+        let mut state = SearchState {
+            population: Vec::new(),
+            evals: Vec::new(),
+            best: None,
+            history: Vec::with_capacity(budget),
+            samples: 0,
+            generation: 0,
         };
 
         // Initial population. Under a Fixed-HW constraint the buffers are
@@ -174,87 +255,138 @@ impl DiGamma {
             }
             population.push(g);
         }
-        let mut evals =
+        let evals =
             crate::parallel::parallel_map(&population, cfg.threads, |g| problem.evaluate(g));
-        record(&population, &evals, &mut best, &mut history, &mut samples);
+        state.record(&population, &evals);
+        state.population = population;
+        state.evals = evals;
+        state
+    }
 
+    /// Advances `state` by one generation, stopping at `budget` samples.
+    ///
+    /// Returns `false` (leaving the state untouched) once the budget is
+    /// exhausted. After a `step`, the state sits at a generation boundary
+    /// and may be snapshotted and later resumed bit-identically.
+    pub fn step(&self, problem: &CoOptProblem, state: &mut SearchState, budget: usize) -> bool {
+        if state.samples >= budget {
+            return false;
+        }
+        let cfg = &self.config;
+        let unique = problem.unique_layers();
+        let platform = problem.platform();
+        state.generation += 1;
+        let mut rng = self.generation_rng(state.generation);
         let elites = ((cfg.population_size as f64 * cfg.elite_fraction).ceil() as usize).max(1);
 
-        while samples < budget {
-            // Rank current population (ascending cost).
-            let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| evals[a].cost.total_cmp(&evals[b].cost));
+        // Rank current population (ascending cost).
+        let mut order: Vec<usize> = (0..state.population.len()).collect();
+        order.sort_by(|&a, &b| state.evals[a].cost.total_cmp(&state.evals[b].cost));
 
-            let want = (cfg.population_size).min(budget - samples);
-            let mut children: Vec<Genome> = Vec::with_capacity(want);
-            // Elites survive unchanged (re-evaluated only to keep the
-            // bookkeeping simple; evaluation is deterministic).
-            for &i in order.iter().take(elites.min(want)) {
-                children.push(population[i].clone());
+        let want = (cfg.population_size).min(budget - state.samples);
+        let mut children: Vec<Genome> = Vec::with_capacity(want);
+        // Elites survive unchanged (re-evaluated only to keep the
+        // bookkeeping simple; evaluation is deterministic — and with a
+        // fitness cache attached the re-evaluation is a pure cache hit).
+        for &i in order.iter().take(elites.min(want)) {
+            children.push(state.population[i].clone());
+        }
+        // A trickle of random immigrants keeps diversity up.
+        let immigrants = (want / 20).min(want.saturating_sub(children.len()));
+        for _ in 0..immigrants {
+            let mut g = Genome::random(&mut rng, unique, platform, cfg.num_levels);
+            if let Constraint::FixedHw(hw) = problem.constraint() {
+                g.fanouts = hw.fanouts.clone();
             }
-            // A trickle of random immigrants keeps diversity up.
-            let immigrants = (want / 20).min(want.saturating_sub(children.len()));
-            for _ in 0..immigrants {
-                let mut g = Genome::random(&mut rng, unique, platform, cfg.num_levels);
+            children.push(g);
+        }
+        // Exploiters: single-mutation neighbours of the incumbent
+        // best — cheap hill-climbing woven into the generation.
+        if let Some((best_genome, _)) = &state.best {
+            let exploiters = (want / 10).min(want.saturating_sub(children.len()));
+            for _ in 0..exploiters {
+                let mut g = best_genome.clone();
+                if cfg.mutate_hw_rate > 0.0 && rng.gen_bool(0.25) {
+                    operators::mutate_hw(&mut rng, &mut g, platform.max_pes);
+                } else {
+                    let li = rng.gen_range(0..g.layers.len().max(1));
+                    operators::mutate_one_layer(&mut rng, &mut g, unique, li);
+                }
+                repair(&mut g, unique, platform);
                 if let Constraint::FixedHw(hw) = problem.constraint() {
                     g.fanouts = hw.fanouts.clone();
                 }
                 children.push(g);
             }
-            // Exploiters: single-mutation neighbours of the incumbent
-            // best — cheap hill-climbing woven into the generation.
-            if let Some((best_genome, _)) = &best {
-                let exploiters = (want / 10).min(want.saturating_sub(children.len()));
-                for _ in 0..exploiters {
-                    let mut g = best_genome.clone();
-                    if cfg.mutate_hw_rate > 0.0 && rng.gen_bool(0.25) {
-                        operators::mutate_hw(&mut rng, &mut g, platform.max_pes);
-                    } else {
-                        let li = rng.gen_range(0..g.layers.len().max(1));
-                        operators::mutate_one_layer(&mut rng, &mut g, unique, li);
-                    }
-                    repair(&mut g, unique, platform);
-                    if let Constraint::FixedHw(hw) = problem.constraint() {
-                        g.fanouts = hw.fanouts.clone();
-                    }
-                    children.push(g);
-                }
+        }
+        while children.len() < want {
+            let parent_a = &state.population[tournament(&mut rng, &order, &state.evals)];
+            let mut child = if rng.gen_bool(cfg.crossover_rate) && state.population.len() >= 2 {
+                let parent_b = &state.population[tournament(&mut rng, &order, &state.evals)];
+                operators::crossover(&mut rng, parent_a, parent_b)
+            } else {
+                parent_a.clone()
+            };
+            operators::reorder(&mut rng, &mut child, cfg.reorder_rate);
+            operators::mutate_map(&mut rng, &mut child, unique, cfg.mutate_map_rate);
+            if rng.gen_bool(cfg.mutate_hw_rate) {
+                operators::mutate_hw(&mut rng, &mut child, platform.max_pes);
             }
-            while children.len() < want {
-                let parent_a = &population[tournament(&mut rng, &order, &evals)];
-                let mut child = if rng.gen_bool(cfg.crossover_rate) && population.len() >= 2 {
-                    let parent_b = &population[tournament(&mut rng, &order, &evals)];
-                    operators::crossover(&mut rng, parent_a, parent_b)
-                } else {
-                    parent_a.clone()
-                };
-                operators::reorder(&mut rng, &mut child, cfg.reorder_rate);
-                operators::mutate_map(&mut rng, &mut child, unique, cfg.mutate_map_rate);
-                if rng.gen_bool(cfg.mutate_hw_rate) {
-                    operators::mutate_hw(&mut rng, &mut child, platform.max_pes);
-                }
-                if rng.gen_bool(cfg.grow_aging_rate) {
-                    operators::grow_or_age(&mut rng, &mut child);
-                }
-                repair(&mut child, unique, platform);
-                if let Constraint::FixedHw(hw) = problem.constraint() {
-                    child.fanouts = hw.fanouts.clone();
-                }
-                children.push(child);
+            if rng.gen_bool(cfg.grow_aging_rate) {
+                operators::grow_or_age(&mut rng, &mut child);
             }
-
-            let child_evals =
-                crate::parallel::parallel_map(&children, cfg.threads, |g| problem.evaluate(g));
-            record(&children, &child_evals, &mut best, &mut history, &mut samples);
-            population = children;
-            evals = child_evals;
+            repair(&mut child, unique, platform);
+            if let Constraint::FixedHw(hw) = problem.constraint() {
+                child.fanouts = hw.fanouts.clone();
+            }
+            children.push(child);
         }
 
-        SearchResult {
-            best: best.map(|(g, e)| DesignPoint::from_evaluation(g, &e)),
-            history,
-            samples,
-        }
+        let child_evals =
+            crate::parallel::parallel_map(&children, cfg.threads, |g| problem.evaluate(g));
+        state.record(&children, &child_evals);
+        state.population = children;
+        state.evals = child_evals;
+        true
+    }
+
+    /// Rebuilds a [`SearchState`] from checkpointed data.
+    ///
+    /// Per-genome evaluations are *recomputed* (evaluation is pure and
+    /// deterministic, and cheap again under a fitness cache), so
+    /// checkpoints carry only genomes, history, and counters. The
+    /// restored state continues exactly where [`DiGamma::step`] left off:
+    /// resuming reproduces an uninterrupted run bit-for-bit because each
+    /// generation reseeds its RNG from `(seed, generation)`.
+    ///
+    /// Bit-identical resumption assumes the resumed run keeps the
+    /// original total budget: the final generation of a budget is
+    /// truncated to the remaining samples, so a snapshot taken after
+    /// such a truncated generation describes a *finished* search, not a
+    /// resumable midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is empty or `history.len() != samples`.
+    pub fn restore(
+        &self,
+        problem: &CoOptProblem,
+        population: Vec<Genome>,
+        best: Option<Genome>,
+        history: Vec<f64>,
+        samples: usize,
+        generation: u64,
+    ) -> SearchState {
+        assert!(!population.is_empty(), "cannot restore an empty population");
+        assert_eq!(history.len(), samples, "history must have one entry per sample");
+        let evals = crate::parallel::parallel_map(&population, self.config.threads, |g| {
+            problem.evaluate(g)
+        });
+        let best = best.map(|g| {
+            let e = problem.evaluate(&g);
+            (g, e)
+        });
+        SearchState { population, evals, best, history, samples, generation }
     }
 }
 
@@ -510,6 +642,47 @@ mod tests {
     fn budget_is_respected_exactly() {
         let result = DiGamma::new(quick_config(4)).search(&small_problem(), 37);
         assert_eq!(result.samples, 37);
+    }
+
+    #[test]
+    fn stepping_matches_one_shot_search() {
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(11));
+        let one_shot = ga.search(&problem, 150);
+        let mut state = ga.init(&problem, 150);
+        while ga.step(&problem, &mut state, 150) {}
+        let stepped = state.into_result();
+        assert_eq!(one_shot.history, stepped.history);
+        assert_eq!(one_shot.best_cost(), stepped.best_cost());
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically() {
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(12));
+        let full = ga.search(&problem, 200);
+
+        // Run the first half of the same 200-sample job (a mid-run
+        // kill), then rebuild the state from its checkpointable parts
+        // only (genomes, history, counters) and finish.
+        let mut state = ga.init(&problem, 200);
+        while state.samples() < 100 && ga.step(&problem, &mut state, 200) {}
+        let restored = ga.restore(
+            &problem,
+            state.population().to_vec(),
+            state.best_genome().cloned(),
+            state.history().to_vec(),
+            state.samples(),
+            state.generation(),
+        );
+        let mut resumed = restored;
+        while ga.step(&problem, &mut resumed, 200) {}
+        let result = resumed.into_result();
+
+        assert_eq!(full.history.len(), result.history.len());
+        assert_eq!(full.history, result.history, "resumed history must match bit-for-bit");
+        assert_eq!(full.best_cost(), result.best_cost());
+        assert_eq!(full.best.as_ref().map(|b| &b.genome), result.best.as_ref().map(|b| &b.genome));
     }
 
     #[test]

@@ -49,12 +49,12 @@ impl Gamma {
         Gamma { config }
     }
 
-    /// Searches for the best mapping of `problem`'s model on the fixed
-    /// hardware `hw`, within `budget` evaluations.
-    ///
-    /// The returned designs all carry `hw` as their hardware; mappings
-    /// that do not fit its buffers are penalized as infeasible.
-    pub fn search(&self, problem: &CoOptProblem, hw: &HwConfig, budget: usize) -> SearchResult {
+    /// The constrained problem and the underlying [`DiGamma`] searcher
+    /// this mapper drives. This is the seam long-running services use:
+    /// the returned pair exposes the full stepping / snapshot / restore
+    /// machinery ([`DiGamma::init`], [`DiGamma::step`],
+    /// [`DiGamma::restore`]) for mapping-only jobs too.
+    pub fn searcher(&self, problem: &CoOptProblem, hw: &HwConfig) -> (CoOptProblem, DiGamma) {
         let constrained = problem.clone().with_constraint(Constraint::FixedHw(hw.clone()));
         let ga = DiGamma::new(DiGammaConfig {
             population_size: self.config.population_size,
@@ -68,6 +68,16 @@ impl Gamma {
             num_levels: hw.fanouts.len(),
             ..DiGammaConfig::default()
         });
+        (constrained, ga)
+    }
+
+    /// Searches for the best mapping of `problem`'s model on the fixed
+    /// hardware `hw`, within `budget` evaluations.
+    ///
+    /// The returned designs all carry `hw` as their hardware; mappings
+    /// that do not fit its buffers are penalized as infeasible.
+    pub fn search(&self, problem: &CoOptProblem, hw: &HwConfig, budget: usize) -> SearchResult {
+        let (constrained, ga) = self.searcher(problem, hw);
         ga.search(&constrained, budget)
     }
 }

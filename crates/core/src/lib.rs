@@ -58,11 +58,11 @@ mod problem;
 mod result;
 
 pub use coopt::run_algorithm;
-pub use digamma_ga::{DiGamma, DiGammaConfig};
+pub use digamma_ga::{DiGamma, DiGammaConfig, SearchState};
 pub use gamma::{Gamma, GammaConfig};
 pub use hwopt::{hw_grid_search, GridSearchResult};
 pub use objective::Objective;
-pub use parallel::{default_threads, parallel_map};
-pub use problem::{CoOptProblem, Constraint, DesignEvaluation};
+pub use parallel::{default_threads, parallel_map, scoped_workers};
+pub use problem::{CoOptProblem, Constraint, DesignEvaluation, EvalCache};
 pub use result::{DesignPoint, SearchResult};
 pub use templates::MappingStyle;

@@ -1,9 +1,10 @@
 //! The co-optimization problem: the evaluation block of Fig. 3(a).
 
 use crate::objective::Objective;
-use digamma_costmodel::{EvalError, Evaluator, HwConfig, Mapping, Platform};
+use digamma_costmodel::{CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform};
 use digamma_encoding::Genome;
 use digamma_workload::{Model, UniqueLayer};
+use std::sync::Arc;
 
 /// Base cost assigned to infeasible designs (the paper's "negative
 /// fitness"); scaled by the constraint overshoot so the search still sees
@@ -20,8 +21,28 @@ pub enum Constraint {
     FixedHw(HwConfig),
 }
 
+/// A shared, thread-safe memo for per-layer cost-model results.
+///
+/// Implementations map the stable key from
+/// [`Evaluator::cache_key`](digamma_costmodel::Evaluator::cache_key) to
+/// the [`CostReport`] that evaluation produced. A hit must return a
+/// report identical to what the cost model would compute — evaluation is
+/// pure, so storing and replaying reports is semantics-preserving; the
+/// `digamma-server` crate's sharded fitness cache is the production
+/// implementation and property-tests exactly that equivalence.
+///
+/// Reports travel as [`Arc`]s so a hit is a refcount bump, never a deep
+/// clone — the cache's whole point is to be much cheaper than the cost
+/// model.
+pub trait EvalCache: std::fmt::Debug + Send + Sync {
+    /// Returns the memoized report for `key`, if present.
+    fn lookup(&self, key: u64) -> Option<Arc<CostReport>>;
+    /// Memoizes `report` under `key` (implementations may evict).
+    fn store(&self, key: u64, report: &Arc<CostReport>);
+}
+
 /// The outcome of evaluating one design point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignEvaluation {
     /// Scalar cost the optimizer minimizes (lower is better; designs
     /// violating the constraint receive a large penalty cost ≥ 1e18
@@ -52,6 +73,7 @@ pub struct CoOptProblem {
     objective: Objective,
     constraint: Constraint,
     num_levels: usize,
+    cache: Option<Arc<dyn EvalCache>>,
 }
 
 impl CoOptProblem {
@@ -66,6 +88,7 @@ impl CoOptProblem {
             objective,
             constraint: Constraint::None,
             num_levels: 2,
+            cache: None,
         }
     }
 
@@ -73,6 +96,25 @@ impl CoOptProblem {
     pub fn with_constraint(mut self, constraint: Constraint) -> CoOptProblem {
         self.constraint = constraint;
         self
+    }
+
+    /// Attaches a shared fitness memo: per-layer evaluations whose key is
+    /// already cached skip the cost model entirely. The cache may be
+    /// shared across problems, searches, and threads.
+    pub fn with_cache(mut self, cache: Arc<dyn EvalCache>) -> CoOptProblem {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches any attached fitness memo.
+    pub fn without_cache(mut self) -> CoOptProblem {
+        self.cache = None;
+        self
+    }
+
+    /// The attached fitness memo, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn EvalCache>> {
+        self.cache.as_ref()
     }
 
     /// Sets the number of cluster levels genomes use (2 or 3).
@@ -187,7 +229,7 @@ impl CoOptProblem {
         let mut fits_fixed = true;
 
         for (u, mapping) in self.unique.iter().zip(mappings) {
-            let report = self.evaluator.evaluate(&u.layer, mapping)?;
+            let report = self.evaluate_layer(&u.layer, mapping)?;
             latency += report.latency_cycles * u.count as f64;
             energy += report.energy_pj * u.count as f64;
             if let Constraint::FixedHw(hw) = &self.constraint {
@@ -225,6 +267,27 @@ impl CoOptProblem {
             pe_area_um2: pe_area,
             hw,
         })
+    }
+
+    /// One per-layer cost-model call, routed through the attached memo
+    /// cache when there is one. Errors (structurally invalid mappings)
+    /// are never cached — repair upstream makes them rare, and a penalty
+    /// evaluation is cheap anyway.
+    fn evaluate_layer(
+        &self,
+        layer: &digamma_workload::Layer,
+        mapping: &Mapping,
+    ) -> Result<Arc<CostReport>, EvalError> {
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.evaluator.evaluate(layer, mapping)?));
+        };
+        let key = self.evaluator.cache_key(layer, mapping);
+        if let Some(report) = cache.lookup(key) {
+            return Ok(report);
+        }
+        let report = Arc::new(self.evaluator.evaluate(layer, mapping)?);
+        cache.store(key, &report);
+        Ok(report)
     }
 }
 

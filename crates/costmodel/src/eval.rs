@@ -63,6 +63,20 @@ impl Evaluator {
         &self.area_model
     }
 
+    /// Stable memo key for [`Evaluator::evaluate`] on this evaluator:
+    /// equal keys guarantee identical [`CostReport`]s (see
+    /// [`crate::cachekey`]).
+    pub fn cache_key(&self, layer: &Layer, mapping: &Mapping) -> u64 {
+        crate::cachekey::layer_eval_key(
+            self.platform.bw_dram,
+            self.platform.bw_noc,
+            &self.area_model,
+            &self.energy_model,
+            layer,
+            mapping,
+        )
+    }
+
     /// Evaluates a mapping, deriving minimum-footprint hardware
     /// (DiGamma's buffer allocation strategy).
     ///

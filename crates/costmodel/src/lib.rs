@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod area;
+pub mod cachekey;
 pub mod energy;
 pub mod latency;
 pub mod simulate;
@@ -49,6 +50,7 @@ mod report;
 pub use accelerator::{HwConfig, Platform};
 pub use analysis::{analyze, Analysis, BufferRequirement};
 pub use area::{AreaModel, AREA_MODEL_15NM};
+pub use cachekey::{layer_eval_key, StableHasher};
 pub use energy::{EnergyModel, ENERGY_MODEL_DEFAULT};
 pub use error::EvalError;
 pub use eval::Evaluator;

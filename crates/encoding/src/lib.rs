@@ -46,7 +46,9 @@ mod codec;
 mod genome;
 mod repair;
 pub mod space;
+mod text;
 
 pub use codec::Codec;
 pub use genome::{Genome, LayerGenes, LevelGenes};
 pub use repair::repair;
+pub use text::GenomeParseError;

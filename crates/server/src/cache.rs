@@ -1,0 +1,295 @@
+//! The sharded, capacity-bounded fitness memoization cache.
+//!
+//! Across a population — and across the many searches a co-design
+//! service runs — the same `(layer, mapping, hardware)` evaluations
+//! recur constantly: elites are re-scored every generation, template
+//! seeds recur across jobs, and different users ask about the same
+//! models. This cache memoizes per-layer [`CostReport`]s under the
+//! stable key from [`digamma_costmodel::Evaluator::cache_key`], so hits
+//! skip the cost model entirely.
+//!
+//! Design points:
+//!
+//! * **Sharded** — the key space is split across independently locked
+//!   shards, so worker threads hammering the cache contend only when
+//!   they collide on a shard, not on every lookup.
+//! * **Capacity-bounded** — each shard evicts in insertion order (FIFO)
+//!   past its capacity share, so a long-running service cannot grow
+//!   without bound. GA workloads re-reference recent keys (elites), so
+//!   FIFO loses little over LRU while keeping the hot path a single
+//!   `HashMap` probe.
+//! * **Counted** — hits, misses, insertions, and evictions are atomic
+//!   counters; [`JobCacheView`] layers per-job hit/miss counters over a
+//!   shared cache so every job can report its own reuse.
+
+use digamma::EvalCache;
+use digamma_costmodel::CostReport;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time view of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a memoized report.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Reports stored (first insertion of a key).
+    pub insertions: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Arc<CostReport>>,
+    arrival: VecDeque<u64>,
+}
+
+/// The shared fitness memo: see the module docs.
+#[derive(Debug)]
+pub struct ShardedFitnessCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count: enough that a worker pool on a big machine
+/// rarely collides, small enough that an empty cache stays tiny.
+const DEFAULT_SHARDS: usize = 64;
+
+impl ShardedFitnessCache {
+    /// Creates a cache bounded to roughly `capacity` reports total, with
+    /// the default shard count.
+    pub fn new(capacity: usize) -> ShardedFitnessCache {
+        ShardedFitnessCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (rounded up to a
+    /// power of two, minimum 1). Total capacity splits evenly across
+    /// shards, each shard holding at least one entry.
+    pub fn with_shards(capacity: usize, shards: usize) -> ShardedFitnessCache {
+        let shards = shards.max(1).next_power_of_two();
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedFitnessCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // Fold the high bits in so shard choice isn't just the key's low
+        // bits (FNV mixes well, but this is free insurance).
+        let mixed = key ^ (key >> 32);
+        &self.shards[(mixed as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// True when no reports are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum resident reports (shard capacity × shard count).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is
+    /// individually exact; the set is not taken under one lock).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl EvalCache for ShardedFitnessCache {
+    fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(&key).cloned();
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: u64, report: &Arc<CostReport>) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        // Two workers may race to evaluate the same key; the first
+        // insertion wins and the arrival queue records each key once.
+        // Cloning an `Arc` keeps both store and hit paths shallow.
+        if shard.map.insert(key, Arc::clone(report)).is_some() {
+            return;
+        }
+        shard.arrival.push_back(key);
+        let mut evicted = 0u64;
+        while shard.map.len() > self.shard_capacity {
+            let Some(oldest) = shard.arrival.pop_front() else { break };
+            shard.map.remove(&oldest);
+            evicted += 1;
+        }
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A per-job window onto a shared [`ShardedFitnessCache`].
+///
+/// Lookups and stores delegate to the shared cache, while hit/miss
+/// counters accumulate locally — so concurrent jobs each report their
+/// own reuse even though they share one memo. (Evictions are a property
+/// of the shared cache and are reported there.)
+#[derive(Debug)]
+pub struct JobCacheView {
+    shared: Arc<ShardedFitnessCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl JobCacheView {
+    /// Creates a view over `shared` with zeroed counters.
+    pub fn new(shared: Arc<ShardedFitnessCache>) -> JobCacheView {
+        JobCacheView { shared, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// Hits observed through this view.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses observed through this view.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl EvalCache for JobCacheView {
+    fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
+        let found = self.shared.lookup(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: u64, report: &Arc<CostReport>) {
+        self.shared.store(key, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma_costmodel::{Evaluator, Mapping, Platform};
+    use digamma_workload::Layer;
+
+    fn report_for(rows: u64, cols: u64) -> (u64, Arc<CostReport>) {
+        let layer = Layer::conv("l", 64, 32, 16, 16, 3, 3, 1);
+        let mapping = Mapping::row_major_example(&layer, rows, cols);
+        let eval = Evaluator::new(Platform::edge());
+        (eval.cache_key(&layer, &mapping), Arc::new(eval.evaluate(&layer, &mapping).unwrap()))
+    }
+
+    #[test]
+    fn lookup_returns_exactly_what_was_stored() {
+        let cache = ShardedFitnessCache::new(100);
+        let (key, report) = report_for(8, 4);
+        assert!(cache.lookup(key).is_none());
+        cache.store(key, &report);
+        let back = cache.lookup(key).expect("stored");
+        assert_eq!(back.latency_cycles.to_bits(), report.latency_cycles.to_bits());
+        assert_eq!(back.energy_pj.to_bits(), report.energy_pj.to_bits());
+        assert_eq!(back.buffers, report.buffers);
+        assert_eq!(back.hw, report.hw);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        // One shard makes the FIFO order observable.
+        let cache = ShardedFitnessCache::with_shards(2, 1);
+        let (k1, r) = report_for(2, 2);
+        let (k2, _) = report_for(4, 2);
+        let (k3, _) = report_for(8, 2);
+        cache.store(k1, &r);
+        cache.store(k2, &r);
+        cache.store(k3, &r);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(k1).is_none(), "oldest entry must be gone");
+        assert!(cache.lookup(k2).is_some());
+        assert!(cache.lookup(k3).is_some());
+    }
+
+    #[test]
+    fn double_store_does_not_duplicate() {
+        let cache = ShardedFitnessCache::with_shards(4, 1);
+        let (key, report) = report_for(8, 4);
+        cache.store(key, &report);
+        cache.store(key, &report);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn job_views_count_independently() {
+        let shared = Arc::new(ShardedFitnessCache::new(100));
+        let a = JobCacheView::new(Arc::clone(&shared));
+        let b = JobCacheView::new(Arc::clone(&shared));
+        let (key, report) = report_for(8, 4);
+        assert!(a.lookup(key).is_none());
+        a.store(key, &report);
+        assert!(a.lookup(key).is_some());
+        assert!(b.lookup(key).is_some(), "views share the underlying memo");
+        assert_eq!((a.hits(), a.misses()), (1, 1));
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+        assert_eq!(shared.stats().hits, 2);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = ShardedFitnessCache::with_shards(100, 3);
+        assert_eq!(cache.shards.len(), 4);
+        assert!(cache.capacity() >= 100);
+        assert!(ShardedFitnessCache::with_shards(10, 0).capacity() >= 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! `digamma-server`: a concurrent search service over the DiGamma
+//! co-optimization library.
+//!
+//! The library crates answer one question at a time ("best design for
+//! this model on this platform"); this crate is the layer between those
+//! calls and a service that answers *many* users' questions fast:
+//!
+//! * [`SearchServer`] / [`JobSpec`] — a job queue that schedules
+//!   co-optimization requests (model × platform × objective ×
+//!   algorithm) across a scoped-thread worker pool,
+//! * [`ShardedFitnessCache`] — a capacity-bounded memo of per-layer
+//!   cost-model results keyed by a stable hash of (layer shape, decoded
+//!   mapping, hardware/model constants); hits skip the cost model
+//!   entirely, and per-job [`JobCacheView`]s report each job's reuse,
+//! * [`Snapshot`] — versioned text checkpoints of GA state, so a killed
+//!   search resumes **bit-identically** instead of starting over, and
+//! * [`parse_manifest`] — the text manifest format the `digamma-serve`
+//!   binary reads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use digamma_server::{JobAlgorithm, JobSpec, SearchServer, ServerConfig};
+//! use digamma::Objective;
+//! use digamma_costmodel::Platform;
+//! use digamma_workload::zoo;
+//!
+//! let server = SearchServer::new(ServerConfig { workers: 2, ..Default::default() });
+//! let mut job = JobSpec::new(
+//!     "ncf-edge",
+//!     zoo::ncf(),
+//!     Platform::edge(),
+//!     Objective::Latency,
+//!     JobAlgorithm::DiGamma,
+//! );
+//! job.budget = 120;
+//! job.population_size = 12;
+//! let reports = server.run(&[job]);
+//! assert!(reports[0].best.is_some());
+//! assert!(reports[0].cache_hits > 0, "elite re-evaluations hit the memo");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod job;
+mod manifest;
+mod queue;
+mod snapshot;
+pub mod textio;
+
+pub use cache::{CacheStats, JobCacheView, ShardedFitnessCache};
+pub use job::{JobAlgorithm, JobReport, JobSpec};
+pub use manifest::parse_manifest;
+pub use queue::{SearchServer, ServerConfig};
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};

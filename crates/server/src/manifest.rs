@@ -1,0 +1,155 @@
+//! Job manifests: the text form in which work arrives at `digamma-serve`.
+//!
+//! A manifest is a [`crate::textio`] document with one `[job]` section
+//! per search request:
+//!
+//! ```text
+//! # Co-design batch for the edge SoC tape-out.
+//! [job]
+//! name = ncf-edge                # default: job-<index>
+//! model = ncf                    # required; any zoo name
+//! platform = edge                # edge | cloud (default edge)
+//! objective = latency            # latency | energy | edp (default latency)
+//! algorithm = digamma            # digamma | gamma[:buffer|:medium|:compute]
+//!                                # | random | stdga | pso | tbpsa
+//!                                # | (1+1)-es | de | portfolio | cma
+//! budget = 600                   # design evaluations (default 600)
+//! seed = 1                       # RNG seed (default 0)
+//! population = 20                # GA population (default 20)
+//! threads = 1                    # per-job eval threads (default 1)
+//! checkpoint_every = 8           # generations between snapshots
+//! ```
+
+use crate::job::{JobAlgorithm, JobSpec};
+use crate::textio::{self, TextError};
+use digamma::Objective;
+use digamma_costmodel::Platform;
+use std::collections::HashSet;
+
+/// Parses a whole manifest into job specs, in document order.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on syntax errors, unknown names, duplicate job
+/// names, or an empty manifest.
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, TextError> {
+    let sections = textio::parse_sections(text)?;
+    let mut jobs = Vec::new();
+    let mut names = HashSet::new();
+    for section in &sections {
+        if section.name != "job" {
+            return Err(TextError::new(format!(
+                "unknown section [{}] (manifests contain only [job])",
+                section.name
+            )));
+        }
+        let index = jobs.len();
+        let name = section.get("name").map_or_else(|| format!("job-{index}"), str::to_owned);
+        if !names.insert(name.clone()) {
+            return Err(TextError::new(format!("duplicate job name {name:?}")));
+        }
+        let model = JobSpec::model_by_name(section.require("model")?)?;
+        let platform = match section.get("platform") {
+            Some(p) => JobSpec::platform_by_name(p)?,
+            None => Platform::edge(),
+        };
+        let objective = match section.get("objective") {
+            Some(o) => JobSpec::objective_by_name(o)?,
+            None => Objective::Latency,
+        };
+        let algorithm = match section.get("algorithm") {
+            Some(a) => JobAlgorithm::parse(a)?,
+            None => JobAlgorithm::DiGamma,
+        };
+        let mut spec = JobSpec::new(name, model, platform, objective, algorithm);
+        spec.budget = section.get_parsed_or("budget", spec.budget)?;
+        spec.seed = section.get_parsed_or("seed", spec.seed)?;
+        spec.population_size = section.get_parsed_or("population", spec.population_size)?;
+        spec.threads = section.get_parsed_or("threads", spec.threads)?;
+        spec.checkpoint_every =
+            section.get("checkpoint_every").map(str::parse).transpose().map_err(|_| {
+                TextError::new(format!("[job {}] has bad `checkpoint_every`", index))
+            })?;
+        if spec.population_size < 4 {
+            return Err(TextError::new(format!(
+                "job {:?}: population must be at least 4",
+                spec.name
+            )));
+        }
+        if spec.budget == 0 {
+            return Err(TextError::new(format!("job {:?}: budget must be positive", spec.name)));
+        }
+        jobs.push(spec);
+    }
+    if jobs.is_empty() {
+        return Err(TextError::new("manifest has no [job] sections"));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma::schemes::HwPreset;
+    use digamma_opt::Algorithm;
+
+    #[test]
+    fn full_manifest_parses() {
+        let text = "\
+# batch
+[job]
+name = ncf-edge
+model = ncf
+platform = edge
+objective = latency
+algorithm = digamma
+budget = 500
+seed = 7
+population = 16
+threads = 2
+checkpoint_every = 4
+
+[job]
+model = dlrm
+platform = cloud
+objective = edp
+algorithm = gamma:compute
+
+[job]
+model = ncf
+algorithm = cma
+";
+        let jobs = parse_manifest(text).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].name, "ncf-edge");
+        assert_eq!(jobs[0].budget, 500);
+        assert_eq!(jobs[0].seed, 7);
+        assert_eq!(jobs[0].population_size, 16);
+        assert_eq!(jobs[0].threads, 2);
+        assert_eq!(jobs[0].checkpoint_every, Some(4));
+        assert_eq!(jobs[1].name, "job-1");
+        assert_eq!(jobs[1].platform.name, "cloud");
+        assert_eq!(jobs[1].objective, Objective::Edp);
+        assert_eq!(jobs[1].algorithm, JobAlgorithm::Gamma(HwPreset::ComputeFocused));
+        assert_eq!(jobs[2].algorithm, JobAlgorithm::Baseline(Algorithm::Cma));
+        assert_eq!(jobs[2].budget, 600, "defaults apply");
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        for (text, needle) in [
+            ("", "no [job]"),
+            ("[job]\n", "missing `model`"),
+            ("[job]\nmodel = gpt5\n", "unknown model"),
+            ("[job]\nmodel = ncf\nplatform = tpu\n", "unknown platform"),
+            ("[job]\nmodel = ncf\nalgorithm = annealing\n", "unknown algorithm"),
+            ("[job]\nmodel = ncf\nbudget = 0\n", "budget"),
+            ("[job]\nmodel = ncf\npopulation = 2\n", "population"),
+            ("[job]\nname = a\nmodel = ncf\n[job]\nname = a\nmodel = ncf\n", "duplicate"),
+            ("[batch]\n", "unknown section"),
+        ] {
+            let err = parse_manifest(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} → {err}");
+        }
+    }
+}

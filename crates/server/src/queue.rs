@@ -1,0 +1,335 @@
+//! The job queue and worker pool: many searches, one machine.
+//!
+//! [`SearchServer::run`] drains a batch of [`JobSpec`]s across a pool of
+//! scoped worker threads (built on [`digamma::scoped_workers`], the same
+//! `std::thread::scope` infrastructure that parallelizes fitness
+//! evaluation). All jobs share one [`ShardedFitnessCache`], so a request
+//! for a model another job already explored — or a re-submitted search —
+//! skips straight to memoized cost-model results; per-job
+//! [`JobCacheView`]s keep each report's hit/miss counters honest.
+//!
+//! GA jobs additionally checkpoint: with a checkpoint directory
+//! configured, the server snapshots every few generations, and a
+//! re-submitted job whose snapshot survives resumes bit-identically
+//! instead of starting over.
+
+use crate::cache::{CacheStats, JobCacheView, ShardedFitnessCache};
+use crate::job::{JobAlgorithm, JobReport, JobSpec};
+use crate::snapshot::Snapshot;
+use digamma::{
+    run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig,
+    SearchResult,
+};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent worker threads draining the job queue.
+    pub workers: usize,
+    /// Total fitness-cache capacity in memoized per-layer reports;
+    /// `0` runs the server cache-less.
+    pub cache_capacity: usize,
+    /// Where GA jobs write checkpoints; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Default snapshot cadence in generations (jobs may override).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: digamma::default_threads(),
+            cache_capacity: 256 * 1024,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// The long-running search service: a shared fitness memo plus a worker
+/// pool that schedules submitted jobs.
+#[derive(Debug)]
+pub struct SearchServer {
+    config: ServerConfig,
+    cache: Option<Arc<ShardedFitnessCache>>,
+}
+
+impl SearchServer {
+    /// Builds a server (allocating its shared cache up front).
+    pub fn new(config: ServerConfig) -> SearchServer {
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(ShardedFitnessCache::new(config.cache_capacity)));
+        SearchServer { config, cache }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Counters of the shared cache (`None` when running cache-less).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Runs every job to completion and returns reports in submission
+    /// order. Jobs are independent; a panicking job propagates after the
+    /// remaining workers finish (scoped threads join on exit).
+    pub fn run(&self, jobs: &[JobSpec]) -> Vec<JobReport> {
+        let queue: Mutex<VecDeque<(usize, &JobSpec)>> =
+            Mutex::new(jobs.iter().enumerate().collect());
+        let results: Mutex<Vec<Option<JobReport>>> = Mutex::new(vec![None; jobs.len()]);
+        let workers = self.config.workers.min(jobs.len()).max(1);
+        scoped_workers(workers, |_| loop {
+            let Some((index, spec)) = queue.lock().expect("job queue poisoned").pop_front() else {
+                break;
+            };
+            let report = self.run_job(spec);
+            results.lock().expect("job results poisoned")[index] = Some(report);
+        });
+        results
+            .into_inner()
+            .expect("job results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every queued job reports"))
+            .collect()
+    }
+
+    /// Runs one job inline on the calling thread (the worker body).
+    pub fn run_job(&self, spec: &JobSpec) -> JobReport {
+        let started = Instant::now();
+        let view = self.cache.as_ref().map(|c| Arc::new(JobCacheView::new(Arc::clone(c))));
+        let mut problem =
+            CoOptProblem::new(spec.model.clone(), spec.platform.clone(), spec.objective);
+        if let Some(view) = &view {
+            problem = problem.with_cache(Arc::clone(view) as _);
+        }
+
+        let (result, generations, resumed_at) = match spec.algorithm {
+            JobAlgorithm::DiGamma => {
+                let ga = DiGamma::new(DiGammaConfig {
+                    population_size: spec.population_size,
+                    seed: spec.seed,
+                    threads: spec.threads,
+                    ..Default::default()
+                });
+                self.drive_ga(spec, &ga, &problem)
+            }
+            JobAlgorithm::Gamma(preset) => {
+                let hw = preset.build(&spec.platform, problem.evaluator().area_model());
+                let gamma = Gamma::new(GammaConfig {
+                    population_size: spec.population_size,
+                    seed: spec.seed,
+                    threads: spec.threads,
+                    ..Default::default()
+                });
+                let (constrained, ga) = gamma.searcher(&problem, &hw);
+                self.drive_ga(spec, &ga, &constrained)
+            }
+            JobAlgorithm::Baseline(alg) => {
+                (run_algorithm(alg, &problem, spec.budget, spec.seed), 0, None)
+            }
+        };
+
+        JobReport {
+            name: spec.name.clone(),
+            algorithm: spec.algorithm.to_string(),
+            best: result.best,
+            samples: result.samples,
+            generations,
+            resumed_at,
+            cache_hits: view.as_ref().map_or(0, |v| v.hits()),
+            cache_misses: view.as_ref().map_or(0, |v| v.misses()),
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Steps a GA job to completion, checkpointing at the configured
+    /// cadence and resuming from a surviving snapshot of the *same* job
+    /// (identity checked by fingerprint; a stale or foreign snapshot is
+    /// ignored and the search starts over). The checkpoint is removed
+    /// when the job completes.
+    fn drive_ga(
+        &self,
+        spec: &JobSpec,
+        ga: &DiGamma,
+        problem: &CoOptProblem,
+    ) -> (SearchResult, u64, Option<u64>) {
+        let path = self.checkpoint_path(spec);
+        let fingerprint = spec.fingerprint();
+        let mut resumed_at = None;
+        let restored = path
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|text| Snapshot::parse(&text).ok())
+            .and_then(|snap| snap.restore(ga, problem, &fingerprint).ok());
+        let mut state = match restored {
+            Some(state) => {
+                resumed_at = Some(state.generation());
+                state
+            }
+            None => ga.init(problem, spec.budget),
+        };
+        let every = spec.checkpoint_every.unwrap_or(self.config.checkpoint_every).max(1);
+        while ga.step(problem, &mut state, spec.budget) {
+            if let Some(p) = &path {
+                if state.generation() % every == 0 {
+                    let rendered = Snapshot::capture(&fingerprint, &state).render();
+                    // Write-then-rename: a kill mid-write must never
+                    // destroy the previous good snapshot or leave a
+                    // truncated one in its place.
+                    let tmp = p.with_extension("snapshot.tmp");
+                    if std::fs::write(&tmp, rendered).is_ok() {
+                        let _ = std::fs::rename(&tmp, p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = &path {
+            let _ = std::fs::remove_file(p);
+        }
+        let generations = state.generation();
+        (state.into_result(), generations, resumed_at)
+    }
+
+    /// The snapshot file for a job, when checkpointing is on and the
+    /// algorithm supports it. The filename is a readable sanitized
+    /// prefix plus a stable hash of the *raw* name, so distinct job
+    /// names that sanitize alike (`"exp 1"` / `"exp.1"`) can never
+    /// share — and clobber — one checkpoint file.
+    pub fn checkpoint_path(&self, spec: &JobSpec) -> Option<PathBuf> {
+        if !spec.algorithm.supports_checkpointing() {
+            return None;
+        }
+        let dir = self.config.checkpoint_dir.as_ref()?;
+        let safe: String = spec
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+            .collect();
+        let mut hasher = digamma_costmodel::StableHasher::new();
+        hasher.write_bytes(spec.name.as_bytes());
+        Some(dir.join(format!("{safe}-{:08x}.snapshot", hasher.finish() as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma::Objective;
+    use digamma_costmodel::Platform;
+    use digamma_opt::Algorithm;
+    use digamma_workload::zoo;
+
+    fn spec(name: &str, algorithm: JobAlgorithm) -> JobSpec {
+        let mut s = JobSpec::new(name, zoo::ncf(), Platform::edge(), Objective::Latency, algorithm);
+        s.budget = 120;
+        s.population_size = 12;
+        s.seed = 5;
+        s
+    }
+
+    #[test]
+    fn batch_reports_come_back_in_submission_order() {
+        let server = SearchServer::new(ServerConfig { workers: 3, ..Default::default() });
+        let jobs = vec![
+            spec("a", JobAlgorithm::DiGamma),
+            spec("b", JobAlgorithm::Baseline(Algorithm::Random)),
+            spec("c", JobAlgorithm::Gamma(digamma::schemes::HwPreset::MediumBufCom)),
+        ];
+        let reports = server.run(&jobs);
+        assert_eq!(
+            reports.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        for r in &reports {
+            assert_eq!(r.samples, 120, "{}", r.name);
+        }
+        assert!(reports[0].generations > 0);
+        assert_eq!(reports[1].generations, 0, "baselines do not step generations");
+    }
+
+    #[test]
+    fn concurrent_execution_matches_serial_execution() {
+        let jobs = vec![spec("x", JobAlgorithm::DiGamma), spec("y", JobAlgorithm::DiGamma)];
+        let serial =
+            SearchServer::new(ServerConfig { workers: 1, cache_capacity: 0, ..Default::default() })
+                .run(&jobs);
+        let parallel = SearchServer::new(ServerConfig {
+            workers: 4,
+            cache_capacity: 1 << 16,
+            ..Default::default()
+        })
+        .run(&jobs);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.best.as_ref().map(|b| b.cost.to_bits()),
+                p.best.as_ref().map(|b| b.cost.to_bits()),
+                "caching/concurrency must not change results"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_reports_per_job_hits() {
+        let server = SearchServer::new(ServerConfig { workers: 1, ..Default::default() });
+        // The same search twice: the second run should hit constantly.
+        let jobs = vec![spec("first", JobAlgorithm::DiGamma), spec("again", JobAlgorithm::DiGamma)];
+        let reports = server.run(&jobs);
+        assert!(reports[0].cache_hits > 0, "elite re-evaluation hits within one search");
+        assert!(
+            reports[1].cache_hit_rate() > reports[0].cache_hit_rate(),
+            "a repeated search reuses the first one's entries: {} vs {}",
+            reports[1].cache_hit_rate(),
+            reports[0].cache_hit_rate()
+        );
+        let stats = server.cache_stats().expect("cache enabled");
+        assert_eq!(stats.hits, reports[0].cache_hits + reports[1].cache_hits);
+    }
+
+    #[test]
+    fn cacheless_server_still_searches() {
+        let server =
+            SearchServer::new(ServerConfig { workers: 1, cache_capacity: 0, ..Default::default() });
+        let report = server.run_job(&spec("raw", JobAlgorithm::DiGamma));
+        assert!(report.best.is_some());
+        assert_eq!(report.cache_hits + report.cache_misses, 0);
+        assert!(server.cache_stats().is_none());
+    }
+
+    #[test]
+    fn checkpoint_paths_sanitize_names() {
+        let server = SearchServer::new(ServerConfig {
+            checkpoint_dir: Some(PathBuf::from("/tmp/ckpt")),
+            ..Default::default()
+        });
+        let s = spec("a job/with weird:name", JobAlgorithm::DiGamma);
+        let path = server.checkpoint_path(&s).unwrap();
+        let file = path.file_name().unwrap().to_str().unwrap();
+        assert!(file.starts_with("a-job-with-weird-name-"), "{file}");
+        assert!(file.ends_with(".snapshot"), "{file}");
+        let baseline = spec("b", JobAlgorithm::Baseline(Algorithm::Cma));
+        assert!(server.checkpoint_path(&baseline).is_none());
+    }
+
+    #[test]
+    fn distinct_names_never_share_a_checkpoint_file() {
+        // "exp 1" and "exp.1" sanitize to the same prefix; the raw-name
+        // hash keeps their snapshot files apart.
+        let server = SearchServer::new(ServerConfig {
+            checkpoint_dir: Some(PathBuf::from("/tmp/ckpt")),
+            ..Default::default()
+        });
+        let a = server.checkpoint_path(&spec("exp 1", JobAlgorithm::DiGamma)).unwrap();
+        let b = server.checkpoint_path(&spec("exp.1", JobAlgorithm::DiGamma)).unwrap();
+        assert_ne!(a, b);
+        // Same name → same path across server instances (resume relies
+        // on it).
+        let again = server.checkpoint_path(&spec("exp 1", JobAlgorithm::DiGamma)).unwrap();
+        assert_eq!(a, again);
+    }
+}

@@ -1,0 +1,275 @@
+//! Versioned text snapshots of GA search state.
+//!
+//! A snapshot captures a [`SearchState`] at a generation boundary in a
+//! hand-rolled, human-inspectable text format. Because the GA reseeds
+//! its RNG per generation from `(seed, generation)`, the snapshot needs
+//! no RNG internals — population genomes, the best-so-far genome, the
+//! exact history (f64 bit patterns), and two counters are enough for a
+//! killed search to continue **bit-identically**, which
+//! `tests/resume.rs` proves end to end.
+//!
+//! Format (built on [`crate::textio`]):
+//!
+//! ```text
+//! [snapshot]
+//! version = 1
+//! fingerprint = ncf/edge/latency/digamma/b600/s1/p16
+//! generation = 12
+//! samples = 208
+//! history = 4111e1c0...,4111e1c0...   # one 16-hex f64 per sample
+//! best = 8,16|K,KCYXRS,...            # absent while nothing feasible
+//! [population]
+//! genome = 8,16|K,KCYXRS,...          # repeated, in population order
+//! ```
+
+use crate::textio::{self, Section, TextError};
+use digamma::{CoOptProblem, DiGamma, SearchState};
+use digamma_encoding::Genome;
+
+/// Current snapshot format version; parsing rejects any other.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// A parsed (or about-to-be-rendered) checkpoint.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Job identity line; resume refuses a mismatched job.
+    pub fingerprint: String,
+    /// Completed generations at capture time.
+    pub generation: u64,
+    /// Samples evaluated at capture time.
+    pub samples: usize,
+    /// Best-so-far cost after each sample, bit-exact.
+    pub history: Vec<f64>,
+    /// Best feasible genome, if any.
+    pub best: Option<Genome>,
+    /// The population at the generation boundary.
+    pub population: Vec<Genome>,
+}
+
+impl Snapshot {
+    /// Captures a search state (see [`DiGamma::step`]'s boundary
+    /// contract) under a job identity line.
+    pub fn capture(fingerprint: impl Into<String>, state: &SearchState) -> Snapshot {
+        Snapshot {
+            fingerprint: fingerprint.into(),
+            generation: state.generation(),
+            samples: state.samples(),
+            history: state.history().to_vec(),
+            best: state.best_genome().cloned(),
+            population: state.population().to_vec(),
+        }
+    }
+
+    /// Rebuilds a live [`SearchState`] on `ga`/`problem`, re-evaluating
+    /// the stored genomes (evaluation is pure, so this reproduces the
+    /// captured state exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextError`] when `expected_fingerprint` differs from
+    /// the snapshot's — resuming a different job from this checkpoint
+    /// would silently corrupt both.
+    pub fn restore(
+        &self,
+        ga: &DiGamma,
+        problem: &CoOptProblem,
+        expected_fingerprint: &str,
+    ) -> Result<SearchState, TextError> {
+        if self.fingerprint != expected_fingerprint {
+            return Err(TextError::new(format!(
+                "snapshot is for job {:?}, not {expected_fingerprint:?}",
+                self.fingerprint
+            )));
+        }
+        if self.population.is_empty() {
+            return Err(TextError::new("snapshot has an empty population"));
+        }
+        if self.history.len() != self.samples {
+            return Err(TextError::new(format!(
+                "snapshot history has {} entries for {} samples",
+                self.history.len(),
+                self.samples
+            )));
+        }
+        Ok(ga.restore(
+            problem,
+            self.population.clone(),
+            self.best.clone(),
+            self.history.clone(),
+            self.samples,
+            self.generation,
+        ))
+    }
+
+    /// Renders the versioned text form.
+    pub fn render(&self) -> String {
+        let mut head = Section::new("snapshot");
+        head.push("version", SNAPSHOT_VERSION.to_string());
+        head.push("fingerprint", &self.fingerprint);
+        head.push("generation", self.generation.to_string());
+        head.push("samples", self.samples.to_string());
+        // The declared population size lets the parser reject a file
+        // truncated inside the [population] section — a truncated prefix
+        // of a valid snapshot could otherwise still parse.
+        head.push("population", self.population.len().to_string());
+        head.push("history", textio::f64s_to_text(&self.history));
+        if let Some(best) = &self.best {
+            head.push("best", best.to_text());
+        }
+        let mut pop = Section::new("population");
+        for g in &self.population {
+            pop.push("genome", g.to_text());
+        }
+        textio::render_sections(&[head, pop])
+    }
+
+    /// Parses a document rendered by [`Snapshot::render`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextError`] on malformed input, a version mismatch, or
+    /// internal inconsistency (declared population/sample counts not
+    /// matching the document body — the signature of a file truncated
+    /// mid-write).
+    pub fn parse(text: &str) -> Result<Snapshot, TextError> {
+        let sections = textio::parse_sections(text)?;
+        let head = sections
+            .iter()
+            .find(|s| s.name == "snapshot")
+            .ok_or_else(|| TextError::new("missing [snapshot] section"))?;
+        let version: u64 = head.get_parsed_or("version", 0)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(TextError::new(format!(
+                "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let parse_genome =
+            |s: &str| Genome::from_text(s).map_err(|e| TextError::new(format!("bad genome: {e}")));
+        let best = head.get("best").map(parse_genome).transpose()?;
+        let pop = sections
+            .iter()
+            .find(|s| s.name == "population")
+            .ok_or_else(|| TextError::new("missing [population] section"))?;
+        let population = pop
+            .get_all("genome")
+            .into_iter()
+            .map(parse_genome)
+            .collect::<Result<Vec<Genome>, _>>()?;
+        let declared: usize = head
+            .require("population")?
+            .parse()
+            .map_err(|_| TextError::new("bad population count"))?;
+        if population.len() != declared {
+            return Err(TextError::new(format!(
+                "snapshot declares {declared} genomes but carries {} (truncated write?)",
+                population.len()
+            )));
+        }
+        let samples: usize = head.get_parsed_or("samples", 0)?;
+        let history = textio::f64s_from_text(head.require("history")?)?;
+        if history.len() != samples {
+            return Err(TextError::new(format!(
+                "snapshot declares {samples} samples but carries {} history entries",
+                history.len()
+            )));
+        }
+        Ok(Snapshot {
+            fingerprint: head.require("fingerprint")?.to_owned(),
+            generation: head.get_parsed_or("generation", 0)?,
+            samples,
+            history,
+            best,
+            population,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma::{CoOptProblem, DiGammaConfig, Objective};
+    use digamma_costmodel::Platform;
+    use digamma_workload::zoo;
+
+    fn setup() -> (CoOptProblem, DiGamma) {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let config =
+            DiGammaConfig { population_size: 8, seed: 3, threads: 1, ..Default::default() };
+        (problem, DiGamma::new(config))
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_text() {
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 64);
+        ga.step(&problem, &mut state, 64);
+        ga.step(&problem, &mut state, 64);
+        let snap = Snapshot::capture("job-a", &state);
+        let parsed = Snapshot::parse(&snap.render()).unwrap();
+        assert_eq!(parsed.fingerprint, "job-a");
+        assert_eq!(parsed.generation, snap.generation);
+        assert_eq!(parsed.samples, snap.samples);
+        assert_eq!(parsed.population, snap.population);
+        assert_eq!(parsed.best, snap.best);
+        assert_eq!(parsed.history.len(), snap.history.len());
+        for (a, b) in parsed.history.iter().zip(&snap.history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_refuses_a_different_job() {
+        let (problem, ga) = setup();
+        let state = ga.init(&problem, 32);
+        let snap = Snapshot::capture("job-a", &state);
+        let err = snap.restore(&ga, &problem, "job-b").unwrap_err();
+        assert!(err.to_string().contains("job-a"), "{err}");
+        assert!(snap.restore(&ga, &problem, "job-a").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(Snapshot::parse("").is_err(), "empty");
+        assert!(Snapshot::parse("[snapshot]\nversion = 99\n").is_err(), "future version");
+        let (problem, ga) = setup();
+        let snap = Snapshot::capture("j", &ga.init(&problem, 16));
+        let good = snap.render();
+        let no_pop = good.split("[population]").next().unwrap();
+        assert!(Snapshot::parse(no_pop).is_err(), "missing population");
+        let corrupt = good.replace("genome = ", "genome = !");
+        assert!(Snapshot::parse(&corrupt).is_err(), "corrupt genome");
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        // A file cut off mid-write (the crash scenario checkpointing
+        // exists for) must never parse as a smaller-but-valid snapshot.
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 64);
+        ga.step(&problem, &mut state, 64);
+        let good = Snapshot::capture("j", &state).render();
+        // Cut at every line boundary: each prefix must either fail to
+        // parse or (when only trailing blank lines are cut) roundtrip.
+        let lines: Vec<&str> = good.lines().collect();
+        for keep in 1..lines.len() {
+            let prefix = lines[..keep].join("\n");
+            if let Ok(parsed) = Snapshot::parse(&prefix) {
+                assert_eq!(parsed.population.len(), state.population().len());
+                assert_eq!(parsed.history.len(), state.history().len());
+            }
+        }
+    }
+
+    #[test]
+    fn infinity_history_survives_the_roundtrip() {
+        // Before the first feasible design the history is +inf; the
+        // format must carry that exactly.
+        let (problem, ga) = setup();
+        let mut snap = Snapshot::capture("j", &ga.init(&problem, 16));
+        snap.history = vec![f64::INFINITY, 1.5];
+        snap.samples = 2;
+        let parsed = Snapshot::parse(&snap.render()).unwrap();
+        assert!(parsed.history[0].is_infinite());
+        assert_eq!(parsed.history[1], 1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Checkpoint/resume determinism, end to end: a search killed mid-run
+//! and resumed from its text snapshot finishes **bit-identically** to a
+//! search that was never interrupted — same history (to the bit), same
+//! best genome, same sample count.
+
+use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Objective, SearchResult};
+use digamma_costmodel::Platform;
+use digamma_server::{JobAlgorithm, JobSpec, SearchServer, ServerConfig, Snapshot};
+use digamma_workload::zoo;
+
+fn problem() -> CoOptProblem {
+    CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency)
+}
+
+fn searcher(seed: u64) -> DiGamma {
+    DiGamma::new(DiGammaConfig { population_size: 16, seed, threads: 1, ..Default::default() })
+}
+
+fn assert_bit_identical(a: &SearchResult, b: &SearchResult) {
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.history.len(), b.history.len());
+    for (i, (x, y)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "history diverges at sample {i}");
+    }
+    let (ba, bb) = (a.best.as_ref().unwrap(), b.best.as_ref().unwrap());
+    assert_eq!(ba.genome, bb.genome);
+    assert_eq!(ba.cost.to_bits(), bb.cost.to_bits());
+    assert_eq!(ba.hw, bb.hw);
+}
+
+/// The issue's acceptance shape: run the full budget in one go, versus
+/// run half, snapshot to *text*, parse it back, restore, run the rest.
+#[test]
+fn snapshot_restore_resumes_bit_identically() {
+    let problem = problem();
+    let ga = searcher(41);
+    const BUDGET: usize = 640; // 40 generations of 16
+
+    let uninterrupted = ga.search(&problem, BUDGET);
+
+    // First half, then "kill" the process: all that survives is text.
+    let mut state = ga.init(&problem, BUDGET);
+    while state.samples() < BUDGET / 2 && ga.step(&problem, &mut state, BUDGET) {}
+    let text = Snapshot::capture("job", &state).render();
+    drop(state);
+
+    // A fresh searcher (as a new process would build) restores and runs
+    // the second half.
+    let ga2 = searcher(41);
+    let snapshot = Snapshot::parse(&text).expect("snapshot text parses");
+    let mut resumed = snapshot.restore(&ga2, &problem, "job").expect("fingerprint matches");
+    assert_eq!(resumed.samples(), BUDGET / 2);
+    while ga2.step(&problem, &mut resumed, BUDGET) {}
+
+    assert_bit_identical(&uninterrupted, &resumed.into_result());
+}
+
+/// Several kills in a row — each leg restores from the previous leg's
+/// snapshot — still land on the uninterrupted trajectory.
+#[test]
+fn repeated_kills_compose() {
+    let problem = problem();
+    let ga = searcher(17);
+    const BUDGET: usize = 480;
+    let uninterrupted = ga.search(&problem, BUDGET);
+
+    let mut text = {
+        let state = ga.init(&problem, BUDGET);
+        Snapshot::capture("j", &state).render()
+    };
+    let final_state = loop {
+        let snap = Snapshot::parse(&text).unwrap();
+        let mut state = snap.restore(&ga, &problem, "j").unwrap();
+        // Run a couple of generations, then "crash" again.
+        for _ in 0..2 {
+            ga.step(&problem, &mut state, BUDGET);
+        }
+        if state.samples() >= BUDGET {
+            break state;
+        }
+        text = Snapshot::capture("j", &state).render();
+    };
+    assert_bit_identical(&uninterrupted, &final_state.into_result());
+}
+
+/// The same guarantee through the server: a job whose checkpoint file
+/// survives a kill resumes (the report says from which generation) and
+/// produces the uninterrupted result; the checkpoint is cleaned up on
+/// completion.
+#[test]
+fn server_resumes_from_surviving_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("digamma-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut job = JobSpec::new(
+        "resnet-edge",
+        zoo::ncf(),
+        Platform::edge(),
+        Objective::Latency,
+        JobAlgorithm::DiGamma,
+    );
+    job.budget = 320;
+    job.population_size = 16;
+    job.seed = 9;
+
+    // The uninterrupted reference, cache-less and checkpoint-less.
+    let plain =
+        SearchServer::new(ServerConfig { workers: 1, cache_capacity: 0, ..Default::default() });
+    let reference = plain.run_job(&job);
+
+    // Simulate the killed first run: drive the same job manually for 5
+    // generations and leave its snapshot where the server will look.
+    let ga = searcher(9);
+    let prob = problem();
+    let mut state = ga.init(&prob, job.budget);
+    for _ in 0..5 {
+        ga.step(&prob, &mut state, job.budget);
+    }
+    let server = SearchServer::new(ServerConfig {
+        workers: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let ckpt = server.checkpoint_path(&job).unwrap();
+    std::fs::write(&ckpt, Snapshot::capture(job.fingerprint(), &state).render()).unwrap();
+
+    let report = server.run_job(&job);
+    assert_eq!(report.resumed_at, Some(5), "server must resume, not restart");
+    assert!(!ckpt.exists(), "finished jobs clean up their checkpoint");
+
+    let (a, b) = (reference.best.unwrap(), report.best.unwrap());
+    assert_eq!(a.genome, b.genome);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert_eq!(reference.samples, report.samples);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A checkpoint from a *different* job (other seed/budget) must be
+/// ignored — the server restarts rather than resuming into corruption.
+#[test]
+fn server_ignores_foreign_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("digamma-foreign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut job =
+        JobSpec::new("j", zoo::ncf(), Platform::edge(), Objective::Latency, JobAlgorithm::DiGamma);
+    job.budget = 160;
+    job.population_size = 16;
+    job.seed = 2;
+
+    let server = SearchServer::new(ServerConfig {
+        workers: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+
+    // A snapshot whose fingerprint names a different seed.
+    let ga = searcher(999);
+    let prob = problem();
+    let mut other = job.clone();
+    other.seed = 999;
+    let state = ga.init(&prob, other.budget);
+    std::fs::write(
+        server.checkpoint_path(&job).unwrap(),
+        Snapshot::capture(other.fingerprint(), &state).render(),
+    )
+    .unwrap();
+
+    let report = server.run_job(&job);
+    assert_eq!(report.resumed_at, None, "foreign snapshot must not be resumed");
+    assert_eq!(report.samples, 160);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,7 +7,9 @@
 //! * [`costmodel`] — the MAESTRO-class analytical cost model,
 //! * [`encoding`] — the HW+mapping genome and continuous codec,
 //! * [`opt`] — the black-box optimizer suite,
-//! * [`core`] — the co-opt framework, DiGamma GA, and baselines.
+//! * [`core`] — the co-opt framework, DiGamma GA, and baselines,
+//! * [`server`] — the concurrent search service (job queue, fitness
+//!   memo cache, checkpoint/resume).
 //!
 //! # Example
 //!
@@ -26,6 +28,7 @@ pub use digamma as core;
 pub use digamma_costmodel as costmodel;
 pub use digamma_encoding as encoding;
 pub use digamma_opt as opt;
+pub use digamma_server as server;
 pub use digamma_workload as workload;
 
 /// The most common imports, bundled.
@@ -38,5 +41,6 @@ pub mod prelude {
     pub use digamma_costmodel::{Evaluator, HwConfig, Mapping, Platform};
     pub use digamma_encoding::{Codec, Genome};
     pub use digamma_opt::{minimize, Algorithm, Optimizer};
+    pub use digamma_server::{JobAlgorithm, JobSpec, SearchServer, ServerConfig};
     pub use digamma_workload::{zoo, Dim, DimVec, Layer, LayerKind, Model};
 }
