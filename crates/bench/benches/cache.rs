@@ -6,7 +6,10 @@
 //! `cargo bench -p digamma_bench --bench cache`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use digamma_bench::cachebench::{prewarmed_cache, timed_search, CacheBenchConfig};
+use digamma_bench::cachebench::{
+    eviction_comparison, eviction_table, prewarmed_cache, timed_search, CacheBenchConfig,
+    EvictionBenchConfig,
+};
 use digamma_server::ShardedFitnessCache;
 use std::sync::Arc;
 
@@ -33,5 +36,14 @@ fn bench_warm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nocache, bench_cold, bench_warm);
+/// Not a timing loop: runs the FIFO-vs-LRU recurring-hot-model batch
+/// once and prints the comparison table whose numbers are recorded in
+/// `digamma_bench::cachebench::eviction_comparison`'s docs.
+fn bench_eviction(c: &mut Criterion) {
+    let rows = eviction_comparison(EvictionBenchConfig::default());
+    println!("{}", eviction_table(&rows).to_markdown());
+    let _ = c;
+}
+
+criterion_group!(benches, bench_nocache, bench_cold, bench_warm, bench_eviction);
 criterion_main!(benches);

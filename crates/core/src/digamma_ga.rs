@@ -158,6 +158,47 @@ impl SearchState {
     }
 }
 
+/// What a [`StepObserver`] tells the stepping loop after a generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// Keep stepping.
+    Continue,
+    /// Stop at this generation boundary (cooperative cancellation).
+    Stop,
+}
+
+/// Why [`DiGamma::run_observed`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The sample budget ran out (the search is finished).
+    BudgetExhausted,
+    /// The observer asked to stop early; the state sits at a generation
+    /// boundary and may be snapshotted and resumed later.
+    ObserverStopped,
+}
+
+/// A per-generation hook on the stepping loop.
+///
+/// Long-running services hang progress streaming, checkpoint cadence,
+/// and cooperative cancellation off this seam: the observer runs at
+/// every generation boundary — exactly the points where a
+/// [`SearchState`] may be snapshotted — and its return value decides
+/// whether the loop keeps going. Observers see the live state, so they
+/// can report best-so-far cost or capture a snapshot without any extra
+/// bookkeeping inside the GA itself.
+pub trait StepObserver {
+    /// Called after each completed generation; return [`StepAction::Stop`]
+    /// to end the search at this boundary.
+    fn on_generation(&mut self, state: &SearchState, budget: usize) -> StepAction;
+}
+
+/// The trivial observer: never stops, observes nothing.
+impl StepObserver for () {
+    fn on_generation(&mut self, _state: &SearchState, _budget: usize) -> StepAction {
+        StepAction::Continue
+    }
+}
+
 /// The domain-aware GA searcher.
 #[derive(Debug, Clone)]
 pub struct DiGamma {
@@ -189,6 +230,29 @@ impl DiGamma {
         let mut state = self.init(problem, budget);
         while self.step(problem, &mut state, budget) {}
         state.into_result()
+    }
+
+    /// Drives `state` with [`DiGamma::step`] until the budget runs out or
+    /// the observer asks to stop, invoking the observer at every
+    /// generation boundary.
+    ///
+    /// This is the loop long-running services use: the observer streams
+    /// progress, writes checkpoints, and checks a cancellation flag, and
+    /// an [`StopCause::ObserverStopped`] return leaves the state at a
+    /// clean boundary for snapshotting.
+    pub fn run_observed(
+        &self,
+        problem: &CoOptProblem,
+        state: &mut SearchState,
+        budget: usize,
+        observer: &mut dyn StepObserver,
+    ) -> StopCause {
+        while self.step(problem, state, budget) {
+            if observer.on_generation(state, budget) == StepAction::Stop {
+                return StopCause::ObserverStopped;
+            }
+        }
+        StopCause::BudgetExhausted
     }
 
     /// Builds and evaluates the initial population (generation 0).
@@ -255,8 +319,7 @@ impl DiGamma {
             }
             population.push(g);
         }
-        let evals =
-            crate::parallel::parallel_map(&population, cfg.threads, |g| problem.evaluate(g));
+        let evals = problem.evaluate_batch(&population, cfg.threads);
         state.record(&population, &evals);
         state.population = population;
         state.evals = evals;
@@ -342,8 +405,7 @@ impl DiGamma {
             children.push(child);
         }
 
-        let child_evals =
-            crate::parallel::parallel_map(&children, cfg.threads, |g| problem.evaluate(g));
+        let child_evals = problem.evaluate_batch(&children, cfg.threads);
         state.record(&children, &child_evals);
         state.population = children;
         state.evals = child_evals;
@@ -379,9 +441,7 @@ impl DiGamma {
     ) -> SearchState {
         assert!(!population.is_empty(), "cannot restore an empty population");
         assert_eq!(history.len(), samples, "history must have one entry per sample");
-        let evals = crate::parallel::parallel_map(&population, self.config.threads, |g| {
-            problem.evaluate(g)
-        });
+        let evals = problem.evaluate_batch(&population, self.config.threads);
         let best = best.map(|g| {
             let e = problem.evaluate(&g);
             (g, e)
@@ -683,6 +743,68 @@ mod tests {
         assert_eq!(full.history, result.history, "resumed history must match bit-for-bit");
         assert_eq!(full.best_cost(), result.best_cost());
         assert_eq!(full.best.as_ref().map(|b| &b.genome), result.best.as_ref().map(|b| &b.genome));
+    }
+
+    #[test]
+    fn deep_cnn_search_skips_duplicate_layer_evals() {
+        // VGG-style models make the batch-local dedupe earn its keep:
+        // elites and the children inheriting their per-layer genes
+        // re-state many identical (layer shape, mapping) evaluations
+        // within one generation batch.
+        let problem = CoOptProblem::new(zoo::vgg16(), Platform::edge(), Objective::Latency);
+        let ga = DiGamma::new(quick_config(6));
+        let result = ga.search(&problem, 96);
+        assert_eq!(result.samples, 96);
+        assert!(
+            problem.batch_dedup_skipped() > 0,
+            "a vgg16 search must dedupe intra-batch layer evals"
+        );
+    }
+
+    #[test]
+    fn observer_stops_the_loop_at_a_generation_boundary() {
+        struct StopAfter(u64);
+        impl StepObserver for StopAfter {
+            fn on_generation(&mut self, state: &SearchState, _budget: usize) -> StepAction {
+                if state.generation() >= self.0 {
+                    StepAction::Stop
+                } else {
+                    StepAction::Continue
+                }
+            }
+        }
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(21));
+        let mut state = ga.init(&problem, 400);
+        let cause = ga.run_observed(&problem, &mut state, 400, &mut StopAfter(3));
+        assert_eq!(cause, StopCause::ObserverStopped);
+        assert_eq!(state.generation(), 3, "stop lands exactly at the asked boundary");
+        // Resuming with the trivial observer finishes the search
+        // identically to an uninterrupted run.
+        let cause = ga.run_observed(&problem, &mut state, 400, &mut ());
+        assert_eq!(cause, StopCause::BudgetExhausted);
+        let full = ga.search(&problem, 400);
+        let resumed = state.into_result();
+        assert_eq!(full.history, resumed.history);
+        assert_eq!(full.best_cost(), resumed.best_cost());
+    }
+
+    #[test]
+    fn observer_sees_every_generation() {
+        struct Count(Vec<u64>);
+        impl StepObserver for Count {
+            fn on_generation(&mut self, state: &SearchState, _budget: usize) -> StepAction {
+                self.0.push(state.generation());
+                StepAction::Continue
+            }
+        }
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(22));
+        let mut state = ga.init(&problem, 96);
+        let mut count = Count(Vec::new());
+        ga.run_observed(&problem, &mut state, 96, &mut count);
+        let expect: Vec<u64> = (1..=state.generation()).collect();
+        assert_eq!(count.0, expect, "one callback per generation, in order");
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod problem;
 mod result;
 
 pub use coopt::run_algorithm;
-pub use digamma_ga::{DiGamma, DiGammaConfig, SearchState};
+pub use digamma_ga::{DiGamma, DiGammaConfig, SearchState, StepAction, StepObserver, StopCause};
 pub use gamma::{Gamma, GammaConfig};
 pub use hwopt::{hw_grid_search, GridSearchResult};
 pub use objective::Objective;

@@ -4,6 +4,8 @@ use crate::objective::Objective;
 use digamma_costmodel::{CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform};
 use digamma_encoding::Genome;
 use digamma_workload::{Model, UniqueLayer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Base cost assigned to infeasible designs (the paper's "negative
@@ -74,6 +76,10 @@ pub struct CoOptProblem {
     constraint: Constraint,
     num_levels: usize,
     cache: Option<Arc<dyn EvalCache>>,
+    /// Identical `(layer shape, mapping)` evaluations skipped by the
+    /// batch-local dedupe map (shared across clones of this problem, so a
+    /// server's per-job problem copies report one total).
+    batch_dedup_skipped: Arc<AtomicU64>,
 }
 
 impl CoOptProblem {
@@ -89,6 +95,7 @@ impl CoOptProblem {
             constraint: Constraint::None,
             num_levels: 2,
             cache: None,
+            batch_dedup_skipped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -183,21 +190,109 @@ impl CoOptProblem {
         let mappings = effective.decode(&self.unique);
         match self.evaluate_mappings(&effective.fanouts, &mappings) {
             Ok(eval) => eval,
-            Err(_) => DesignEvaluation {
-                cost: INFEASIBLE_COST * 10.0,
-                feasible: false,
-                latency_cycles: f64::INFINITY,
-                energy_pj: f64::INFINITY,
-                area_um2: f64::INFINITY,
-                pe_area_um2: f64::INFINITY,
-                hw: HwConfig {
-                    fanouts: effective.fanouts,
-                    l2_words: 0,
-                    mid_words_per_unit: vec![],
-                    l1_words_per_pe: 0,
-                },
-            },
+            Err(_) => Self::invalid_evaluation(effective.fanouts),
         }
+    }
+
+    /// The maximally-infeasible evaluation assigned to structurally
+    /// invalid genomes (which repair should have prevented).
+    fn invalid_evaluation(fanouts: Vec<u64>) -> DesignEvaluation {
+        DesignEvaluation {
+            cost: INFEASIBLE_COST * 10.0,
+            feasible: false,
+            latency_cycles: f64::INFINITY,
+            energy_pj: f64::INFINITY,
+            area_um2: f64::INFINITY,
+            pe_area_um2: f64::INFINITY,
+            hw: HwConfig { fanouts, l2_words: 0, mid_words_per_unit: vec![], l1_words_per_pe: 0 },
+        }
+    }
+
+    /// Scores a whole batch of genomes (a GA population), deduplicating
+    /// identical `(layer shape, mapping)` evaluations *within the batch*
+    /// before they reach the cache or the cost model.
+    ///
+    /// Elites survive generations unchanged and crossover children
+    /// inherit whole per-layer gene sets from surviving parents, so one
+    /// generation's batch re-states many identical per-layer evaluations
+    /// — on deep CNNs (many unique shapes, few mutated per child) most of
+    /// a child's layers duplicate an elite's. A batch-local map collapses
+    /// each distinct key to one evaluation (and one shared-cache probe),
+    /// and [`CoOptProblem::batch_dedup_skipped`] counts the skips.
+    ///
+    /// Results are identical to calling [`CoOptProblem::evaluate`] per
+    /// genome, in order, for any `threads` value — evaluation is pure, so
+    /// deduplication is semantics-preserving.
+    pub fn evaluate_batch(&self, genomes: &[Genome], threads: usize) -> Vec<DesignEvaluation> {
+        // Decode every genome once.
+        let decoded: Vec<(Vec<u64>, Vec<Mapping>)> = genomes
+            .iter()
+            .map(|g| {
+                let fanouts = self.effective_fanouts(g);
+                let mut eff = g.clone();
+                eff.fanouts = fanouts.clone();
+                let mappings = eff.decode(&self.unique);
+                (fanouts, mappings)
+            })
+            .collect();
+
+        // Batch-local dedupe: first occurrence of a key claims a work
+        // slot; repeats reuse it. `layout` remembers, per genome and
+        // layer, which slot holds its report.
+        let mut slots: HashMap<u64, usize> = HashMap::new();
+        let mut work: Vec<(usize, &Mapping)> = Vec::new();
+        let mut layout: Vec<Vec<usize>> = Vec::with_capacity(genomes.len());
+        let mut skipped = 0u64;
+        for (_, mappings) in &decoded {
+            let mut per_genome = Vec::with_capacity(mappings.len());
+            for (li, mapping) in mappings.iter().enumerate() {
+                let key = self.evaluator.cache_key(&self.unique[li].layer, mapping);
+                let slot = match slots.get(&key) {
+                    Some(&slot) => {
+                        skipped += 1;
+                        slot
+                    }
+                    None => {
+                        let slot = work.len();
+                        slots.insert(key, slot);
+                        work.push((li, mapping));
+                        slot
+                    }
+                };
+                per_genome.push(slot);
+            }
+            layout.push(per_genome);
+        }
+        self.batch_dedup_skipped.fetch_add(skipped, Ordering::Relaxed);
+
+        // Only distinct evaluations fan out to workers (and probe the
+        // attached shared cache, when there is one).
+        let results: Vec<Result<Arc<CostReport>, EvalError>> =
+            crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
+                self.evaluate_layer(&self.unique[li].layer, mapping)
+            });
+
+        decoded
+            .iter()
+            .zip(&layout)
+            .map(|((fanouts, mappings), per_genome)| {
+                let mut reports = Vec::with_capacity(per_genome.len());
+                for &slot in per_genome {
+                    match &results[slot] {
+                        Ok(r) => reports.push(Arc::clone(r)),
+                        Err(_) => return Self::invalid_evaluation(fanouts.clone()),
+                    }
+                }
+                self.aggregate(fanouts, mappings, &reports)
+            })
+            .collect()
+    }
+
+    /// Identical `(layer shape, mapping)` evaluations skipped so far by
+    /// [`CoOptProblem::evaluate_batch`]'s batch-local dedupe map. The
+    /// counter is shared across clones of this problem.
+    pub fn batch_dedup_skipped(&self) -> u64 {
+        self.batch_dedup_skipped.load(Ordering::Relaxed)
     }
 
     /// Scores explicit per-unique-layer mappings on the given PE array.
@@ -218,6 +313,23 @@ impl CoOptProblem {
         mappings: &[Mapping],
     ) -> Result<DesignEvaluation, EvalError> {
         assert_eq!(mappings.len(), self.unique.len(), "one mapping per unique layer");
+        let mut reports = Vec::with_capacity(mappings.len());
+        for (u, mapping) in self.unique.iter().zip(mappings) {
+            reports.push(self.evaluate_layer(&u.layer, mapping)?);
+        }
+        Ok(self.aggregate(fanouts, mappings, &reports))
+    }
+
+    /// Combines per-layer cost reports into one design evaluation: sum
+    /// latency/energy weighted by layer multiplicity, derive the
+    /// minimum-footprint hardware (or check the fixed one), and score
+    /// against the area budget.
+    fn aggregate(
+        &self,
+        fanouts: &[u64],
+        mappings: &[Mapping],
+        reports: &[Arc<CostReport>],
+    ) -> DesignEvaluation {
         let mut latency = 0.0;
         let mut energy = 0.0;
         let mut derived = HwConfig {
@@ -228,8 +340,7 @@ impl CoOptProblem {
         };
         let mut fits_fixed = true;
 
-        for (u, mapping) in self.unique.iter().zip(mappings) {
-            let report = self.evaluate_layer(&u.layer, mapping)?;
+        for ((u, mapping), report) in self.unique.iter().zip(mappings).zip(reports) {
             latency += report.latency_cycles * u.count as f64;
             energy += report.energy_pj * u.count as f64;
             if let Constraint::FixedHw(hw) = &self.constraint {
@@ -258,7 +369,7 @@ impl CoOptProblem {
             INFEASIBLE_COST * 2.0
         };
 
-        Ok(DesignEvaluation {
+        DesignEvaluation {
             cost,
             feasible,
             latency_cycles: latency,
@@ -266,7 +377,7 @@ impl CoOptProblem {
             area_um2: area,
             pe_area_um2: pe_area,
             hw,
-        })
+        }
     }
 
     /// One per-layer cost-model call, routed through the attached memo
@@ -318,6 +429,30 @@ mod tests {
                 assert!(e.cost >= INFEASIBLE_COST);
             }
         }
+    }
+
+    #[test]
+    fn evaluate_batch_matches_per_genome_evaluate() {
+        let p = problem();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut genomes: Vec<Genome> =
+            (0..8).map(|_| Genome::random(&mut rng, p.unique_layers(), p.platform(), 2)).collect();
+        // A duplicate genome, as elites and their unmutated offspring
+        // produce in every real generation.
+        genomes.push(genomes[0].clone());
+        for threads in [1, 4] {
+            let batch = p.evaluate_batch(&genomes, threads);
+            for (g, e) in genomes.iter().zip(&batch) {
+                assert_eq!(*e, p.evaluate(g), "dedupe must not change results");
+            }
+        }
+        // The duplicate's per-layer evaluations were all skipped (twice:
+        // once per thread count above).
+        assert!(
+            p.batch_dedup_skipped() >= 2 * p.unique_layers().len() as u64,
+            "skipped only {}",
+            p.batch_dedup_skipped()
+        );
     }
 
     #[test]

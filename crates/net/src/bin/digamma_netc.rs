@@ -1,0 +1,176 @@
+//! `digamma-netc`: command-line client for `digamma-netd`.
+//!
+//! ```text
+//! digamma-netc submit <addr> <manifest-file>     # POST /jobs
+//! digamma-netc status <addr> <job-id>            # GET /jobs/{id}
+//! digamma-netc watch  <addr> <job-id>            # GET /jobs/{id}/events (streams)
+//! digamma-netc cancel <addr> <job-id>            # POST /jobs/{id}/cancel
+//! digamma-netc stats  <addr>                     # GET /stats
+//! digamma-netc shutdown <addr>                   # POST /shutdown
+//! digamma-netc smoke  <manifest-file> [netd]     # end-to-end self-test
+//! ```
+//!
+//! `smoke` is the CI path: it spawns the sibling `digamma-netd` binary
+//! on an ephemeral port with a temporary checkpoint dir, submits the
+//! manifest over a real socket, streams every job's events to
+//! completion, checks `/stats` and each final report, requests shutdown,
+//! and verifies the daemon exits cleanly.
+
+use digamma_net::client;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: digamma-netc <submit|status|watch|cancel|stats|shutdown|smoke> ...".to_owned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).ok_or_else(usage)?;
+    let arg = |i: usize, what: &str| {
+        args.get(i).map(String::as_str).ok_or_else(|| format!("{command} needs {what}"))
+    };
+    match command {
+        "submit" => {
+            let addr = arg(1, "<addr>")?;
+            let manifest = std::fs::read_to_string(arg(2, "<manifest-file>")?)
+                .map_err(|e| format!("cannot read manifest: {e}"))?;
+            let body = client::post(addr, "/jobs", Some(&manifest)).map_err(stringify)?;
+            print!("{body}");
+            Ok(())
+        }
+        "status" => {
+            let addr = arg(1, "<addr>")?;
+            let id = arg(2, "<job-id>")?;
+            print!("{}", client::get(addr, &format!("/jobs/{id}")).map_err(stringify)?);
+            Ok(())
+        }
+        "watch" => {
+            let addr = arg(1, "<addr>")?;
+            let id: u64 =
+                arg(2, "<job-id>")?.parse().map_err(|_| "job id must be a number".to_owned())?;
+            client::stream_events(addr, id, 0, |line| {
+                println!("{line}");
+                true
+            })
+            .map_err(stringify)?;
+            Ok(())
+        }
+        "cancel" => {
+            let addr = arg(1, "<addr>")?;
+            let id = arg(2, "<job-id>")?;
+            print!(
+                "{}",
+                client::post(addr, &format!("/jobs/{id}/cancel"), None).map_err(stringify)?
+            );
+            Ok(())
+        }
+        "stats" => {
+            print!("{}", client::get(arg(1, "<addr>")?, "/stats").map_err(stringify)?);
+            Ok(())
+        }
+        "shutdown" => {
+            print!("{}", client::post(arg(1, "<addr>")?, "/shutdown", None).map_err(stringify)?);
+            Ok(())
+        }
+        "smoke" => smoke(arg(1, "<manifest-file>")?, args.get(2).map(String::as_str)),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn stringify(e: std::io::Error) -> String {
+    e.to_string()
+}
+
+/// Locates the sibling `digamma-netd` binary (same target directory).
+fn sibling_netd() -> Result<std::path::PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let dir = me.parent().ok_or("no parent dir")?;
+    let netd = dir.join(format!("digamma-netd{}", std::env::consts::EXE_SUFFIX));
+    if netd.exists() {
+        Ok(netd)
+    } else {
+        Err(format!("{} not found (build the digamma-net crate first)", netd.display()))
+    }
+}
+
+fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String> {
+    let manifest =
+        std::fs::read_to_string(manifest_path).map_err(|e| format!("cannot read manifest: {e}"))?;
+    let netd = match netd_override {
+        Some(path) => std::path::PathBuf::from(path),
+        None => sibling_netd()?,
+    };
+    let ckpt = std::env::temp_dir().join(format!("digamma-netc-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    println!("smoke: starting {}", netd.display());
+    let mut child = std::process::Command::new(&netd)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2", "--eviction", "lru", "--checkpoint-dir"])
+        .arg(&ckpt)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn netd: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first =
+        lines.next().ok_or("netd exited before announcing its address")?.map_err(stringify)?;
+    let addr = first
+        .strip_prefix("digamma-netd listening on ")
+        .ok_or_else(|| format!("unexpected handshake line {first:?}"))?
+        .to_owned();
+    println!("smoke: daemon on {addr}");
+
+    let outcome = (|| -> Result<(), String> {
+        let accepted = client::post(&addr, "/jobs", Some(&manifest)).map_err(stringify)?;
+        let ids: Vec<u64> = accepted
+            .lines()
+            .filter_map(|l| l.strip_prefix("id = "))
+            .filter_map(|v| v.trim().parse().ok())
+            .collect();
+        if ids.is_empty() {
+            return Err(format!("no jobs accepted:\n{accepted}"));
+        }
+        println!("smoke: submitted {} job(s): {ids:?}", ids.len());
+        for &id in &ids {
+            let events = client::stream_events(&addr, id, 0, |_| true).map_err(stringify)?;
+            let last = events.last().cloned().unwrap_or_default();
+            println!("smoke: job {id}: {} event(s), final {last:?}", events.len());
+            if last != "end status=done" {
+                return Err(format!("job {id} ended {last:?}, wanted done"));
+            }
+            let status = client::get(&addr, &format!("/jobs/{id}")).map_err(stringify)?;
+            if !status.contains("status = done") || !status.contains("best_cost") {
+                return Err(format!("job {id} status lacks a best design:\n{status}"));
+            }
+        }
+        let stats = client::get(&addr, "/stats").map_err(stringify)?;
+        println!("smoke: stats\n{stats}");
+        if !stats.contains(&format!("done = {}", ids.len())) {
+            return Err(format!("stats disagree about completions:\n{stats}"));
+        }
+        Ok(())
+    })();
+
+    println!("smoke: shutting down");
+    let shutdown = client::post(&addr, "/shutdown", None).map_err(stringify);
+    let status = child.wait().map_err(stringify)?;
+    std::fs::remove_dir_all(&ckpt).ok();
+    outcome?;
+    shutdown?;
+    if !status.success() {
+        return Err(format!("netd exited {status}"));
+    }
+    println!("smoke: ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("digamma-netc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `digamma-netd`: the network search service.
+//!
+//! ```text
+//! digamma-netd [--addr 127.0.0.1:7171] [--workers N] [--cache-capacity N]
+//!              [--eviction fifo|lru] [--checkpoint-dir DIR]
+//! ```
+//!
+//! Binds a TCP listener (port 0 picks an ephemeral port; the resolved
+//! address is printed as `digamma-netd listening on ADDR`), starts the
+//! job registry, and serves the wire protocol (see `digamma_net::routes`)
+//! until `POST /shutdown`.
+//!
+//! With `--checkpoint-dir`, the service is durable: accepted jobs are
+//! journaled to `DIR/jobs.journal` before they run, GA searches snapshot
+//! into `DIR` at generation boundaries, and a killed-then-restarted
+//! `digamma-netd` replays the journal and resumes every in-flight job
+//! from its snapshot.
+
+use digamma_net::NetServer;
+use digamma_server::{EvictionPolicy, JobRegistry, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    addr: String,
+    config: ServerConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?.to_owned(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_owned())?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer (0 disables)".to_owned())?;
+            }
+            "--eviction" => {
+                let raw = value("--eviction")?;
+                config.eviction = EvictionPolicy::parse(raw)
+                    .ok_or_else(|| format!("--eviction must be fifo or lru, got {raw:?}"))?;
+            }
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    Ok(Options { addr, config })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_args(&args)?;
+    let journal = match &options.config.checkpoint_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+            Some(dir.join("jobs.journal"))
+        }
+        None => None,
+    };
+    let registry = Arc::new(
+        JobRegistry::start(options.config, journal)
+            .map_err(|e| format!("cannot start registry: {e}"))?,
+    );
+    let replayed = registry.stats().queued;
+    let server = NetServer::bind(&options.addr, registry)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The parseable handshake line tools and tests key on.
+    println!("digamma-netd listening on {addr}");
+    if replayed > 0 {
+        println!("digamma-netd: resuming {replayed} journaled job(s)");
+    }
+    server.serve().map_err(|e| format!("serve failed: {e}"))?;
+    println!("digamma-netd: shutdown complete");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("digamma-netd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal in-tree HTTP client for the `digamma-netd` protocol.
+//!
+//! One connection per call (`Connection: close`), blocking I/O, chunked
+//! responses decoded — enough for the `digamma-netc` CLI, the wire
+//! integration tests, and the CI smoke to exercise the real client path
+//! without crates.io.
+
+use crate::httpio::{read_chunk, Response};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// Issues one request and returns the parsed response (body fully read,
+/// chunked transfer reassembled).
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] on connection or framing failures.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = Response::read_head(&mut reader)?;
+    response.read_body(&mut reader)?;
+    Ok(response)
+}
+
+/// `GET path`, expecting success; returns the body.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`], mapping non-2xx statuses to
+/// `ErrorKind::Other` with the body as the message.
+pub fn get(addr: &str, path: &str) -> std::io::Result<String> {
+    expect_ok(request(addr, "GET", path, None)?)
+}
+
+/// `POST path` with an optional body, expecting success; returns the
+/// body.
+///
+/// # Errors
+///
+/// See [`get`].
+pub fn post(addr: &str, path: &str, body: Option<&str>) -> std::io::Result<String> {
+    expect_ok(request(addr, "POST", path, body)?)
+}
+
+fn expect_ok(response: Response) -> std::io::Result<String> {
+    if (200..300).contains(&response.status) {
+        Ok(response.body)
+    } else {
+        Err(std::io::Error::other(format!("HTTP {}: {}", response.status, response.body.trim())))
+    }
+}
+
+/// Streams `GET /jobs/{id}/events` (chunked), invoking `on_line` per
+/// event line as it arrives. Returning `false` from the callback drops
+/// the connection mid-stream (the cancel-while-watching pattern).
+/// Returns all lines received.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] on connection or framing failures, or a
+/// non-2xx response.
+pub fn stream_events(
+    addr: &str,
+    id: u64,
+    from: usize,
+    mut on_line: impl FnMut(&str) -> bool,
+) -> std::io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET /jobs/{id}/events?from={from} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let response = Response::read_head(&mut reader)?;
+    if response.status != 200 {
+        let mut response = response;
+        response.read_body(&mut reader)?;
+        return Err(std::io::Error::other(format!(
+            "HTTP {}: {}",
+            response.status,
+            response.body.trim()
+        )));
+    }
+    let mut lines = Vec::new();
+    let mut pending = String::new();
+    'chunks: while let Some(chunk) = read_chunk(&mut reader)? {
+        pending.push_str(&String::from_utf8_lossy(&chunk));
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim_end().to_owned();
+            let keep_going = on_line(&line);
+            lines.push(line);
+            if !keep_going {
+                break 'chunks;
+            }
+        }
+    }
+    Ok(lines)
+}

@@ -1,0 +1,266 @@
+//! Endpoint dispatch: the wire protocol over the job registry.
+//!
+//! | Endpoint                  | Effect |
+//! |---------------------------|--------|
+//! | `POST /jobs`              | submit a manifest; returns one `[submitted]` section per job |
+//! | `GET /jobs`               | list every job (id, name, status) |
+//! | `GET /jobs/{id}`          | status, live progress, and the report (best-so-far design) |
+//! | `GET /jobs/{id}/events`   | chunked stream: one line per GA generation, then `end status=...` (`?from=N` to skip) |
+//! | `POST /jobs/{id}/cancel`  | cooperative cancel at the next generation boundary |
+//! | `GET /stats`              | queue depth, worker utilization, cache counters |
+//! | `POST /shutdown`          | stop accepting, cancel running jobs (they snapshot), exit |
+//!
+//! Responses are `text/plain` in the workspace's `[section]` /
+//! `key = value` format, so the same parsers read manifests, snapshots,
+//! journals, and wire responses.
+
+use crate::httpio::{write_response, ChunkedWriter, Request};
+use digamma_server::textio::Section;
+use digamma_server::{JobId, JobRegistry, JobView};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an events stream waits for news before re-checking the
+/// connection and shutdown state.
+const EVENT_POLL: Duration = Duration::from_millis(200);
+
+/// Shared flag the `POST /shutdown` endpoint flips; the accept loop
+/// watches it.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Requests shutdown.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handles one parsed request on `stream`. Returns whether the
+/// connection may be kept alive for another request.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] only for transport failures; protocol
+/// errors become 4xx responses.
+pub fn handle(
+    registry: &JobRegistry,
+    shutdown: &ShutdownFlag,
+    request: &Request,
+    stream: &mut impl Write,
+) -> std::io::Result<bool> {
+    let keep = request.keep_alive();
+    let path = request.path().to_owned();
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => {
+            let body = String::from_utf8_lossy(&request.body);
+            match registry.submit_manifest(&body) {
+                Ok(ids) => {
+                    let sections: Vec<Section> = ids
+                        .iter()
+                        .map(|&id| {
+                            let view = registry.job(id).expect("just submitted");
+                            let mut s = Section::new("submitted");
+                            s.push("id", id.to_string());
+                            s.push("name", view.name);
+                            s
+                        })
+                        .collect();
+                    let body = digamma_server::textio::render_sections(&sections);
+                    write_response(stream, 202, &body, keep)?;
+                }
+                Err(e) => write_response(stream, 400, &format!("bad manifest: {e}\n"), keep)?,
+            }
+            Ok(keep)
+        }
+        ("GET", ["jobs"]) => {
+            let sections: Vec<Section> = registry
+                .jobs()
+                .into_iter()
+                .map(|view| {
+                    let mut s = Section::new("job");
+                    s.push("id", view.id.to_string());
+                    s.push("name", view.name);
+                    s.push("status", view.status.to_string());
+                    s
+                })
+                .collect();
+            let body = digamma_server::textio::render_sections(&sections);
+            write_response(stream, 200, &body, keep)?;
+            Ok(keep)
+        }
+        ("GET", ["jobs", id]) => {
+            let Some(view) = parse_id(id).and_then(|id| registry.job(id)) else {
+                write_response(stream, 404, "no such job\n", keep)?;
+                return Ok(keep);
+            };
+            write_response(stream, 200, &render_job_view(&view), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["jobs", id, "events"]) => {
+            let Some(id) = parse_id(id).filter(|&id| registry.job(id).is_some()) else {
+                write_response(stream, 404, "no such job\n", keep)?;
+                return Ok(keep);
+            };
+            let from = request.query("from").and_then(|v| v.parse().ok()).unwrap_or(0);
+            stream_events(registry, shutdown, id, from, stream)?;
+            // Chunked responses always close.
+            Ok(false)
+        }
+        ("POST", ["jobs", id, "cancel"]) => {
+            match parse_id(id).and_then(|id| registry.cancel(id)) {
+                Some(status) => {
+                    write_response(stream, 202, &format!("status = {status}\n"), keep)?;
+                }
+                None => write_response(stream, 404, "no such job\n", keep)?,
+            }
+            Ok(keep)
+        }
+        ("GET", ["stats"]) => {
+            write_response(stream, 200, &render_stats(registry), keep)?;
+            Ok(keep)
+        }
+        ("POST", ["shutdown"]) => {
+            shutdown.set();
+            write_response(stream, 202, "shutting down\n", false)?;
+            Ok(false)
+        }
+        // Known routes reached with the wrong method are 405; anything
+        // else — including unknown sub-resources under /jobs — is 404.
+        (_, ["jobs"])
+        | (_, ["jobs", _])
+        | (_, ["jobs", _, "events"])
+        | (_, ["jobs", _, "cancel"])
+        | (_, ["stats"])
+        | (_, ["shutdown"]) => {
+            write_response(stream, 405, "method not allowed\n", keep)?;
+            Ok(keep)
+        }
+        _ => {
+            write_response(stream, 404, "no such endpoint\n", keep)?;
+            Ok(keep)
+        }
+    }
+}
+
+fn parse_id(raw: &str) -> Option<JobId> {
+    raw.parse().ok()
+}
+
+fn stream_events(
+    registry: &JobRegistry,
+    shutdown: &ShutdownFlag,
+    id: JobId,
+    from: usize,
+    stream: &mut impl Write,
+) -> std::io::Result<()> {
+    let mut chunks = ChunkedWriter::start(stream, 200)?;
+    let mut cursor = from;
+    while let Some((lines, done)) = registry.events(id, cursor, EVENT_POLL) {
+        cursor += lines.len();
+        for line in &lines {
+            // A disconnected client errors here, ending the stream.
+            chunks.chunk(&format!("{line}\n"))?;
+        }
+        if done {
+            break;
+        }
+        if shutdown.is_set() && lines.is_empty() {
+            // The registry is going down; running jobs will produce
+            // their terminal event, but a queued job might not — don't
+            // strand the client.
+            chunks.chunk("end status=shutdown\n")?;
+            break;
+        }
+    }
+    chunks.finish()
+}
+
+/// Renders one job's full wire view: its `[job]` identity/progress
+/// section, plus a `[report]` section once it finished or was cancelled
+/// (carrying the — possibly partial — best design).
+pub fn render_job_view(view: &JobView) -> String {
+    let mut job = Section::new("job");
+    job.push("id", view.id.to_string());
+    job.push("name", view.name.clone());
+    job.push("status", view.status.to_string());
+    job.push("model", view.spec.model.name());
+    job.push("platform", view.spec.platform.name.clone());
+    job.push("objective", view.spec.objective.to_string());
+    job.push("algorithm", view.spec.algorithm.to_string());
+    job.push("budget", view.spec.budget.to_string());
+    job.push("seed", view.spec.seed.to_string());
+    if let Some(progress) = &view.progress {
+        job.push("generation", progress.generation.to_string());
+        job.push("samples", progress.samples.to_string());
+        if let Some(best) = progress.best_cost {
+            job.push("best_cost", format!("{best:.6e}"));
+        }
+    }
+    let mut sections = vec![job];
+    if let Some(report) = &view.report {
+        let mut s = Section::new("report");
+        s.push("samples", report.samples.to_string());
+        s.push("generations", report.generations.to_string());
+        s.push("cancelled", report.cancelled.to_string());
+        if let Some(resumed) = report.resumed_at {
+            s.push("resumed_at", resumed.to_string());
+        }
+        match &report.best {
+            Some(best) => {
+                s.push("best_cost", format!("{:.6e}", best.cost));
+                s.push("best_latency_cycles", format!("{:.6e}", best.latency_cycles));
+                s.push("best_energy_pj", format!("{:.6e}", best.energy_pj));
+                s.push("best_area_um2", format!("{:.6e}", best.area_um2));
+                s.push("best_genome", best.genome.to_text());
+            }
+            None => s.push("best", "none"),
+        }
+        s.push("cache_hits", report.cache_hits.to_string());
+        s.push("cache_misses", report.cache_misses.to_string());
+        s.push("dedup_skipped", report.dedup_skipped.to_string());
+        s.push("wall_ms", format!("{:.1}", report.wall.as_secs_f64() * 1e3));
+        sections.push(s);
+    }
+    digamma_server::textio::render_sections(&sections)
+}
+
+/// Renders the `/stats` body: registry counters plus (when caching is
+/// on) the shared fitness-cache counters.
+pub fn render_stats(registry: &JobRegistry) -> String {
+    let stats = registry.stats();
+    let mut s = Section::new("stats");
+    s.push("workers", stats.workers.to_string());
+    s.push("busy_workers", stats.busy_workers.to_string());
+    s.push("queue_depth", stats.queued.to_string());
+    s.push("running", stats.running.to_string());
+    s.push("done", stats.done.to_string());
+    s.push("cancelled", stats.cancelled.to_string());
+    let mut sections = vec![s];
+    if let Some(cache) = registry.server().cache_stats() {
+        let mut c = Section::new("cache");
+        c.push("entries", cache.entries.to_string());
+        c.push("capacity", registry.server().config().cache_capacity.to_string());
+        c.push("eviction", registry.server().config().eviction.to_string());
+        c.push("hits", cache.hits.to_string());
+        c.push("misses", cache.misses.to_string());
+        c.push("hit_rate", format!("{:.4}", cache.hit_rate()));
+        c.push("insertions", cache.insertions.to_string());
+        c.push("evictions", cache.evictions.to_string());
+        sections.push(c);
+    }
+    digamma_server::textio::render_sections(&sections)
+}

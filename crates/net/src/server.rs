@@ -1,0 +1,164 @@
+//! The TCP listener: connections in, [`crate::routes`] dispatch, clean
+//! shutdown.
+//!
+//! One blocking accept loop (run on the caller's thread via
+//! [`NetServer::serve`]) hands each connection to its own thread, which
+//! loops keep-alive style: parse request → dispatch → repeat until the
+//! client closes or a response demands closure. `POST /shutdown` (or
+//! [`NetServer::shutdown_handle`]) flips the shared flag and pokes the
+//! listener with a loopback connection so `accept` wakes immediately;
+//! `serve` then shuts the registry down — running jobs stop at their
+//! next generation boundary and snapshot, so a journal-backed service
+//! resumes them on the next start.
+
+use crate::httpio::Request;
+use crate::routes::{self, ShutdownFlag};
+use digamma_server::JobRegistry;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// A bound-but-not-yet-serving network front-end.
+#[derive(Debug)]
+pub struct NetServer {
+    listener: TcpListener,
+    registry: Arc<JobRegistry>,
+    shutdown: ShutdownFlag,
+}
+
+/// A handle that can stop a [`NetServer::serve`] loop from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: ShutdownFlag,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown and wakes the accept loop.
+    pub fn shutdown(&self) {
+        self.flag.set();
+        // Poke the listener so its blocking accept returns.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl NetServer {
+    /// Binds the listener (`addr` may use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the address cannot be bound.
+    pub fn bind(addr: &str, registry: Arc<JobRegistry>) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(NetServer { listener, registry, shutdown: ShutdownFlag::new() })
+    }
+
+    /// The bound address (the real port, after ephemeral binding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] if the socket is gone.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the serve loop from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] if the socket is gone.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle { flag: self.shutdown.clone(), addr: self.local_addr()? })
+    }
+
+    /// The registry this front-end serves.
+    pub fn registry(&self) -> &Arc<JobRegistry> {
+        &self.registry
+    }
+
+    /// Serves until shutdown is requested (`POST /shutdown` or a
+    /// [`ShutdownHandle`]), then shuts the registry down (running jobs
+    /// snapshot and stop) and returns.
+    ///
+    /// Transient accept failures (aborted handshakes, momentary fd
+    /// exhaustion under watcher load) are absorbed with a short pause;
+    /// only a persistently broken listener gives up — and even then the
+    /// registry is shut down first, so running jobs still get their
+    /// boundary snapshot instead of dying mid-generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] after the listener fails many times in
+    /// a row (the registry has already been shut down cleanly).
+    pub fn serve(self) -> std::io::Result<()> {
+        let handle = self.shutdown_handle()?;
+        let mut consecutive_failures = 0u32;
+        let outcome = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    consecutive_failures = 0;
+                    if self.shutdown.is_set() {
+                        break Ok(());
+                    }
+                    let registry = Arc::clone(&self.registry);
+                    let handle = handle.clone();
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(&registry, &handle, stream);
+                    });
+                }
+                Err(e) => {
+                    if self.shutdown.is_set() {
+                        break Ok(());
+                    }
+                    consecutive_failures += 1;
+                    if consecutive_failures >= 100 {
+                        break Err(e);
+                    }
+                    eprintln!("digamma-net: accept failed ({e}); retrying");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        };
+        self.registry.shutdown();
+        outcome
+    }
+}
+
+/// The per-connection loop: requests until EOF, `Connection: close`, a
+/// streaming response, or a framing error (answered with 400 when the
+/// transport still works). A request that flips the shutdown flag
+/// (`POST /shutdown`) also pokes the listener so the accept loop wakes.
+fn serve_connection(
+    registry: &JobRegistry,
+    handle: &ShutdownHandle,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = crate::httpio::write_response(
+                    &mut writer,
+                    400,
+                    &format!("bad request: {e}\n"),
+                    false,
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let keep = routes::handle(registry, &handle.flag, &request, &mut writer)?;
+        writer.flush()?;
+        if handle.flag.is_set() {
+            // Wake the blocked accept so serve() can wind down.
+            let _ = TcpStream::connect(handle.addr);
+            return Ok(());
+        }
+        if !keep {
+            return Ok(());
+        }
+    }
+}

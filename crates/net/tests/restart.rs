@@ -1,0 +1,160 @@
+//! The durability acceptance test: a real `digamma-netd` process,
+//! killed with SIGKILL mid-search, restarted on the same checkpoint
+//! directory — the in-flight job must come back under its id and resume
+//! from its snapshot rather than starting over.
+
+use digamma_net::client;
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(checkpoint_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_digamma-netd"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "1", "--checkpoint-dir"])
+            .arg(checkpoint_dir)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn digamma-netd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines.next().expect("a handshake line").expect("readable stdout");
+        let addr = first
+            .strip_prefix("digamma-netd listening on ")
+            .unwrap_or_else(|| panic!("unexpected handshake {first:?}"))
+            .to_owned();
+        // Keep draining stdout so the pipe never closes under the
+        // daemon (println! to a closed pipe would abort it).
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — no cooperative anything; only the snapshot + journal
+    /// survive.
+    fn kill(mut self) {
+        self.child.kill().expect("kill netd");
+        self.child.wait().expect("reap netd");
+    }
+
+    fn shutdown(mut self) {
+        let _ = client::post(&self.addr, "/shutdown", None);
+        let status = self.child.wait().expect("reap netd");
+        assert!(status.success(), "netd exited {status}");
+    }
+}
+
+#[test]
+fn killed_netd_resumes_in_flight_jobs_on_restart() {
+    let dir = std::env::temp_dir().join(format!("digamma-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Life one: submit a job big enough to outlive us, snapshotting
+    // every generation.
+    let daemon = Daemon::start(&dir);
+    let accepted = client::post(
+        &daemon.addr,
+        "/jobs",
+        Some(
+            "[job]\nname = survivor\nmodel = ncf\nbudget = 2000000\npopulation = 8\nseed = 11\ncheckpoint_every = 1\n",
+        ),
+    )
+    .unwrap();
+    assert!(accepted.contains("id = 1"), "{accepted}");
+
+    // Wait until it has demonstrably stepped a few generations (so a
+    // snapshot exists on disk), then SIGKILL the process.
+    let events =
+        client::stream_events(&daemon.addr, 1, 0, |line| !line.starts_with("gen=3")).unwrap();
+    assert!(events.iter().any(|l| l.starts_with("gen=")), "{events:?}");
+    daemon.kill();
+
+    let journal = dir.join("jobs.journal");
+    assert!(journal.exists(), "journal must survive the kill");
+    let snapshots: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "snapshot"))
+        .collect();
+    assert!(!snapshots.is_empty(), "a snapshot must survive the kill");
+
+    // Life two: same directory. The journal replays the job under id 1
+    // and the search resumes from the snapshot.
+    let reborn = Daemon::start(&dir);
+    let mut resumed_generation = None;
+    for _ in 0..600 {
+        let body = client::get(&reborn.addr, "/jobs/1").unwrap();
+        if body.contains("status = running") || body.contains("status = done") {
+            if let Some(generation) = body
+                .lines()
+                .find_map(|l| l.strip_prefix("generation = "))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                resumed_generation = Some(generation);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let generation = resumed_generation.expect("job 1 must come back and step");
+    assert!(generation >= 1);
+
+    // Cancel (we do not want to burn the 2M budget) and confirm the
+    // report records a resume, proving it did not start over.
+    let _ = client::post(&reborn.addr, "/jobs/1/cancel", None).unwrap();
+    let mut report = None;
+    for _ in 0..600 {
+        let body = client::get(&reborn.addr, "/jobs/1").unwrap();
+        if body.contains("status = cancelled") {
+            report = Some(body);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = report.expect("cancellation must land");
+    assert!(report.contains("resumed_at = "), "must resume from the snapshot: {report}");
+    assert!(report.contains("best_cost = "), "partial best retrievable: {report}");
+
+    reborn.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_shutdown_leaves_queued_jobs_resumable() {
+    let dir = std::env::temp_dir().join(format!("digamma-restart-clean-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let daemon = Daemon::start(&dir);
+    client::post(
+        &daemon.addr,
+        "/jobs",
+        Some("[job]\nname = backlog\nmodel = ncf\nbudget = 3000000\npopulation = 8\ncheckpoint_every = 1\n"),
+    )
+    .unwrap();
+    // Let it start, then shut down cleanly (cooperative: snapshots, does
+    // not journal a finish).
+    let _ = client::stream_events(&daemon.addr, 1, 0, |line| !line.starts_with("gen=2"));
+    daemon.shutdown();
+
+    let reborn = Daemon::start(&dir);
+    let mut came_back = false;
+    for _ in 0..600 {
+        let body = client::get(&reborn.addr, "/jobs/1").unwrap();
+        if body.contains("name = backlog") {
+            came_back = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(came_back, "clean shutdown must leave the job journaled for the next life");
+    client::post(&reborn.addr, "/jobs/1/cancel", None).unwrap();
+    reborn.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

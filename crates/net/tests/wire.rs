@@ -1,0 +1,205 @@
+//! Wire-protocol integration: a real `NetServer` on an ephemeral port,
+//! a real TCP client, the full job lifecycle.
+
+use digamma_net::{client, NetServer, ShutdownHandle};
+use digamma_server::{JobRegistry, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Service {
+    addr: String,
+    registry: Arc<JobRegistry>,
+    handle: ShutdownHandle,
+    serving: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Service {
+    fn start(workers: usize, checkpoint_dir: Option<PathBuf>) -> Service {
+        let config = ServerConfig { workers, checkpoint_dir, ..ServerConfig::default() };
+        let registry = Arc::new(JobRegistry::start(config, None).unwrap());
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.shutdown_handle().unwrap();
+        let serving = std::thread::spawn(move || server.serve());
+        Service { addr, registry, handle, serving: Some(serving) }
+    }
+
+    fn submit(&self, manifest: &str) -> Vec<u64> {
+        let body = client::post(&self.addr, "/jobs", Some(manifest)).unwrap();
+        body.lines()
+            .filter_map(|l| l.strip_prefix("id = "))
+            .filter_map(|v| v.trim().parse().ok())
+            .collect()
+    }
+
+    fn wait_status(&self, id: u64, wanted: &str) -> String {
+        for _ in 0..600 {
+            let body = client::get(&self.addr, &format!("/jobs/{id}")).unwrap();
+            if body.contains(&format!("status = {wanted}")) {
+                return body;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job {id} never reached status {wanted}");
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(serving) = self.serving.take() {
+            let _ = serving.join();
+        }
+    }
+}
+
+fn small_job(name: &str, budget: usize) -> String {
+    format!("[job]\nname = {name}\nmodel = ncf\nbudget = {budget}\npopulation = 8\nseed = 4\n")
+}
+
+#[test]
+fn submit_watch_and_fetch_result_over_tcp() {
+    let service = Service::start(2, None);
+    let ids = service.submit(&small_job("wire-a", 96));
+    assert_eq!(ids.len(), 1);
+    let id = ids[0];
+
+    // Stream events to completion: per-generation lines, then the
+    // terminal line.
+    let events = client::stream_events(&service.addr, id, 0, |_| true).unwrap();
+    assert!(events.len() >= 2, "{events:?}");
+    assert!(events[0].starts_with("gen=1 samples="), "{events:?}");
+    assert_eq!(events.last().unwrap(), "end status=done");
+
+    // The final status carries the report and best design.
+    let body = service.wait_status(id, "done");
+    assert!(body.contains("[report]"), "{body}");
+    assert!(body.contains("best_cost = "), "{body}");
+    assert!(body.contains("samples = 96"), "{body}");
+
+    // Re-streaming a finished job replays its full event log.
+    let replay = client::stream_events(&service.addr, id, 0, |_| true).unwrap();
+    assert_eq!(replay, events);
+    // ?from= skips already-seen lines.
+    let tail = client::stream_events(&service.addr, id, events.len() - 1, |_| true).unwrap();
+    assert_eq!(tail, vec!["end status=done".to_owned()]);
+}
+
+#[test]
+fn cancel_mid_search_keeps_partial_best_and_snapshot() {
+    let dir = std::env::temp_dir().join(format!("digamma-wire-cancel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let service = Service::start(1, Some(dir.clone()));
+
+    let manifest = format!(
+        "[job]\nname = towering\nmodel = ncf\nbudget = 1000000\npopulation = 8\ncheckpoint_every = 1\n\n{}",
+        small_job("waiting", 64)
+    );
+    let ids = service.submit(&manifest);
+    assert_eq!(ids.len(), 2);
+    let (running, queued) = (ids[0], ids[1]);
+
+    // Watch until the search demonstrably steps, then cancel it from a
+    // second connection (dropping the watch mid-stream).
+    let seen = client::stream_events(&service.addr, running, 0, |line| !line.starts_with("gen=2"))
+        .unwrap();
+    assert!(!seen.is_empty());
+    let response = client::post(&service.addr, &format!("/jobs/{running}/cancel"), None).unwrap();
+    assert!(response.contains("status ="), "{response}");
+
+    let body = service.wait_status(running, "cancelled");
+    assert!(body.contains("cancelled = true"), "{body}");
+    assert!(body.contains("best_cost = "), "cancelled job must keep its partial best: {body}");
+
+    // The cooperative stop snapshotted: the job can resume later.
+    let view = service.registry.job(running).unwrap();
+    let ckpt = service.registry.server().checkpoint_path(&view.spec).unwrap();
+    assert!(ckpt.exists(), "no snapshot at {}", ckpt.display());
+
+    // The queued job proceeds once the worker frees up.
+    service.wait_status(queued, "done");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_report_queue_depth_workers_and_cache() {
+    let service = Service::start(1, None);
+    let ids =
+        service.submit(&format!("{}\n{}", small_job("stats-a", 120), small_job("stats-b", 120)));
+    for &id in &ids {
+        service.wait_status(id, "done");
+    }
+    let stats = client::get(&service.addr, "/stats").unwrap();
+    assert!(stats.contains("workers = 1"), "{stats}");
+    assert!(stats.contains("done = 2"), "{stats}");
+    assert!(stats.contains("queue_depth = 0"), "{stats}");
+    assert!(stats.contains("[cache]"), "{stats}");
+    assert!(stats.contains("hits = "), "{stats}");
+    // The second identical-model job reuses the first one's entries.
+    let hits: u64 =
+        stats.lines().find_map(|l| l.strip_prefix("hits = ")).and_then(|v| v.parse().ok()).unwrap();
+    assert!(hits > 0, "{stats}");
+}
+
+#[test]
+fn protocol_errors_are_4xx_not_hangs() {
+    let service = Service::start(1, None);
+    // Unknown job.
+    let err = client::get(&service.addr, "/jobs/999").unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    // Bad manifest.
+    let err = client::post(&service.addr, "/jobs", Some("[job]\nmodel = gpt5\n")).unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    // Wrong method on a known route.
+    let err = client::post(&service.addr, "/stats", None).unwrap_err();
+    assert!(err.to_string().contains("405"), "{err}");
+    // Unknown paths — including unknown sub-resources of known routes.
+    let err = client::get(&service.addr, "/metrics").unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    let err = client::get(&service.addr, "/jobs/1/bogus").unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    // [server] overrides cannot sneak through the runtime submit path.
+    let err = client::post(
+        &service.addr,
+        "/jobs",
+        Some("[server]\neviction = lru\n[job]\nmodel = ncf\n"),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    // Duplicate live names conflict at submission.
+    let ids = service.submit(&small_job("solo", 200_000));
+    let err = client::post(&service.addr, "/jobs", Some(&small_job("solo", 64))).unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    // A batch with one bad job accepts *nothing* — no orphan jobs
+    // running behind a 400.
+    let before = service.registry.stats();
+    let batch = format!("{}\n{}", small_job("fresh", 64), small_job("solo", 64));
+    let err = client::post(&service.addr, "/jobs", Some(&batch)).unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    let after = service.registry.stats();
+    assert_eq!(
+        before.queued + before.running,
+        after.queued + after.running,
+        "rejected batch must not leave orphans"
+    );
+    assert!(service.registry.jobs().iter().all(|v| v.name != "fresh"));
+    service.registry.cancel(ids[0]);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    use std::io::{BufReader, Write};
+    let service = Service::start(1, None);
+    let mut stream = std::net::TcpStream::connect(&service.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        write!(stream, "GET /stats HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = digamma_net::httpio::Response::read_head(&mut reader).unwrap();
+        response.read_body(&mut reader).unwrap();
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("workers = 1"));
+    }
+}

@@ -13,11 +13,13 @@
 //! * **Sharded** — the key space is split across independently locked
 //!   shards, so worker threads hammering the cache contend only when
 //!   they collide on a shard, not on every lookup.
-//! * **Capacity-bounded** — each shard evicts in insertion order (FIFO)
-//!   past its capacity share, so a long-running service cannot grow
-//!   without bound. GA workloads re-reference recent keys (elites), so
-//!   FIFO loses little over LRU while keeping the hot path a single
-//!   `HashMap` probe.
+//! * **Capacity-bounded** — each shard evicts past its capacity share
+//!   under a selectable [`EvictionPolicy`], so a long-running service
+//!   cannot grow without bound. FIFO keeps the hot path a single
+//!   `HashMap` probe; LRU pays one recency-queue push per hit to keep
+//!   long-lived hot keys (template seeds, co-tenant models) resident
+//!   through churn. `digamma_bench::cachebench` records the measured
+//!   difference on a long multi-model batch.
 //! * **Counted** — hits, misses, insertions, and evictions are atomic
 //!   counters; [`JobCacheView`] layers per-job hit/miss counters over a
 //!   shared cache so every job can report its own reuse.
@@ -25,8 +27,41 @@
 use digamma::EvalCache;
 use digamma_costmodel::CostReport;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How a shard evicts once it exceeds its capacity share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict in insertion order. Cheapest: lookups never write.
+    #[default]
+    Fifo,
+    /// Evict the least-recently-used entry. Hits refresh recency (one
+    /// lazy queue push per hit), so keys that stay hot across jobs
+    /// survive churn from one-off requests.
+    Lru,
+}
+
+impl EvictionPolicy {
+    /// Parses a manifest/CLI spelling (`fifo` or `lru`).
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Some(EvictionPolicy::Fifo),
+            "lru" => Some(EvictionPolicy::Lru),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictionPolicy::Fifo => f.write_str("fifo"),
+            EvictionPolicy::Lru => f.write_str("lru"),
+        }
+    }
+}
 
 /// A point-in-time view of a cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,10 +90,64 @@ impl CacheStats {
     }
 }
 
+#[derive(Debug)]
+struct Entry {
+    report: Arc<CostReport>,
+    /// Tick of the last ordering-relevant touch (insertion; plus hits
+    /// under LRU). The order queue pairs carrying an older tick for this
+    /// key are stale.
+    touched: u64,
+}
+
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<u64, Arc<CostReport>>,
-    arrival: VecDeque<u64>,
+    map: HashMap<u64, Entry>,
+    /// `(tick, key)` pairs in tick order. A pair is live only while the
+    /// entry's `touched` still equals its tick; stale pairs are skipped
+    /// lazily at eviction and swept by [`Shard::compact`].
+    order: VecDeque<(u64, u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Refreshes `key`'s recency (the LRU hit path).
+    fn touch(&mut self, key: u64) {
+        let tick = self.next_tick();
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.touched = tick;
+            self.order.push_back((tick, key));
+        }
+        // Hits never evict, so the lazy queue needs an occasional sweep
+        // to stay proportional to the resident set.
+        if self.order.len() > 2 * self.map.len() + 64 {
+            self.compact();
+        }
+    }
+
+    /// Drops stale `(tick, key)` pairs, keeping live ones in tick order.
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.order.retain(|&(tick, key)| map.get(&key).is_some_and(|e| e.touched == tick));
+    }
+
+    /// Evicts oldest-live-tick entries until at most `capacity` remain;
+    /// returns how many were dropped.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.map.len() > capacity {
+            let Some((tick, key)) = self.order.pop_front() else { break };
+            if self.map.get(&key).is_some_and(|e| e.touched == tick) {
+                self.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// The shared fitness memo: see the module docs.
@@ -66,6 +155,7 @@ struct Shard {
 pub struct ShardedFitnessCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    policy: EvictionPolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -77,26 +167,47 @@ pub struct ShardedFitnessCache {
 const DEFAULT_SHARDS: usize = 64;
 
 impl ShardedFitnessCache {
-    /// Creates a cache bounded to roughly `capacity` reports total, with
-    /// the default shard count.
+    /// Creates a FIFO-evicting cache bounded to roughly `capacity`
+    /// reports total, with the default shard count.
     pub fn new(capacity: usize) -> ShardedFitnessCache {
-        ShardedFitnessCache::with_shards(capacity, DEFAULT_SHARDS)
+        ShardedFitnessCache::with_shards_and_policy(capacity, DEFAULT_SHARDS, EvictionPolicy::Fifo)
     }
 
-    /// Creates a cache with an explicit shard count (rounded up to a
+    /// Creates a cache with the given eviction policy and the default
+    /// shard count.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> ShardedFitnessCache {
+        ShardedFitnessCache::with_shards_and_policy(capacity, DEFAULT_SHARDS, policy)
+    }
+
+    /// Creates a FIFO cache with an explicit shard count (rounded up to a
     /// power of two, minimum 1). Total capacity splits evenly across
     /// shards, each shard holding at least one entry.
     pub fn with_shards(capacity: usize, shards: usize) -> ShardedFitnessCache {
+        ShardedFitnessCache::with_shards_and_policy(capacity, shards, EvictionPolicy::Fifo)
+    }
+
+    /// The fully-explicit constructor: capacity, shard count, and policy.
+    pub fn with_shards_and_policy(
+        capacity: usize,
+        shards: usize,
+        policy: EvictionPolicy,
+    ) -> ShardedFitnessCache {
         let shards = shards.max(1).next_power_of_two();
         let shard_capacity = capacity.div_ceil(shards).max(1);
         ShardedFitnessCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
+            policy,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     fn shard(&self, key: u64) -> &Mutex<Shard> {
@@ -136,8 +247,11 @@ impl ShardedFitnessCache {
 
 impl EvalCache for ShardedFitnessCache {
     fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
-        let shard = self.shard(key).lock().expect("cache shard poisoned");
-        let found = shard.map.get(&key).cloned();
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(&key).map(|e| Arc::clone(&e.report));
+        if found.is_some() && self.policy == EvictionPolicy::Lru {
+            shard.touch(key);
+        }
         drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -148,19 +262,18 @@ impl EvalCache for ShardedFitnessCache {
 
     fn store(&self, key: u64, report: &Arc<CostReport>) {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        // Two workers may race to evaluate the same key; the first
-        // insertion wins and the arrival queue records each key once.
-        // Cloning an `Arc` keeps both store and hit paths shallow.
-        if shard.map.insert(key, Arc::clone(report)).is_some() {
+        // Two workers may race to evaluate the same key; the racing
+        // re-store refreshes the report without a new order-queue pair
+        // (the existing tick stays authoritative). Cloning an `Arc`
+        // keeps both store and hit paths shallow.
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.report = Arc::clone(report);
             return;
         }
-        shard.arrival.push_back(key);
-        let mut evicted = 0u64;
-        while shard.map.len() > self.shard_capacity {
-            let Some(oldest) = shard.arrival.pop_front() else { break };
-            shard.map.remove(&oldest);
-            evicted += 1;
-        }
+        let tick = shard.next_tick();
+        shard.map.insert(key, Entry { report: Arc::clone(report), touched: tick });
+        shard.order.push_back((tick, key));
+        let evicted = shard.evict_to(self.shard_capacity);
         drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted > 0 {
@@ -258,6 +371,51 @@ mod tests {
         assert!(cache.lookup(k1).is_none(), "oldest entry must be gone");
         assert!(cache.lookup(k2).is_some());
         assert!(cache.lookup(k3).is_some());
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        // One shard, capacity 2. Under LRU, touching k1 makes k2 the
+        // eviction victim; under FIFO (tested above) k1 would go.
+        let cache = ShardedFitnessCache::with_shards_and_policy(2, 1, EvictionPolicy::Lru);
+        let (k1, r) = report_for(2, 2);
+        let (k2, _) = report_for(4, 2);
+        let (k3, _) = report_for(8, 2);
+        cache.store(k1, &r);
+        cache.store(k2, &r);
+        assert!(cache.lookup(k1).is_some(), "refreshes k1's recency");
+        cache.store(k3, &r);
+        assert!(cache.lookup(k1).is_some(), "recently-used entry survives");
+        assert!(cache.lookup(k2).is_none(), "least-recently-used entry evicted");
+        assert!(cache.lookup(k3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_queue_stays_bounded() {
+        // Hammering one key with hits must not grow the shard's lazy
+        // recency queue without bound.
+        let cache = ShardedFitnessCache::with_shards_and_policy(4, 1, EvictionPolicy::Lru);
+        let (key, report) = report_for(8, 4);
+        cache.store(key, &report);
+        for _ in 0..10_000 {
+            assert!(cache.lookup(key).is_some());
+        }
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(shard.order.len() <= 2 * shard.map.len() + 65, "queue len {}", shard.order.len());
+    }
+
+    #[test]
+    fn eviction_policy_parses_and_displays() {
+        assert_eq!(EvictionPolicy::parse("LRU"), Some(EvictionPolicy::Lru));
+        assert_eq!(EvictionPolicy::parse(" fifo "), Some(EvictionPolicy::Fifo));
+        assert_eq!(EvictionPolicy::parse("2q"), None);
+        assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
+        assert_eq!(ShardedFitnessCache::new(8).policy(), EvictionPolicy::Fifo);
+        assert_eq!(
+            ShardedFitnessCache::with_policy(8, EvictionPolicy::Lru).policy(),
+            EvictionPolicy::Lru
+        );
     }
 
     #[test]

@@ -181,10 +181,16 @@ pub struct JobReport {
     pub generations: u64,
     /// The generation a checkpoint restored, when the job resumed.
     pub resumed_at: Option<u64>,
+    /// Whether the job was cancelled before exhausting its budget (the
+    /// report then carries the partial best-so-far design).
+    pub cancelled: bool,
     /// Per-job fitness-cache hits (0 when the server runs cache-less).
     pub cache_hits: u64,
     /// Per-job fitness-cache misses.
     pub cache_misses: u64,
+    /// Identical `(layer shape, mapping)` evaluations skipped by the
+    /// batch-local dedupe map before reaching the cache.
+    pub dedup_skipped: u64,
     /// Wall-clock the job spent searching.
     pub wall: Duration,
 }
@@ -213,8 +219,9 @@ impl JobReport {
             Some(g) => format!(" | resumed@gen{g}"),
             None => String::new(),
         };
+        let cancelled = if self.cancelled { " | cancelled" } else { "" };
         format!(
-            "{:<24} {:<12} {} | {} samples | cache {:.0}% hit ({}h/{}m) | {:.2}s{}",
+            "{:<24} {:<12} {} | {} samples | cache {:.0}% hit ({}h/{}m) | {:.2}s{}{}",
             self.name,
             self.algorithm,
             outcome,
@@ -223,7 +230,8 @@ impl JobReport {
             self.cache_hits,
             self.cache_misses,
             self.wall.as_secs_f64(),
-            resumed
+            resumed,
+            cancelled
         )
     }
 }

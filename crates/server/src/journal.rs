@@ -1,0 +1,267 @@
+//! The job journal: a write-ahead text log that lets a killed service
+//! resume its in-flight jobs.
+//!
+//! Snapshots alone cannot restart a service — they carry search *state*
+//! but not the submitted [`JobSpec`]s (nor which jobs were still
+//! unfinished). The journal closes that gap: every accepted job appends
+//! a `[submitted]` record (the spec rendered through
+//! [`crate::render_job`]) *before* it runs, and every terminal
+//! transition appends a `[finished]` record. Replay on startup yields
+//! exactly the jobs that were queued or running at the kill — each of
+//! which then resumes from its surviving snapshot through the normal
+//! checkpoint path.
+//!
+//! ```text
+//! [submitted]
+//! id = 3
+//! name = ncf-edge
+//! model = ncf
+//! ...                           # the full [job] key set
+//!
+//! [finished]
+//! id = 3
+//! status = done                 # done | cancelled
+//! ```
+//!
+//! Appends are small and section-atomic in practice, but a kill can
+//! still truncate the tail mid-write — so replay parses leniently,
+//! dropping an unparsable trailing record instead of refusing to start.
+
+use crate::job::JobSpec;
+use crate::manifest::{parse_job_section, render_job};
+use crate::registry::{JobId, JobStatus};
+use crate::textio::{self, Section};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An append-only job journal at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+/// What replaying a journal recovers.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Jobs submitted but never finished, in submission (id) order —
+    /// the work a restarted service must pick back up.
+    pub pending: Vec<(JobId, JobSpec)>,
+    /// Jobs that reached a terminal state, with that state.
+    pub finished: Vec<(JobId, JobStatus)>,
+    /// The next fresh id (one past the largest seen).
+    pub next_id: JobId,
+}
+
+impl Journal {
+    /// A journal at `path` (created on first append).
+    pub fn new(path: impl Into<PathBuf>) -> Journal {
+        Journal { path: path.into() }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records an accepted job. Must happen before the job first runs —
+    /// the journal is what makes it survive a kill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the append fails.
+    pub fn append_submitted(&self, id: JobId, spec: &JobSpec) -> std::io::Result<()> {
+        self.append_submitted_all(&[(id, spec)])
+    }
+
+    /// Records a whole accepted batch in one filesystem append, so a
+    /// batch submission is journaled all-or-nothing (modulo a torn tail,
+    /// which replay drops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the append fails.
+    pub fn append_submitted_all(&self, batch: &[(JobId, &JobSpec)]) -> std::io::Result<()> {
+        let mut buffer = String::new();
+        for (id, spec) in batch {
+            let mut section = Section::new("submitted");
+            section.push("id", id.to_string());
+            for (key, value) in render_job(spec).entries {
+                section.push(key, value);
+            }
+            buffer.push_str(&section.render());
+            buffer.push('\n');
+        }
+        self.append_raw(&buffer)
+    }
+
+    /// Records a terminal transition (`Done` or `Cancelled`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the append fails.
+    pub fn append_finished(&self, id: JobId, status: JobStatus) -> std::io::Result<()> {
+        let mut section = Section::new("finished");
+        section.push("id", id.to_string());
+        section.push("status", status.to_string());
+        self.append(&section)
+    }
+
+    fn append(&self, section: &Section) -> std::io::Result<()> {
+        self.append_raw(&format!("{}\n", section.render()))
+    }
+
+    fn append_raw(&self, text: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        file.write_all(text.as_bytes())
+    }
+
+    /// Replays the journal. A missing file is an empty replay; a
+    /// truncated or garbled trailing record is dropped (the kill
+    /// scenario this file exists for), but anything unreadable earlier
+    /// is too — replay is strictly best-effort recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] only for real I/O failures (permission
+    /// problems, not absence).
+    pub fn replay(&self) -> std::io::Result<JournalReplay> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut pending: BTreeMap<JobId, JobSpec> = BTreeMap::new();
+        let mut finished = Vec::new();
+        let mut next_id: JobId = 1;
+        for section in lenient_sections(&text) {
+            let Some(id) = section.get("id").and_then(|v| v.parse::<JobId>().ok()) else {
+                continue;
+            };
+            next_id = next_id.max(id + 1);
+            match section.name.as_str() {
+                "submitted" => {
+                    if let Ok(spec) = parse_job_section(&section, id as usize) {
+                        pending.insert(id, spec);
+                    }
+                }
+                "finished" => {
+                    pending.remove(&id);
+                    if let Some(status) = section.get("status").and_then(parse_status) {
+                        finished.push((id, status));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(JournalReplay { pending: pending.into_iter().collect(), finished, next_id })
+    }
+}
+
+fn parse_status(s: &str) -> Option<JobStatus> {
+    match s {
+        "done" => Some(JobStatus::Done),
+        "cancelled" => Some(JobStatus::Cancelled),
+        _ => None,
+    }
+}
+
+/// Splits a journal into parsable sections, silently dropping blocks the
+/// strict parser rejects (a truncated tail after a kill, or garbage
+/// before the first header).
+fn lenient_sections(text: &str) -> Vec<Section> {
+    let mut blocks: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with('[') || blocks.is_empty() {
+            blocks.push(String::new());
+        }
+        let block = blocks.last_mut().expect("just ensured a block exists");
+        block.push_str(line);
+        block.push('\n');
+    }
+    blocks.iter().filter_map(|block| textio::parse_sections(block).ok()).flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobAlgorithm;
+    use digamma::Objective;
+    use digamma_costmodel::Platform;
+    use digamma_workload::zoo;
+
+    fn spec(name: &str) -> JobSpec {
+        let mut s = JobSpec::new(
+            name,
+            zoo::ncf(),
+            Platform::edge(),
+            Objective::Latency,
+            JobAlgorithm::DiGamma,
+        );
+        s.budget = 160;
+        s.population_size = 8;
+        s
+    }
+
+    fn temp_journal(tag: &str) -> Journal {
+        let path =
+            std::env::temp_dir().join(format!("digamma-journal-{tag}-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        Journal::new(path)
+    }
+
+    #[test]
+    fn replay_recovers_unfinished_jobs_in_order() {
+        let journal = temp_journal("order");
+        journal.append_submitted(1, &spec("a")).unwrap();
+        journal.append_submitted(2, &spec("b")).unwrap();
+        journal.append_submitted(3, &spec("c")).unwrap();
+        journal.append_finished(2, JobStatus::Done).unwrap();
+        let replay = journal.replay().unwrap();
+        let names: Vec<&str> = replay.pending.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"], "finished jobs are not replayed");
+        assert_eq!(replay.pending[0].0, 1);
+        assert_eq!(replay.next_id, 4);
+        assert_eq!(replay.finished, vec![(2, JobStatus::Done)]);
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_replay() {
+        let journal = temp_journal("absent");
+        let replay = journal.replay().unwrap();
+        assert!(replay.pending.is_empty());
+        assert_eq!(replay.next_id, 1);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let journal = temp_journal("truncated");
+        journal.append_submitted(1, &spec("alive")).unwrap();
+        // A kill mid-append: a half-written record at the tail.
+        let mut text = std::fs::read_to_string(journal.path()).unwrap();
+        text.push_str("[submitted]\nid = 2\nname = half-wr");
+        std::fs::write(journal.path(), text).unwrap();
+        let replay = journal.replay().unwrap();
+        // Record 2 has no parsable model line → dropped; record 1 lives.
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.pending[0].1.name, "alive");
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn replayed_specs_round_trip_identity() {
+        let journal = temp_journal("identity");
+        let mut s = spec("exact");
+        s.seed = 77;
+        s.checkpoint_every = Some(3);
+        journal.append_submitted(9, &s).unwrap();
+        let replay = journal.replay().unwrap();
+        let (id, back) = &replay.pending[0];
+        assert_eq!(*id, 9);
+        assert_eq!(back.fingerprint(), s.fingerprint(), "resume depends on exact identity");
+        assert_eq!(back.checkpoint_every, s.checkpoint_every);
+        assert_eq!(replay.next_id, 10);
+        std::fs::remove_file(journal.path()).ok();
+    }
+}

@@ -45,13 +45,18 @@
 
 mod cache;
 mod job;
+mod journal;
 mod manifest;
 mod queue;
+mod registry;
 mod snapshot;
 pub mod textio;
 
-pub use cache::{CacheStats, JobCacheView, ShardedFitnessCache};
+pub use journal::Journal;
+
+pub use cache::{CacheStats, EvictionPolicy, JobCacheView, ShardedFitnessCache};
 pub use job::{JobAlgorithm, JobReport, JobSpec};
-pub use manifest::parse_manifest;
-pub use queue::{SearchServer, ServerConfig};
+pub use manifest::{parse_manifest, parse_manifest_full, render_job, Manifest, ServerOverrides};
+pub use queue::{JobControl, JobProgress, SearchServer, ServerConfig};
+pub use registry::{JobId, JobRegistry, JobStatus, JobView, RegistryStats};
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};

@@ -1,10 +1,18 @@
-//! Job manifests: the text form in which work arrives at `digamma-serve`.
+//! Job manifests: the text form in which work arrives at `digamma-serve`
+//! and at `digamma-netd`'s `POST /jobs` endpoint.
 //!
 //! A manifest is a [`crate::textio`] document with one `[job]` section
-//! per search request:
+//! per search request, plus an optional leading `[server]` section
+//! overriding service knobs:
 //!
 //! ```text
 //! # Co-design batch for the edge SoC tape-out.
+//! [server]
+//! workers = 4                    # worker threads (optional)
+//! cache_capacity = 262144        # fitness memo entries, 0 = off
+//! eviction = lru                 # fifo | lru (default fifo)
+//! checkpoint_every = 8           # default snapshot cadence
+//!
 //! [job]
 //! name = ncf-edge                # default: job-<index>
 //! model = ncf                    # required; any zoo name
@@ -20,71 +28,193 @@
 //! checkpoint_every = 8           # generations between snapshots
 //! ```
 
+use crate::cache::EvictionPolicy;
 use crate::job::{JobAlgorithm, JobSpec};
-use crate::textio::{self, TextError};
+use crate::queue::ServerConfig;
+use crate::textio::{self, Section, TextError};
 use digamma::Objective;
 use digamma_costmodel::Platform;
 use std::collections::HashSet;
 
-/// Parses a whole manifest into job specs, in document order.
+/// Service knobs a manifest's optional `[server]` section overrides.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerOverrides {
+    /// Worker threads, when given.
+    pub workers: Option<usize>,
+    /// Fitness-cache capacity (`0` disables), when given.
+    pub cache_capacity: Option<usize>,
+    /// Cache eviction policy, when given.
+    pub eviction: Option<EvictionPolicy>,
+    /// Default snapshot cadence, when given.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl ServerOverrides {
+    /// Applies the overrides on top of a base configuration.
+    pub fn apply(&self, config: &mut ServerConfig) {
+        if let Some(workers) = self.workers {
+            config.workers = workers;
+        }
+        if let Some(capacity) = self.cache_capacity {
+            config.cache_capacity = capacity;
+        }
+        if let Some(eviction) = self.eviction {
+            config.eviction = eviction;
+        }
+        if let Some(every) = self.checkpoint_every {
+            config.checkpoint_every = every;
+        }
+    }
+}
+
+/// A fully parsed manifest: optional server overrides plus jobs in
+/// document order.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Overrides from the optional `[server]` section.
+    pub server: ServerOverrides,
+    /// The requested jobs, in document order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Parses one `[job]` section into a spec. `index` positions the job in
+/// its document (for the default name and error messages); `name`
+/// collision checks are the caller's concern.
 ///
 /// # Errors
 ///
-/// Returns [`TextError`] on syntax errors, unknown names, duplicate job
-/// names, or an empty manifest.
-pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, TextError> {
+/// Returns [`TextError`] on unknown names or out-of-range knobs.
+pub fn parse_job_section(section: &Section, index: usize) -> Result<JobSpec, TextError> {
+    let name = section.get("name").map_or_else(|| format!("job-{index}"), str::to_owned);
+    let model = JobSpec::model_by_name(section.require("model")?)?;
+    let platform = match section.get("platform") {
+        Some(p) => JobSpec::platform_by_name(p)?,
+        None => Platform::edge(),
+    };
+    let objective = match section.get("objective") {
+        Some(o) => JobSpec::objective_by_name(o)?,
+        None => Objective::Latency,
+    };
+    let algorithm = match section.get("algorithm") {
+        Some(a) => JobAlgorithm::parse(a)?,
+        None => JobAlgorithm::DiGamma,
+    };
+    let mut spec = JobSpec::new(name, model, platform, objective, algorithm);
+    spec.budget = section.get_parsed_or("budget", spec.budget)?;
+    spec.seed = section.get_parsed_or("seed", spec.seed)?;
+    spec.population_size = section.get_parsed_or("population", spec.population_size)?;
+    spec.threads = section.get_parsed_or("threads", spec.threads)?;
+    spec.checkpoint_every = section
+        .get("checkpoint_every")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| TextError::new(format!("[job {}] has bad `checkpoint_every`", index)))?;
+    if spec.population_size < 4 {
+        return Err(TextError::new(format!("job {:?}: population must be at least 4", spec.name)));
+    }
+    if spec.budget == 0 {
+        return Err(TextError::new(format!("job {:?}: budget must be positive", spec.name)));
+    }
+    Ok(spec)
+}
+
+/// Renders a spec back to its `[job]` section — the inverse of
+/// [`parse_job_section`] (the job journal persists specs this way).
+///
+/// The model must be a zoo model (manifest-submitted jobs always are);
+/// composite or hand-built models have no manifest name to round-trip.
+pub fn render_job(spec: &JobSpec) -> Section {
+    let mut section = Section::new("job");
+    section.push("name", &spec.name);
+    section.push("model", spec.model.name());
+    section.push("platform", &spec.platform.name);
+    section.push("objective", spec.objective.to_string());
+    section.push("algorithm", spec.algorithm.to_string());
+    section.push("budget", spec.budget.to_string());
+    section.push("seed", spec.seed.to_string());
+    section.push("population", spec.population_size.to_string());
+    section.push("threads", spec.threads.to_string());
+    if let Some(every) = spec.checkpoint_every {
+        section.push("checkpoint_every", every.to_string());
+    }
+    section
+}
+
+fn parse_server_section(section: &Section) -> Result<ServerOverrides, TextError> {
+    let mut overrides = ServerOverrides::default();
+    for (key, value) in &section.entries {
+        match key.as_str() {
+            "workers" => overrides.workers = Some(section.get_parsed_or("workers", 0)?),
+            "cache_capacity" => {
+                overrides.cache_capacity = Some(section.get_parsed_or("cache_capacity", 0)?);
+            }
+            "eviction" => {
+                overrides.eviction = Some(EvictionPolicy::parse(value).ok_or_else(|| {
+                    TextError::new(format!("[server] has bad `eviction`: {value:?} (fifo | lru)"))
+                })?);
+            }
+            "checkpoint_every" => {
+                overrides.checkpoint_every = Some(section.get_parsed_or("checkpoint_every", 0)?);
+            }
+            other => {
+                return Err(TextError::new(format!("[server] has unknown key `{other}`")));
+            }
+        }
+    }
+    if overrides.workers == Some(0) {
+        return Err(TextError::new("[server] workers must be at least 1"));
+    }
+    Ok(overrides)
+}
+
+/// Parses a whole manifest: an optional leading `[server]` section plus
+/// job specs in document order.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on syntax errors, unknown names or sections,
+/// duplicate job names, or an empty manifest.
+pub fn parse_manifest_full(text: &str) -> Result<Manifest, TextError> {
     let sections = textio::parse_sections(text)?;
+    let mut server = ServerOverrides::default();
     let mut jobs = Vec::new();
     let mut names = HashSet::new();
     for section in &sections {
-        if section.name != "job" {
-            return Err(TextError::new(format!(
-                "unknown section [{}] (manifests contain only [job])",
-                section.name
-            )));
+        match section.name.as_str() {
+            "server" => {
+                if !jobs.is_empty() {
+                    return Err(TextError::new("[server] must precede the [job] sections"));
+                }
+                server = parse_server_section(section)?;
+            }
+            "job" => {
+                let spec = parse_job_section(section, jobs.len())?;
+                if !names.insert(spec.name.clone()) {
+                    return Err(TextError::new(format!("duplicate job name {:?}", spec.name)));
+                }
+                jobs.push(spec);
+            }
+            other => {
+                return Err(TextError::new(format!(
+                    "unknown section [{other}] (manifests contain [server] and [job])"
+                )));
+            }
         }
-        let index = jobs.len();
-        let name = section.get("name").map_or_else(|| format!("job-{index}"), str::to_owned);
-        if !names.insert(name.clone()) {
-            return Err(TextError::new(format!("duplicate job name {name:?}")));
-        }
-        let model = JobSpec::model_by_name(section.require("model")?)?;
-        let platform = match section.get("platform") {
-            Some(p) => JobSpec::platform_by_name(p)?,
-            None => Platform::edge(),
-        };
-        let objective = match section.get("objective") {
-            Some(o) => JobSpec::objective_by_name(o)?,
-            None => Objective::Latency,
-        };
-        let algorithm = match section.get("algorithm") {
-            Some(a) => JobAlgorithm::parse(a)?,
-            None => JobAlgorithm::DiGamma,
-        };
-        let mut spec = JobSpec::new(name, model, platform, objective, algorithm);
-        spec.budget = section.get_parsed_or("budget", spec.budget)?;
-        spec.seed = section.get_parsed_or("seed", spec.seed)?;
-        spec.population_size = section.get_parsed_or("population", spec.population_size)?;
-        spec.threads = section.get_parsed_or("threads", spec.threads)?;
-        spec.checkpoint_every =
-            section.get("checkpoint_every").map(str::parse).transpose().map_err(|_| {
-                TextError::new(format!("[job {}] has bad `checkpoint_every`", index))
-            })?;
-        if spec.population_size < 4 {
-            return Err(TextError::new(format!(
-                "job {:?}: population must be at least 4",
-                spec.name
-            )));
-        }
-        if spec.budget == 0 {
-            return Err(TextError::new(format!("job {:?}: budget must be positive", spec.name)));
-        }
-        jobs.push(spec);
     }
     if jobs.is_empty() {
         return Err(TextError::new("manifest has no [job] sections"));
     }
-    Ok(jobs)
+    Ok(Manifest { server, jobs })
+}
+
+/// Parses a manifest's job specs, in document order (the historical
+/// entry point; server overrides, if any, are validated and dropped).
+///
+/// # Errors
+///
+/// See [`parse_manifest_full`].
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, TextError> {
+    Ok(parse_manifest_full(text)?.jobs)
 }
 
 #[cfg(test)]
@@ -133,6 +263,62 @@ algorithm = cma
         assert_eq!(jobs[1].algorithm, JobAlgorithm::Gamma(HwPreset::ComputeFocused));
         assert_eq!(jobs[2].algorithm, JobAlgorithm::Baseline(Algorithm::Cma));
         assert_eq!(jobs[2].budget, 600, "defaults apply");
+    }
+
+    #[test]
+    fn server_section_overrides_apply() {
+        let text = "\
+[server]
+workers = 3
+cache_capacity = 1024
+eviction = lru
+
+[job]
+model = ncf
+";
+        let manifest = parse_manifest_full(text).unwrap();
+        let mut config = ServerConfig::default();
+        manifest.server.apply(&mut config);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.cache_capacity, 1024);
+        assert_eq!(config.eviction, EvictionPolicy::Lru);
+        // Absent keys leave the base config alone.
+        assert_eq!(config.checkpoint_every, ServerConfig::default().checkpoint_every);
+        // Bad values and misplaced sections are named errors.
+        for (text, needle) in [
+            ("[server]\neviction = 2q\n[job]\nmodel = ncf\n", "eviction"),
+            ("[server]\nworkers = 0\n[job]\nmodel = ncf\n", "workers"),
+            ("[server]\nquota = 9\n[job]\nmodel = ncf\n", "unknown key"),
+            ("[job]\nmodel = ncf\n[server]\nworkers = 2\n", "precede"),
+        ] {
+            let err = parse_manifest_full(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn job_sections_roundtrip_through_render() {
+        let text = "\
+[job]
+name = vgg-cloud
+model = vgg16
+platform = cloud
+objective = edp
+algorithm = gamma:medium
+budget = 4000
+seed = 13
+population = 24
+threads = 2
+checkpoint_every = 5
+";
+        let spec = &parse_manifest(text).unwrap()[0];
+        let rendered = render_job(spec).render();
+        let sections = textio::parse_sections(&rendered).unwrap();
+        let back = parse_job_section(&sections[0], 0).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+        assert_eq!(back.threads, spec.threads);
+        assert_eq!(back.checkpoint_every, spec.checkpoint_every);
     }
 
     #[test]

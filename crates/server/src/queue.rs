@@ -13,15 +13,17 @@
 //! re-submitted job whose snapshot survives resumes bit-identically
 //! instead of starting over.
 
-use crate::cache::{CacheStats, JobCacheView, ShardedFitnessCache};
+use crate::cache::{CacheStats, EvictionPolicy, JobCacheView, ShardedFitnessCache};
 use crate::job::{JobAlgorithm, JobReport, JobSpec};
 use crate::snapshot::Snapshot;
 use digamma::{
     run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig,
-    SearchResult,
+    SearchResult, SearchState, StepAction, StepObserver,
 };
 use std::collections::VecDeque;
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -33,6 +35,8 @@ pub struct ServerConfig {
     /// Total fitness-cache capacity in memoized per-layer reports;
     /// `0` runs the server cache-less.
     pub cache_capacity: usize,
+    /// How the fitness cache evicts past capacity.
+    pub eviction: EvictionPolicy,
     /// Where GA jobs write checkpoints; `None` disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
     /// Default snapshot cadence in generations (jobs may override).
@@ -44,9 +48,86 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: digamma::default_threads(),
             cache_capacity: 256 * 1024,
+            eviction: EvictionPolicy::Fifo,
             checkpoint_dir: None,
             checkpoint_every: 8,
         }
+    }
+}
+
+/// A per-generation progress observation from a running GA job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProgress {
+    /// Completed generations.
+    pub generation: u64,
+    /// Design points evaluated so far.
+    pub samples: usize,
+    /// The job's total sample budget.
+    pub budget: usize,
+    /// Best feasible cost found so far, if any.
+    pub best_cost: Option<f64>,
+}
+
+impl JobProgress {
+    /// The one-line wire/log form streamed to clients:
+    /// `gen=<g> samples=<s>/<budget> best=<cost|none>`.
+    pub fn line(&self) -> String {
+        let best = match self.best_cost {
+            Some(c) => format!("{c:.6e}"),
+            None => "none".to_owned(),
+        };
+        format!("gen={} samples={}/{} best={}", self.generation, self.samples, self.budget, best)
+    }
+}
+
+/// External handles into a running job: a cooperative cancellation flag
+/// (checked at generation boundaries) and an optional per-generation
+/// progress sink.
+#[derive(Default)]
+pub struct JobControl {
+    cancel: AtomicBool,
+    progress: Option<Box<dyn Fn(JobProgress) + Send + Sync>>,
+}
+
+impl JobControl {
+    /// A control that never cancels and reports nowhere.
+    pub fn new() -> JobControl {
+        JobControl::default()
+    }
+
+    /// Attaches a per-generation progress callback.
+    pub fn with_progress(
+        mut self,
+        progress: impl Fn(JobProgress) + Send + Sync + 'static,
+    ) -> JobControl {
+        self.progress = Some(Box::new(progress));
+        self
+    }
+
+    /// Requests cooperative cancellation: the job stops at its next
+    /// generation boundary, snapshotting first when checkpointing is on.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    fn report(&self, progress: JobProgress) {
+        if let Some(sink) = &self.progress {
+            sink(progress);
+        }
+    }
+}
+
+impl fmt::Debug for JobControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobControl")
+            .field("cancel", &self.is_cancelled())
+            .field("progress", &self.progress.as_ref().map(|_| "fn"))
+            .finish()
     }
 }
 
@@ -61,8 +142,9 @@ pub struct SearchServer {
 impl SearchServer {
     /// Builds a server (allocating its shared cache up front).
     pub fn new(config: ServerConfig) -> SearchServer {
-        let cache = (config.cache_capacity > 0)
-            .then(|| Arc::new(ShardedFitnessCache::new(config.cache_capacity)));
+        let cache = (config.cache_capacity > 0).then(|| {
+            Arc::new(ShardedFitnessCache::with_policy(config.cache_capacity, config.eviction))
+        });
         SearchServer { config, cache }
     }
 
@@ -101,6 +183,15 @@ impl SearchServer {
 
     /// Runs one job inline on the calling thread (the worker body).
     pub fn run_job(&self, spec: &JobSpec) -> JobReport {
+        self.run_job_controlled(spec, &JobControl::new())
+    }
+
+    /// Runs one job under external control: `control`'s progress sink is
+    /// invoked at every generation boundary, and its cancellation flag
+    /// stops the job cooperatively at the next boundary (snapshotting
+    /// first when checkpointing is on, so the partial search is
+    /// resumable and its best-so-far design survives in the report).
+    pub fn run_job_controlled(&self, spec: &JobSpec, control: &JobControl) -> JobReport {
         let started = Instant::now();
         let view = self.cache.as_ref().map(|c| Arc::new(JobCacheView::new(Arc::clone(c))));
         let mut problem =
@@ -109,7 +200,7 @@ impl SearchServer {
             problem = problem.with_cache(Arc::clone(view) as _);
         }
 
-        let (result, generations, resumed_at) = match spec.algorithm {
+        let (result, generations, resumed_at, cancelled) = match spec.algorithm {
             JobAlgorithm::DiGamma => {
                 let ga = DiGamma::new(DiGammaConfig {
                     population_size: spec.population_size,
@@ -117,7 +208,7 @@ impl SearchServer {
                     threads: spec.threads,
                     ..Default::default()
                 });
-                self.drive_ga(spec, &ga, &problem)
+                self.drive_ga(spec, &ga, &problem, control)
             }
             JobAlgorithm::Gamma(preset) => {
                 let hw = preset.build(&spec.platform, problem.evaluator().area_model());
@@ -127,11 +218,19 @@ impl SearchServer {
                     threads: spec.threads,
                     ..Default::default()
                 });
+                // The constrained clone shares `problem`'s dedupe
+                // counter, so the report below reads it transparently.
                 let (constrained, ga) = gamma.searcher(&problem, &hw);
-                self.drive_ga(spec, &ga, &constrained)
+                self.drive_ga(spec, &ga, &constrained, control)
             }
             JobAlgorithm::Baseline(alg) => {
-                (run_algorithm(alg, &problem, spec.budget, spec.seed), 0, None)
+                // Ask/tell baselines run to completion; cancellation is
+                // only honoured before they start.
+                if control.is_cancelled() {
+                    (SearchResult { best: None, history: Vec::new(), samples: 0 }, 0, None, true)
+                } else {
+                    (run_algorithm(alg, &problem, spec.budget, spec.seed), 0, None, false)
+                }
             }
         };
 
@@ -142,8 +241,10 @@ impl SearchServer {
             samples: result.samples,
             generations,
             resumed_at,
+            cancelled,
             cache_hits: view.as_ref().map_or(0, |v| v.hits()),
             cache_misses: view.as_ref().map_or(0, |v| v.misses()),
+            dedup_skipped: problem.batch_dedup_skipped(),
             wall: started.elapsed(),
         }
     }
@@ -152,13 +253,15 @@ impl SearchServer {
     /// cadence and resuming from a surviving snapshot of the *same* job
     /// (identity checked by fingerprint; a stale or foreign snapshot is
     /// ignored and the search starts over). The checkpoint is removed
-    /// when the job completes.
+    /// when the job completes — but kept when the job is cancelled, so a
+    /// cancelled search can resume later.
     fn drive_ga(
         &self,
         spec: &JobSpec,
         ga: &DiGamma,
         problem: &CoOptProblem,
-    ) -> (SearchResult, u64, Option<u64>) {
+        control: &JobControl,
+    ) -> (SearchResult, u64, Option<u64>, bool) {
         let path = self.checkpoint_path(spec);
         let fingerprint = spec.fingerprint();
         let mut resumed_at = None;
@@ -175,25 +278,22 @@ impl SearchServer {
             None => ga.init(problem, spec.budget),
         };
         let every = spec.checkpoint_every.unwrap_or(self.config.checkpoint_every).max(1);
-        while ga.step(problem, &mut state, spec.budget) {
+        let mut observer = DriveObserver {
+            path: path.as_deref(),
+            fingerprint: &fingerprint,
+            every,
+            control,
+            cancelled: false,
+        };
+        ga.run_observed(problem, &mut state, spec.budget, &mut observer);
+        let cancelled = observer.cancelled;
+        if !cancelled {
             if let Some(p) = &path {
-                if state.generation() % every == 0 {
-                    let rendered = Snapshot::capture(&fingerprint, &state).render();
-                    // Write-then-rename: a kill mid-write must never
-                    // destroy the previous good snapshot or leave a
-                    // truncated one in its place.
-                    let tmp = p.with_extension("snapshot.tmp");
-                    if std::fs::write(&tmp, rendered).is_ok() {
-                        let _ = std::fs::rename(&tmp, p);
-                    }
-                }
+                let _ = std::fs::remove_file(p);
             }
         }
-        if let Some(p) = &path {
-            let _ = std::fs::remove_file(p);
-        }
         let generations = state.generation();
-        (state.into_result(), generations, resumed_at)
+        (state.into_result(), generations, resumed_at, cancelled)
     }
 
     /// The snapshot file for a job, when checkpointing is on and the
@@ -214,6 +314,51 @@ impl SearchServer {
         let mut hasher = digamma_costmodel::StableHasher::new();
         hasher.write_bytes(spec.name.as_bytes());
         Some(dir.join(format!("{safe}-{:08x}.snapshot", hasher.finish() as u32)))
+    }
+}
+
+/// The server's per-generation observer: streams progress, writes
+/// checkpoints at the configured cadence, and honours cooperative
+/// cancellation (snapshotting before stopping so the partial search
+/// survives).
+struct DriveObserver<'a> {
+    path: Option<&'a std::path::Path>,
+    fingerprint: &'a str,
+    every: u64,
+    control: &'a JobControl,
+    cancelled: bool,
+}
+
+impl DriveObserver<'_> {
+    fn snapshot(&self, state: &SearchState) {
+        let Some(p) = self.path else { return };
+        let rendered = Snapshot::capture(self.fingerprint, state).render();
+        // Write-then-rename: a kill mid-write must never destroy the
+        // previous good snapshot or leave a truncated one in its place.
+        let tmp = p.with_extension("snapshot.tmp");
+        if std::fs::write(&tmp, rendered).is_ok() {
+            let _ = std::fs::rename(&tmp, p);
+        }
+    }
+}
+
+impl StepObserver for DriveObserver<'_> {
+    fn on_generation(&mut self, state: &SearchState, budget: usize) -> StepAction {
+        self.control.report(JobProgress {
+            generation: state.generation(),
+            samples: state.samples(),
+            budget,
+            best_cost: state.best_cost(),
+        });
+        if self.control.is_cancelled() {
+            self.snapshot(state);
+            self.cancelled = true;
+            return StepAction::Stop;
+        }
+        if state.generation().is_multiple_of(self.every) {
+            self.snapshot(state);
+        }
+        StepAction::Continue
     }
 }
 

@@ -12,22 +12,29 @@
 //!
 //! ```text
 //! [snapshot]
-//! version = 1
+//! version = 2
 //! fingerprint = ncf/edge/latency/digamma/b600/s1/p16
 //! generation = 12
 //! samples = 208
-//! history = 4111e1c0...,4111e1c0...   # one 16-hex f64 per sample
+//! history = 7ff0...x16,4111e1c0...x24,...  # RLE: 16-hex f64 bits x count
 //! best = 8,16|K,KCYXRS,...            # absent while nothing feasible
 //! [population]
 //! genome = 8,16|K,KCYXRS,...          # repeated, in population order
 //! ```
+//!
+//! Version 2 run-length-encodes the history: the best-so-far curve is a
+//! monotone step function, so its exact size tracks *improvements*, not
+//! samples — checkpoints stay flat-sized even on 100k-sample budgets
+//! while still round-tripping bit-identically. Version 1 documents (one
+//! 16-hex word per sample) still parse.
 
 use crate::textio::{self, Section, TextError};
 use digamma::{CoOptProblem, DiGamma, SearchState};
 use digamma_encoding::Genome;
 
-/// Current snapshot format version; parsing rejects any other.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Current snapshot format version. Parsing accepts this and version 1
+/// (the pre-RLE history encoding).
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// A parsed (or about-to-be-rendered) checkpoint.
 #[derive(Debug, Clone)]
@@ -112,7 +119,7 @@ impl Snapshot {
         // truncated inside the [population] section — a truncated prefix
         // of a valid snapshot could otherwise still parse.
         head.push("population", self.population.len().to_string());
-        head.push("history", textio::f64s_to_text(&self.history));
+        head.push("history", textio::f64s_to_rle_text(&self.history));
         if let Some(best) = &self.best {
             head.push("best", best.to_text());
         }
@@ -138,9 +145,9 @@ impl Snapshot {
             .find(|s| s.name == "snapshot")
             .ok_or_else(|| TextError::new("missing [snapshot] section"))?;
         let version: u64 = head.get_parsed_or("version", 0)?;
-        if version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(TextError::new(format!(
-                "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+                "snapshot version {version} unsupported (this build reads 1..={SNAPSHOT_VERSION})"
             )));
         }
         let parse_genome =
@@ -166,7 +173,14 @@ impl Snapshot {
             )));
         }
         let samples: usize = head.get_parsed_or("samples", 0)?;
-        let history = textio::f64s_from_text(head.require("history")?)?;
+        let raw_history = head.require("history")?;
+        let history = if version >= 2 {
+            // The declared sample count bounds materialization, so a
+            // corrupt run length cannot balloon allocation.
+            textio::f64s_from_rle_text(raw_history, samples)?
+        } else {
+            textio::f64s_from_text(raw_history)?
+        };
         if history.len() != samples {
             return Err(TextError::new(format!(
                 "snapshot declares {samples} samples but carries {} history entries",
@@ -257,6 +271,61 @@ mod tests {
                 assert_eq!(parsed.population.len(), state.population().len());
                 assert_eq!(parsed.history.len(), state.history().len());
             }
+        }
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A surviving checkpoint from a pre-RLE build (version 1, one
+        // 16-hex word per sample) must restore after an upgrade.
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 64);
+        ga.step(&problem, &mut state, 64);
+        let snap = Snapshot::capture("j", &state);
+        let v1: String = snap
+            .render()
+            .lines()
+            .map(|line| {
+                if line.starts_with("version = ") {
+                    "version = 1".to_owned()
+                } else if line.starts_with("history = ") {
+                    format!("history = {}", crate::textio::f64s_to_text(&snap.history))
+                } else {
+                    line.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Snapshot::parse(&v1).unwrap();
+        assert_eq!(parsed.population, snap.population);
+        for (a, b) in parsed.history.iter().zip(&snap.history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_size_tracks_improvements_not_samples() {
+        // 100k samples, ten improvements: the rendered document must stay
+        // kilobytes (population + a handful of history segments), not the
+        // 1.7 MB a per-sample history would cost.
+        let (problem, ga) = setup();
+        let mut snap = Snapshot::capture("j", &ga.init(&problem, 16));
+        let mut history = Vec::with_capacity(100_000);
+        let mut best = f64::INFINITY;
+        for i in 0..100_000u64 {
+            if i % 10_000 == 0 {
+                best = 1e12 / (i + 1) as f64;
+            }
+            history.push(best);
+        }
+        snap.history = history;
+        snap.samples = 100_000;
+        let rendered = snap.render();
+        assert!(rendered.len() < 8 * 1024, "snapshot is {} bytes", rendered.len());
+        let parsed = Snapshot::parse(&rendered).unwrap();
+        assert_eq!(parsed.history.len(), 100_000);
+        for (a, b) in parsed.history.iter().zip(&snap.history) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -15,11 +15,13 @@ mod bert;
 mod mobile;
 mod recsys;
 mod resnet;
+mod vgg;
 
 pub use bert::bert;
 pub use mobile::{mnasnet, mobilenet_v2};
 pub use recsys::{dlrm, ncf};
 pub use resnet::{resnet18, resnet50};
+pub use vgg::vgg16;
 
 use crate::Model;
 
@@ -28,8 +30,9 @@ pub fn all_models() -> Vec<Model> {
     vec![resnet18(), resnet50(), mobilenet_v2(), mnasnet(), bert(), dlrm(), ncf()]
 }
 
-/// Looks up a paper model by its table name
-/// (`resnet18`, `resnet50`, `mbnet-v2`, `mnasnet`, `bert`, `ncf`, `dlrm`).
+/// Looks up a model by its table name (`resnet18`, `resnet50`,
+/// `mbnet-v2`, `mnasnet`, `bert`, `ncf`, `dlrm`), plus the [`vgg16`]
+/// extension workload.
 pub fn by_name(name: &str) -> Option<Model> {
     match name.to_ascii_lowercase().as_str() {
         "resnet18" => Some(resnet18()),
@@ -39,6 +42,7 @@ pub fn by_name(name: &str) -> Option<Model> {
         "bert" => Some(bert()),
         "dlrm" => Some(dlrm()),
         "ncf" => Some(ncf()),
+        "vgg16" => Some(vgg16()),
         _ => None,
     }
 }

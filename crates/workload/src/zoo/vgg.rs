@@ -1,0 +1,57 @@
+//! VGG-16 (Simonyan & Zisserman, 2015): the canonical "deep CNN with
+//! repeated shapes" workload.
+//!
+//! VGG's blocks stack identically-shaped 3×3 convolutions (conv3-256 ×3,
+//! conv3-512 ×3 twice), so the model carries more layers than unique
+//! shapes — 16 layers, 12 unique. That redundancy is what the batch-local
+//! `(layer shape, mapping)` dedupe in the co-opt evaluation path (and the
+//! unique-layer dedup before it) exists to exploit, which makes this the
+//! reference model for proving those counters move.
+
+use crate::{Layer, Model};
+
+/// VGG-16 for 224×224 ImageNet inputs, batch 1 (the paper's
+/// latency-per-inference setting). ~15.5 GMACs.
+pub fn vgg16() -> Model {
+    let layers = vec![
+        Layer::conv("conv1_1", 64, 3, 224, 224, 3, 3, 1),
+        Layer::conv("conv1_2", 64, 64, 224, 224, 3, 3, 1),
+        Layer::conv("conv2_1", 128, 64, 112, 112, 3, 3, 1),
+        Layer::conv("conv2_2", 128, 128, 112, 112, 3, 3, 1),
+        Layer::conv("conv3_1", 256, 128, 56, 56, 3, 3, 1),
+        Layer::conv("conv3_2", 256, 256, 56, 56, 3, 3, 1),
+        Layer::conv("conv3_3", 256, 256, 56, 56, 3, 3, 1),
+        Layer::conv("conv4_1", 512, 256, 28, 28, 3, 3, 1),
+        Layer::conv("conv4_2", 512, 512, 28, 28, 3, 3, 1),
+        Layer::conv("conv4_3", 512, 512, 28, 28, 3, 3, 1),
+        Layer::conv("conv5_1", 512, 512, 14, 14, 3, 3, 1),
+        Layer::conv("conv5_2", 512, 512, 14, 14, 3, 3, 1),
+        Layer::conv("conv5_3", 512, 512, 14, 14, 3, 3, 1),
+        Layer::gemm("fc6", 4096, 1, 512 * 7 * 7),
+        Layer::gemm("fc7", 4096, 1, 4096),
+        Layer::gemm("fc8", 1000, 1, 4096),
+    ];
+    Model::new("vgg16", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_macs_near_published() {
+        let macs = vgg16().total_macs() as f64;
+        // Published: ~15.5 GMACs per 224×224 inference.
+        assert!((macs - 15.5e9).abs() / 15.5e9 < 0.02, "got {macs:.3e}");
+    }
+
+    #[test]
+    fn vgg16_repeats_shapes() {
+        let m = vgg16();
+        assert_eq!(m.layers().len(), 16);
+        let unique = m.unique_layers();
+        assert_eq!(unique.len(), 12, "conv3_3 / conv4_3 / conv5_2+3 dedupe");
+        let repeated: u64 = unique.iter().map(|u| u.count - 1).sum();
+        assert_eq!(repeated, 4);
+    }
+}

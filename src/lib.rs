@@ -9,7 +9,9 @@
 //! * [`opt`] — the black-box optimizer suite,
 //! * [`core`] — the co-opt framework, DiGamma GA, and baselines,
 //! * [`server`] — the concurrent search service (job queue, fitness
-//!   memo cache, checkpoint/resume).
+//!   memo cache, checkpoint/resume),
+//! * [`net`] — the TCP/HTTP front-end (`digamma-netd`): streaming job
+//!   lifecycle over the search service.
 //!
 //! # Example
 //!
@@ -27,6 +29,7 @@
 pub use digamma as core;
 pub use digamma_costmodel as costmodel;
 pub use digamma_encoding as encoding;
+pub use digamma_net as net;
 pub use digamma_opt as opt;
 pub use digamma_server as server;
 pub use digamma_workload as workload;
