@@ -254,6 +254,10 @@ pub fn eviction_comparison(config: EvictionBenchConfig) -> Vec<EvictionBenchRow>
             let server = SearchServer::new(ServerConfig {
                 workers: 1, // deterministic arrival order
                 cache_capacity: config.capacity,
+                // This benchmark isolates the *per-layer* cache's
+                // eviction behaviour; the genome memo above it would
+                // absorb the hot jobs' recurrence entirely.
+                genome_cache_capacity: 0,
                 eviction: policy,
                 ..ServerConfig::default()
             });

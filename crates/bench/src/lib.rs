@@ -10,6 +10,10 @@
 //! * [`pareto`] — the latency-vs-area sweep (an extension),
 //! * [`cachebench`] — cold- vs warm-cache search comparison for the
 //!   server's fitness memo (recorded numbers in its module docs),
+//! * [`perfjson`] — the evaluator perf harness: fixed seeded workloads
+//!   through the allocating vs scratch cost-model paths plus memo
+//!   hit-rate measurements, emitted as `BENCH_eval.json` (the repo's
+//!   perf trajectory file),
 //! * [`report`] — the markdown/TSV table writer the binaries share.
 //!
 //! The binaries (`fig5`, `fig6`, `fig7`, `pareto`, `space`, `ablation`)
@@ -25,6 +29,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod pareto;
+pub mod perfjson;
 pub mod report;
 
 use digamma_workload::{zoo, Model};

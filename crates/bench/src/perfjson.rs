@@ -1,0 +1,452 @@
+//! The evaluator perf harness: fixed seeded workloads → `BENCH_eval.json`.
+//!
+//! Every perf claim in this repository is anchored to the cost model's
+//! evaluation throughput (the paper's whole speed argument rests on the
+//! MAESTRO-style evaluation block being cheap to call millions of
+//! times). This module measures it reproducibly and emits a JSON file —
+//! `BENCH_eval.json` — that seeds the repo's performance trajectory;
+//! future perf PRs are judged against it.
+//!
+//! Three fixed seeded workloads (`gemm`, `vgg16`, `bert`) are measured
+//! two ways:
+//!
+//! * **eval** — raw `(layer, mapping) → CostReport` throughput, the
+//!   allocating pre-change path (`Evaluator::evaluate_baseline`) vs the
+//!   scratch path (`Evaluator::evaluate_with_scratch`), same seeded
+//!   mapping set, with a bit-identity checksum gate: a speedup measured
+//!   on diverging results would be meaningless.
+//! * **memo** — a cold search followed by an identical warm search on a
+//!   shared server, recording the genome-memo / per-layer-cache /
+//!   batch-dedupe counters and the warm-over-cold wall-clock ratio.
+//!
+//! `--mode smoke` shrinks the budgets so CI can assert the file is
+//! produced and well-formed in seconds; recorded numbers come from
+//! `--mode full` on a release build (see the README's Performance
+//! section).
+
+use digamma_costmodel::{EvalScratch, Evaluator, Mapping, Platform};
+use digamma_encoding::Genome;
+use digamma_server::{JobAlgorithm, JobReport, JobSpec, SearchServer, ServerConfig};
+use digamma_workload::{zoo, Layer, Model, UniqueLayer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Harness knobs. `full()` is what recorded numbers use; `smoke()` is
+/// the CI-sized variant.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Label recorded in the output (`full` or `smoke`).
+    pub mode: String,
+    /// Target `(layer, mapping)` evaluations per workload per path.
+    pub evals_per_workload: usize,
+    /// Timing repeats per path (the minimum is recorded).
+    pub repeats: usize,
+    /// Search budget for the memo measurement.
+    pub memo_budget: usize,
+    /// GA population for the memo measurement.
+    pub memo_population: usize,
+    /// RNG seed for mapping generation and the searches.
+    pub seed: u64,
+}
+
+impl PerfConfig {
+    /// The recorded-numbers configuration.
+    pub fn full() -> PerfConfig {
+        PerfConfig {
+            mode: "full".to_owned(),
+            evals_per_workload: 4096,
+            repeats: 5,
+            memo_budget: 600,
+            memo_population: 20,
+            seed: 7,
+        }
+    }
+
+    /// The CI smoke configuration: seconds, not minutes.
+    pub fn smoke() -> PerfConfig {
+        PerfConfig {
+            mode: "smoke".to_owned(),
+            evals_per_workload: 64,
+            repeats: 2,
+            memo_budget: 48,
+            memo_population: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// Raw-evaluator throughput for one workload.
+#[derive(Debug, Clone)]
+pub struct EvalPerf {
+    /// Workload name (`gemm` / `vgg16` / `bert`).
+    pub workload: String,
+    /// `(layer, mapping)` evaluations per timed pass.
+    pub evals: usize,
+    /// Allocating pre-change path, nanoseconds per evaluation.
+    pub baseline_ns_per_eval: f64,
+    /// Scratch path, nanoseconds per evaluation.
+    pub scratch_ns_per_eval: f64,
+    /// Allocating path throughput.
+    pub baseline_evals_per_sec: f64,
+    /// Scratch path throughput.
+    pub scratch_evals_per_sec: f64,
+    /// `scratch_evals_per_sec / baseline_evals_per_sec`.
+    pub speedup: f64,
+    /// Whether both paths produced bit-identical report checksums (a
+    /// `false` here invalidates the whole measurement).
+    pub bit_identical: bool,
+}
+
+/// Memo-layer effectiveness for one workload (cold job then identical
+/// warm job on one server).
+#[derive(Debug, Clone)]
+pub struct MemoPerf {
+    /// Workload name.
+    pub workload: String,
+    /// Cold-search wall time in milliseconds.
+    pub cold_wall_ms: f64,
+    /// Warm (identical rerun) wall time in milliseconds.
+    pub warm_wall_ms: f64,
+    /// `cold_wall_ms / warm_wall_ms`.
+    pub warm_speedup: f64,
+    /// Genome-memo hits in the cold job (elite recurrence).
+    pub cold_genome_hits: u64,
+    /// Genome-memo hit rate of the warm job (expected ≈ 1).
+    pub warm_genome_hit_rate: f64,
+    /// Per-layer cache hits across both jobs.
+    pub cache_hits: u64,
+    /// Per-layer cache misses across both jobs.
+    pub cache_misses: u64,
+    /// Batch-local dedupe skips across both jobs.
+    pub dedup_skipped: u64,
+}
+
+/// The full harness output.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// The configuration that produced it.
+    pub config: PerfConfig,
+    /// Raw evaluator throughput per workload.
+    pub eval: Vec<EvalPerf>,
+    /// Memo effectiveness per workload.
+    pub memo: Vec<MemoPerf>,
+}
+
+/// The three fixed workloads the harness sweeps.
+pub fn workloads() -> Vec<Model> {
+    vec![Model::new("gemm", vec![Layer::gemm("gemm", 256, 128, 256)]), zoo::vgg16(), zoo::bert()]
+}
+
+/// Seeded `(unique-layer index, mapping)` pairs for one workload:
+/// random genomes decoded exactly as the search would decode them.
+fn seeded_pairs(unique: &[UniqueLayer], target_evals: usize, seed: u64) -> Vec<(usize, Mapping)> {
+    let platform = Platform::edge();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let genomes = target_evals.div_ceil(unique.len()).max(1);
+    let mut pairs = Vec::with_capacity(genomes * unique.len());
+    for _ in 0..genomes {
+        let genome = Genome::random(&mut rng, unique, &platform, 2);
+        for (li, mapping) in genome.decode(unique).into_iter().enumerate() {
+            pairs.push((li, mapping));
+        }
+    }
+    pairs
+}
+
+/// Minimum wall time over `repeats` runs of `pass`, in nanoseconds.
+fn best_of<F: FnMut()>(repeats: usize, mut pass: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn measure_eval(model: &Model, config: &PerfConfig) -> EvalPerf {
+    let unique = model.unique_layers();
+    let pairs = seeded_pairs(&unique, config.evals_per_workload, config.seed);
+    let evaluator = Evaluator::new(Platform::edge());
+    let mut scratch = EvalScratch::new();
+
+    // Checksum gate: both paths must agree to the bit before any
+    // timing is worth recording.
+    let checksum = |report: &digamma_costmodel::CostReport| {
+        report
+            .latency_cycles
+            .to_bits()
+            .wrapping_mul(31)
+            .wrapping_add(report.energy_pj.to_bits())
+            .wrapping_add(report.buffers.l2_words)
+    };
+    let mut baseline_sum = 0u64;
+    let mut scratch_sum = 0u64;
+    for (li, mapping) in &pairs {
+        let b = evaluator.evaluate_baseline(&unique[*li].layer, mapping).expect("valid mapping");
+        let s = evaluator
+            .evaluate_with_scratch(&unique[*li].layer, mapping, &mut scratch)
+            .expect("valid mapping");
+        baseline_sum = baseline_sum.wrapping_add(checksum(&b));
+        scratch_sum = scratch_sum.wrapping_add(checksum(&s));
+    }
+
+    let baseline_ns = best_of(config.repeats, || {
+        for (li, mapping) in &pairs {
+            let report =
+                evaluator.evaluate_baseline(&unique[*li].layer, mapping).expect("valid mapping");
+            std::hint::black_box(&report);
+        }
+    });
+    let scratch_ns = best_of(config.repeats, || {
+        for (li, mapping) in &pairs {
+            let report = evaluator
+                .evaluate_with_scratch(&unique[*li].layer, mapping, &mut scratch)
+                .expect("valid mapping");
+            std::hint::black_box(&report);
+        }
+    });
+
+    let evals = pairs.len();
+    let baseline_ns_per_eval = baseline_ns / evals as f64;
+    let scratch_ns_per_eval = scratch_ns / evals as f64;
+    EvalPerf {
+        workload: model.name().to_owned(),
+        evals,
+        baseline_ns_per_eval,
+        scratch_ns_per_eval,
+        baseline_evals_per_sec: 1e9 / baseline_ns_per_eval,
+        scratch_evals_per_sec: 1e9 / scratch_ns_per_eval,
+        speedup: baseline_ns_per_eval / scratch_ns_per_eval,
+        bit_identical: baseline_sum == scratch_sum,
+    }
+}
+
+fn measure_memo(model: &Model, config: &PerfConfig) -> MemoPerf {
+    let server = SearchServer::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let job = |name: &str| {
+        let mut spec = JobSpec::new(
+            name,
+            model.clone(),
+            Platform::edge(),
+            digamma::Objective::Latency,
+            JobAlgorithm::DiGamma,
+        );
+        spec.budget = config.memo_budget;
+        spec.population_size = config.memo_population;
+        spec.seed = config.seed;
+        spec
+    };
+    let cold: JobReport = server.run_job(&job("cold"));
+    let warm: JobReport = server.run_job(&job("warm"));
+    let cold_wall_ms = cold.wall.as_secs_f64() * 1e3;
+    let warm_wall_ms = warm.wall.as_secs_f64() * 1e3;
+    MemoPerf {
+        workload: model.name().to_owned(),
+        cold_wall_ms,
+        warm_wall_ms,
+        warm_speedup: cold_wall_ms / warm_wall_ms.max(1e-9),
+        cold_genome_hits: cold.genome_hits,
+        warm_genome_hit_rate: warm.genome_hit_rate(),
+        cache_hits: cold.cache_hits + warm.cache_hits,
+        cache_misses: cold.cache_misses + warm.cache_misses,
+        dedup_skipped: cold.dedup_skipped + warm.dedup_skipped,
+    }
+}
+
+/// Runs the full harness.
+pub fn run(config: &PerfConfig) -> PerfReport {
+    let models = workloads();
+    let eval = models.iter().map(|m| measure_eval(m, config)).collect();
+    let memo = models.iter().map(|m| measure_memo(m, config)).collect();
+    PerfReport { config: config.clone(), eval, memo }
+}
+
+/// JSON string escaping (the only non-trivial JSON need this file has —
+/// workload names are ASCII identifiers, but be correct anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: finite floats rounded to a stable precision, so the
+/// file diffs cleanly between runs of the same build.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the report as pretty-printed JSON (hand-rolled — the
+/// workspace has no serde_json).
+pub fn render_json(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/1")));
+    out.push_str(&format!("  \"mode\": {},\n", json_str(&report.config.mode)));
+    out.push_str(&format!("  \"seed\": {},\n", report.config.seed));
+    out.push_str("  \"eval\": [\n");
+    for (i, e) in report.eval.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&e.workload)));
+        out.push_str(&format!("\"evals\": {}, ", e.evals));
+        out.push_str(&format!("\"baseline_ns_per_eval\": {}, ", json_num(e.baseline_ns_per_eval)));
+        out.push_str(&format!("\"scratch_ns_per_eval\": {}, ", json_num(e.scratch_ns_per_eval)));
+        out.push_str(&format!(
+            "\"baseline_evals_per_sec\": {}, ",
+            json_num(e.baseline_evals_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"scratch_evals_per_sec\": {}, ",
+            json_num(e.scratch_evals_per_sec)
+        ));
+        out.push_str(&format!("\"speedup\": {}, ", json_num(e.speedup)));
+        out.push_str(&format!("\"bit_identical\": {}", e.bit_identical));
+        out.push_str(if i + 1 < report.eval.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"memo\": [\n");
+    for (i, m) in report.memo.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&m.workload)));
+        out.push_str(&format!("\"cold_wall_ms\": {}, ", json_num(m.cold_wall_ms)));
+        out.push_str(&format!("\"warm_wall_ms\": {}, ", json_num(m.warm_wall_ms)));
+        out.push_str(&format!("\"warm_speedup\": {}, ", json_num(m.warm_speedup)));
+        out.push_str(&format!("\"cold_genome_hits\": {}, ", m.cold_genome_hits));
+        out.push_str(&format!("\"warm_genome_hit_rate\": {}, ", json_num(m.warm_genome_hit_rate)));
+        out.push_str(&format!("\"cache_hits\": {}, ", m.cache_hits));
+        out.push_str(&format!("\"cache_misses\": {}, ", m.cache_misses));
+        out.push_str(&format!("\"dedup_skipped\": {}", m.dedup_skipped));
+        out.push_str(if i + 1 < report.memo.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Structural well-formedness check for the emitted JSON: balanced
+/// braces/brackets outside strings, no trailing garbage, and every
+/// required key present. CI runs this against the freshly-written
+/// `BENCH_eval.json`.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        if depth_brace < 0 || depth_bracket < 0 {
+            return Err(format!("unbalanced close at byte {i}"));
+        }
+        if depth_brace == 0
+            && depth_bracket == 0
+            && !c.is_whitespace()
+            && i > 0
+            && i + 1 < text.trim_end().len()
+        {
+            return Err(format!("trailing content after the root object at byte {i}"));
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_owned());
+    }
+    if depth_brace != 0 || depth_bracket != 0 {
+        return Err("unbalanced braces/brackets".to_owned());
+    }
+    for key in [
+        "\"schema\"",
+        "\"mode\"",
+        "\"seed\"",
+        "\"eval\"",
+        "\"memo\"",
+        "\"workload\"",
+        "\"baseline_ns_per_eval\"",
+        "\"scratch_ns_per_eval\"",
+        "\"speedup\"",
+        "\"bit_identical\"",
+        "\"warm_genome_hit_rate\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_emits_wellformed_json_with_identical_paths() {
+        let report = run(&PerfConfig::smoke());
+        assert_eq!(report.eval.len(), 3);
+        assert_eq!(report.memo.len(), 3);
+        for e in &report.eval {
+            assert!(e.bit_identical, "{}: scratch path diverged from baseline", e.workload);
+            assert!(e.evals > 0);
+            assert!(e.baseline_ns_per_eval > 0.0 && e.scratch_ns_per_eval > 0.0);
+        }
+        for m in &report.memo {
+            assert!(
+                (m.warm_genome_hit_rate - 1.0).abs() < 1e-9,
+                "{}: identical rerun must be all genome hits ({})",
+                m.workload,
+                m.warm_genome_hit_rate
+            );
+            assert!(m.cold_genome_hits > 0, "{}: elites must recur", m.workload);
+        }
+        let json = render_json(&report);
+        validate_json(&json).expect("emitted JSON must be well-formed");
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let report = run(&PerfConfig {
+            evals_per_workload: 4,
+            repeats: 1,
+            memo_budget: 16,
+            memo_population: 8,
+            ..PerfConfig::smoke()
+        });
+        let json = render_json(&report);
+        validate_json(&json).unwrap();
+        assert!(validate_json(&json[..json.len() - 3]).is_err(), "truncation must fail");
+        assert!(validate_json(&json.replace("\"eval\"", "\"val\"")).is_err());
+        assert!(validate_json("{\"unterminated").is_err());
+    }
+}

@@ -1,9 +1,11 @@
 //! The co-optimization problem: the evaluation block of Fig. 3(a).
 
 use crate::objective::Objective;
-use digamma_costmodel::{CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform};
+use digamma_costmodel::{
+    CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform, StableHasher,
+};
 use digamma_encoding::Genome;
-use digamma_workload::{Model, UniqueLayer};
+use digamma_workload::{LayerKind, Model, UniqueLayer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +45,28 @@ pub trait EvalCache: std::fmt::Debug + Send + Sync {
     fn store(&self, key: u64, report: &Arc<CostReport>);
 }
 
+/// A shared, thread-safe memo for **whole-genome** evaluations: the
+/// second memo layer above the per-layer [`EvalCache`].
+///
+/// Elites survive generations unchanged, crossover re-creates recent
+/// parents, and resubmitted jobs re-score entire populations — the
+/// batch-local dedupe counters show whole genomes recur constantly. A
+/// genome-memo hit skips the decode → per-layer-evaluate → aggregate
+/// pipeline entirely, returning the finished [`DesignEvaluation`].
+///
+/// Keys come from [`CoOptProblem::genome_key`], which hashes everything
+/// the evaluation reads (model constants, budget, objective, constraint,
+/// layer shapes, and every gene), so equal keys guarantee identical
+/// evaluations; storing and replaying them is semantics-preserving. The
+/// `digamma-server` crate's `ShardedGenomeMemo` is the production
+/// implementation.
+pub trait GenomeMemo: std::fmt::Debug + Send + Sync {
+    /// Returns the memoized evaluation for `key`, if present.
+    fn lookup(&self, key: u64) -> Option<Arc<DesignEvaluation>>;
+    /// Memoizes `evaluation` under `key` (implementations may evict).
+    fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>);
+}
+
 /// The outcome of evaluating one design point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignEvaluation {
@@ -76,6 +100,12 @@ pub struct CoOptProblem {
     constraint: Constraint,
     num_levels: usize,
     cache: Option<Arc<dyn EvalCache>>,
+    genome_memo: Option<Arc<dyn GenomeMemo>>,
+    /// The problem-identity prefix of [`CoOptProblem::genome_key`],
+    /// hashed once here (and re-hashed by [`CoOptProblem::with_constraint`])
+    /// instead of per genome — on the memoized hot path only the genes
+    /// remain to hash.
+    genome_key_prefix: StableHasher,
     /// Identical `(layer shape, mapping)` evaluations skipped by the
     /// batch-local dedupe map (shared across clones of this problem, so a
     /// server's per-job problem copies report one total).
@@ -87,14 +117,20 @@ impl CoOptProblem {
     /// levels (the paper's default encoding).
     pub fn new(model: Model, platform: Platform, objective: Objective) -> CoOptProblem {
         let unique = model.unique_layers();
+        let evaluator = Evaluator::new(platform);
+        let constraint = Constraint::None;
+        let genome_key_prefix =
+            Self::compute_genome_key_prefix(&evaluator, objective, &constraint, &unique);
         CoOptProblem {
             model,
             unique,
-            evaluator: Evaluator::new(platform),
+            evaluator,
             objective,
-            constraint: Constraint::None,
+            constraint,
             num_levels: 2,
             cache: None,
+            genome_memo: None,
+            genome_key_prefix,
             batch_dedup_skipped: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -102,6 +138,12 @@ impl CoOptProblem {
     /// Restricts the search with a design constraint.
     pub fn with_constraint(mut self, constraint: Constraint) -> CoOptProblem {
         self.constraint = constraint;
+        self.genome_key_prefix = Self::compute_genome_key_prefix(
+            &self.evaluator,
+            self.objective,
+            &self.constraint,
+            &self.unique,
+        );
         self
     }
 
@@ -122,6 +164,25 @@ impl CoOptProblem {
     /// The attached fitness memo, if any.
     pub fn cache(&self) -> Option<&Arc<dyn EvalCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a whole-genome memo (the layer above the per-layer
+    /// cache): genomes whose [`CoOptProblem::genome_key`] is already
+    /// memoized skip decoding and per-layer evaluation entirely.
+    pub fn with_genome_memo(mut self, memo: Arc<dyn GenomeMemo>) -> CoOptProblem {
+        self.genome_memo = Some(memo);
+        self
+    }
+
+    /// Detaches any attached genome memo.
+    pub fn without_genome_memo(mut self) -> CoOptProblem {
+        self.genome_memo = None;
+        self
+    }
+
+    /// The attached genome memo, if any.
+    pub fn genome_memo(&self) -> Option<&Arc<dyn GenomeMemo>> {
+        self.genome_memo.as_ref()
     }
 
     /// Sets the number of cluster levels genomes use (2 or 3).
@@ -171,26 +232,49 @@ impl CoOptProblem {
     }
 
     /// The genome's hardware fan-outs after applying the constraint
-    /// (Fixed-HW pins them to the given array shape).
-    fn effective_fanouts(&self, genome: &Genome) -> Vec<u64> {
+    /// (Fixed-HW pins them to the given array shape). Borrowed — neither
+    /// path clones anything.
+    fn effective_fanouts<'a>(&'a self, genome: &'a Genome) -> &'a [u64] {
         match &self.constraint {
-            Constraint::None => genome.fanouts.clone(),
-            Constraint::FixedHw(hw) => hw.fanouts.clone(),
+            Constraint::None => &genome.fanouts,
+            Constraint::FixedHw(hw) => &hw.fanouts,
         }
     }
 
+    /// Decodes a genome under the active constraint without cloning the
+    /// genome to override fields: `Constraint::None` decodes in place,
+    /// and Fixed-HW threads the pinned fan-outs straight into the
+    /// decoder.
+    fn decode_effective<'a>(&'a self, genome: &'a Genome) -> (&'a [u64], Vec<Mapping>) {
+        let fanouts = self.effective_fanouts(genome);
+        (fanouts, genome.decode_with_fanouts(&self.unique, fanouts))
+    }
+
     /// Scores a genome: the full evaluation block (decode → cost model →
-    /// buffer allocation → constraint check).
+    /// buffer allocation → constraint check), short-circuited by the
+    /// genome memo when one is attached and already holds this genome.
     ///
     /// Structurally invalid genomes (which repair should have prevented)
     /// are treated as maximally infeasible rather than panicking.
     pub fn evaluate(&self, genome: &Genome) -> DesignEvaluation {
-        let mut effective = genome.clone();
-        effective.fanouts = self.effective_fanouts(genome);
-        let mappings = effective.decode(&self.unique);
-        match self.evaluate_mappings(&effective.fanouts, &mappings) {
+        let Some(memo) = &self.genome_memo else {
+            return self.evaluate_unmemoized(genome);
+        };
+        let key = self.genome_key(genome);
+        if let Some(hit) = memo.lookup(key) {
+            return (*hit).clone();
+        }
+        let evaluation = self.evaluate_unmemoized(genome);
+        memo.store(key, &Arc::new(evaluation.clone()));
+        evaluation
+    }
+
+    /// The evaluation pipeline below the genome memo.
+    fn evaluate_unmemoized(&self, genome: &Genome) -> DesignEvaluation {
+        let (fanouts, mappings) = self.decode_effective(genome);
+        match self.evaluate_mappings(fanouts, &mappings) {
             Ok(eval) => eval,
-            Err(_) => Self::invalid_evaluation(effective.fanouts),
+            Err(_) => Self::invalid_evaluation(fanouts.to_vec()),
         }
     }
 
@@ -224,24 +308,40 @@ impl CoOptProblem {
     /// genome, in order, for any `threads` value — evaluation is pure, so
     /// deduplication is semantics-preserving.
     pub fn evaluate_batch(&self, genomes: &[Genome], threads: usize) -> Vec<DesignEvaluation> {
-        // Decode every genome once.
-        let decoded: Vec<(Vec<u64>, Vec<Mapping>)> = genomes
-            .iter()
-            .map(|g| {
-                let fanouts = self.effective_fanouts(g);
-                let mut eff = g.clone();
-                eff.fanouts = fanouts.clone();
-                let mappings = eff.decode(&self.unique);
-                (fanouts, mappings)
-            })
-            .collect();
+        let mut out: Vec<Option<DesignEvaluation>> = genomes.iter().map(|_| None).collect();
 
-        // Batch-local dedupe: first occurrence of a key claims a work
-        // slot; repeats reuse it. `layout` remembers, per genome and
-        // layer, which slot holds its report.
+        // Layer 0: the genome memo. Hits skip decoding entirely; only
+        // the misses proceed into the per-layer pipeline below.
+        let mut miss_keys: Vec<u64> = Vec::new();
+        let misses: Vec<usize> = match &self.genome_memo {
+            None => (0..genomes.len()).collect(),
+            Some(memo) => {
+                let mut misses = Vec::with_capacity(genomes.len());
+                for (i, genome) in genomes.iter().enumerate() {
+                    let key = self.genome_key(genome);
+                    match memo.lookup(key) {
+                        Some(hit) => out[i] = Some((*hit).clone()),
+                        None => {
+                            misses.push(i);
+                            miss_keys.push(key);
+                        }
+                    }
+                }
+                misses
+            }
+        };
+
+        // Decode every miss once (no genome clones: the constraint's
+        // fan-outs thread straight into the decoder).
+        let decoded: Vec<(&[u64], Vec<Mapping>)> =
+            misses.iter().map(|&i| self.decode_effective(&genomes[i])).collect();
+
+        // Layer 1: batch-local dedupe. First occurrence of a key claims
+        // a work slot; repeats reuse it. `layout` remembers, per genome
+        // and layer, which slot holds its report.
         let mut slots: HashMap<u64, usize> = HashMap::new();
         let mut work: Vec<(usize, &Mapping)> = Vec::new();
-        let mut layout: Vec<Vec<usize>> = Vec::with_capacity(genomes.len());
+        let mut layout: Vec<Vec<usize>> = Vec::with_capacity(decoded.len());
         let mut skipped = 0u64;
         for (_, mappings) in &decoded {
             let mut per_genome = Vec::with_capacity(mappings.len());
@@ -265,27 +365,39 @@ impl CoOptProblem {
         }
         self.batch_dedup_skipped.fetch_add(skipped, Ordering::Relaxed);
 
-        // Only distinct evaluations fan out to workers (and probe the
-        // attached shared cache, when there is one).
+        // Layer 2: only distinct evaluations fan out to workers (and
+        // probe the attached shared per-layer cache, when there is one).
         let results: Vec<Result<Arc<CostReport>, EvalError>> =
             crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
                 self.evaluate_layer(&self.unique[li].layer, mapping)
             });
 
-        decoded
-            .iter()
-            .zip(&layout)
-            .map(|((fanouts, mappings), per_genome)| {
-                let mut reports = Vec::with_capacity(per_genome.len());
-                for &slot in per_genome {
-                    match &results[slot] {
-                        Ok(r) => reports.push(Arc::clone(r)),
-                        Err(_) => return Self::invalid_evaluation(fanouts.clone()),
+        for (mi, (&i, ((fanouts, mappings), per_genome))) in
+            misses.iter().zip(decoded.iter().zip(&layout)).enumerate()
+        {
+            let mut reports = Vec::with_capacity(per_genome.len());
+            let mut failed = false;
+            for &slot in per_genome {
+                match &results[slot] {
+                    Ok(r) => reports.push(Arc::clone(r)),
+                    Err(_) => {
+                        failed = true;
+                        break;
                     }
                 }
+            }
+            let evaluation = if failed {
+                Self::invalid_evaluation(fanouts.to_vec())
+            } else {
                 self.aggregate(fanouts, mappings, &reports)
-            })
-            .collect()
+            };
+            if let Some(memo) = &self.genome_memo {
+                memo.store(miss_keys[mi], &Arc::new(evaluation.clone()));
+            }
+            out[i] = Some(evaluation);
+        }
+
+        out.into_iter().map(|e| e.expect("every genome evaluated")).collect()
     }
 
     /// Identical `(layer shape, mapping)` evaluations skipped so far by
@@ -293,6 +405,105 @@ impl CoOptProblem {
     /// counter is shared across clones of this problem.
     pub fn batch_dedup_skipped(&self) -> u64 {
         self.batch_dedup_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Stable memo key for a whole-genome evaluation on this problem.
+    ///
+    /// Follows the FNV discipline of [`digamma_costmodel::cachekey`]
+    /// (process- and seed-independent, versioned through `KEY_VERSION`
+    /// via [`StableHasher::new`]): two keys are equal only when
+    /// [`CoOptProblem::evaluate`] is guaranteed to return an identical
+    /// [`DesignEvaluation`]. The key therefore covers
+    ///
+    /// * every cost-model constant the evaluator reads (bandwidths,
+    ///   area/energy coefficients),
+    /// * the platform's area budget (it decides feasibility and the
+    ///   penalty gradient),
+    /// * the objective and the constraint (a Fixed-HW config hashes all
+    ///   its fields),
+    /// * each unique layer's kind, extents, stride, and multiplicity
+    ///   (names are excluded, like the per-layer key), and
+    /// * every gene: fan-outs, and per layer per level the spatial dim,
+    ///   loop order, and tile extents.
+    ///
+    /// A domain tag separates this key space from the per-layer one, so
+    /// the same `u64` can never mean both.
+    ///
+    /// The problem-identity prefix (everything except the genes) is
+    /// hashed once at construction — per call only the genome's genes
+    /// are fed in, keeping key computation cheap on the memoized path.
+    pub fn genome_key(&self, genome: &Genome) -> u64 {
+        let mut h = self.genome_key_prefix.clone();
+        h.write_u64(genome.fanouts.len() as u64);
+        for &f in &genome.fanouts {
+            h.write_u64(f);
+        }
+        for lg in &genome.layers {
+            h.write_u64(lg.levels.len() as u64);
+            for level in &lg.levels {
+                h.write_u64(level.spatial_dim.index() as u64);
+                for d in level.order {
+                    h.write_u64(d.index() as u64);
+                }
+                for (_, t) in level.tile.iter() {
+                    h.write_u64(t);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Hashes the problem-identity prefix of [`CoOptProblem::genome_key`]:
+    /// the cost-model constants, area budget, objective, constraint, and
+    /// every unique layer's shape and multiplicity.
+    fn compute_genome_key_prefix(
+        evaluator: &Evaluator,
+        objective: Objective,
+        constraint: &Constraint,
+        unique: &[UniqueLayer],
+    ) -> StableHasher {
+        /// Domain separator ("genome" in ASCII), so genome keys and
+        /// per-layer keys can never alias even under one `HashMap`.
+        const GENOME_KEY_DOMAIN: u64 = 0x67656e_6f6d65;
+        let mut h = StableHasher::new();
+        h.write_u64(GENOME_KEY_DOMAIN);
+        evaluator.write_model_constants(&mut h);
+        h.write_f64(evaluator.platform().area_budget_um2);
+        h.write_u64(match objective {
+            Objective::Latency => 0,
+            Objective::Energy => 1,
+            Objective::Edp => 2,
+        });
+        match constraint {
+            Constraint::None => h.write_u64(0),
+            Constraint::FixedHw(hw) => {
+                h.write_u64(1);
+                h.write_u64(hw.fanouts.len() as u64);
+                for &f in &hw.fanouts {
+                    h.write_u64(f);
+                }
+                h.write_u64(hw.l2_words);
+                h.write_u64(hw.mid_words_per_unit.len() as u64);
+                for &m in &hw.mid_words_per_unit {
+                    h.write_u64(m);
+                }
+                h.write_u64(hw.l1_words_per_pe);
+            }
+        }
+        h.write_u64(unique.len() as u64);
+        for u in unique {
+            h.write_u64(match u.layer.kind() {
+                LayerKind::Conv => 0,
+                LayerKind::DepthwiseConv => 1,
+                LayerKind::Gemm => 2,
+            });
+            for (_, extent) in u.layer.dims().iter() {
+                h.write_u64(extent);
+            }
+            h.write_u64(u.layer.stride());
+            h.write_u64(u.count);
+        }
+        h
     }
 
     /// Scores explicit per-unique-layer mappings on the given PE array.
@@ -453,6 +664,103 @@ mod tests {
             "skipped only {}",
             p.batch_dedup_skipped()
         );
+    }
+
+    /// A test genome memo that counts traffic and records stores.
+    #[derive(Debug, Default)]
+    struct CountingMemo {
+        map: std::sync::Mutex<HashMap<u64, Arc<DesignEvaluation>>>,
+        hits: AtomicU64,
+        misses: AtomicU64,
+    }
+
+    impl GenomeMemo for CountingMemo {
+        fn lookup(&self, key: u64) -> Option<Arc<DesignEvaluation>> {
+            let found = self.map.lock().unwrap().get(&key).cloned();
+            match &found {
+                Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+                None => self.misses.fetch_add(1, Ordering::Relaxed),
+            };
+            found
+        }
+        fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>) {
+            self.map.lock().unwrap().insert(key, Arc::clone(evaluation));
+        }
+    }
+
+    #[test]
+    fn genome_memo_hits_preserve_results_exactly() {
+        let memo = Arc::new(CountingMemo::default());
+        let without = problem();
+        let with = problem().with_genome_memo(Arc::clone(&memo) as _);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let genomes: Vec<Genome> = (0..6)
+            .map(|_| Genome::random(&mut rng, without.unique_layers(), without.platform(), 2))
+            .collect();
+        // First pass populates; second pass must be served entirely from
+        // the memo with identical results.
+        let first = with.evaluate_batch(&genomes, 1);
+        let hits_after_first = memo.hits.load(Ordering::Relaxed);
+        let second = with.evaluate_batch(&genomes, 1);
+        assert_eq!(
+            memo.hits.load(Ordering::Relaxed) - hits_after_first,
+            genomes.len() as u64,
+            "second pass must hit for every genome"
+        );
+        let plain = without.evaluate_batch(&genomes, 1);
+        for ((a, b), c) in first.iter().zip(&second).zip(&plain) {
+            assert_eq!(a, b, "memo hit changed a result");
+            assert_eq!(a, c, "memoized batch diverged from unmemoized");
+        }
+        // Single-genome evaluation shares the same memo layer.
+        for g in &genomes {
+            assert_eq!(with.evaluate(g), without.evaluate(g));
+        }
+    }
+
+    #[test]
+    fn genome_key_tracks_every_identity_input() {
+        let p = problem();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = Genome::random(&mut rng, p.unique_layers(), p.platform(), 2);
+        let base = p.genome_key(&g);
+        assert_eq!(base, p.genome_key(&g), "key must be deterministic");
+
+        // Any gene change moves the key.
+        let mut mutated = g.clone();
+        mutated.fanouts[0] = mutated.fanouts[0].saturating_add(1);
+        assert_ne!(base, p.genome_key(&mutated));
+        let mut mutated = g.clone();
+        mutated.layers[0].levels[0].tile[digamma_workload::Dim::K] += 1;
+        assert_ne!(base, p.genome_key(&mutated));
+        let mut mutated = g.clone();
+        mutated.layers[0].levels[0].order.swap(0, 5);
+        assert_ne!(base, p.genome_key(&mutated));
+
+        // Problem identity changes move it too.
+        let edp = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Edp);
+        assert_ne!(base, edp.genome_key(&g));
+        let cloud = CoOptProblem::new(zoo::ncf(), Platform::cloud(), Objective::Latency);
+        assert_ne!(base, cloud.genome_key(&g));
+        let fixed = problem().with_constraint(Constraint::FixedHw(HwConfig {
+            fanouts: vec![4, 4],
+            l2_words: 1024,
+            mid_words_per_unit: vec![],
+            l1_words_per_pe: 64,
+        }));
+        assert_ne!(base, fixed.genome_key(&g));
+        // A different model with different shapes moves it.
+        let dlrm = CoOptProblem::new(zoo::dlrm(), Platform::edge(), Objective::Latency);
+        let g_dlrm = Genome::random(&mut rng, dlrm.unique_layers(), dlrm.platform(), 2);
+        // (Different genome anyway; the point is no panic and no alias.)
+        assert_ne!(base, dlrm.genome_key(&g_dlrm));
+
+        // The genome key can never alias a per-layer key for the same
+        // design (domain separation).
+        let mappings = g.decode(p.unique_layers());
+        for (u, m) in p.unique_layers().iter().zip(&mappings) {
+            assert_ne!(base, p.evaluator().cache_key(&u.layer, m));
+        }
     }
 
     #[test]

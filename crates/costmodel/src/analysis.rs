@@ -84,7 +84,7 @@ pub struct LevelAnalysis {
 
 /// Minimum buffer capacities implied by a mapping (DiGamma's buffer
 /// allocation strategy sizes buffers to exactly these values).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BufferRequirement {
     /// Global (L2) buffer capacity in words.
     pub l2_words: u64,
@@ -110,7 +110,7 @@ impl BufferRequirement {
 }
 
 /// Full reuse-analysis output for one `(layer, mapping)` pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Analysis {
     /// True MAC count of the layer (mapping independent).
     pub macs_total: u64,
@@ -153,12 +153,33 @@ fn refetch_factor(order: &[Dim; NUM_DIMS], counts: &DimVec<u64>, relevance: &Dim
 /// Returns [`EvalError`] if the mapping fails structural validation
 /// against the layer.
 pub fn analyze(layer: &Layer, mapping: &Mapping) -> Result<Analysis, EvalError> {
+    let mut out = Analysis::default();
+    analyze_into(layer, mapping, &mut out)?;
+    Ok(out)
+}
+
+/// Runs the full reuse analysis into a caller-owned [`Analysis`],
+/// reusing its vectors' capacity — the allocation-free form of
+/// [`analyze`] used by the evaluator's scratch path. `out` is fully
+/// overwritten; results are bit-identical to [`analyze`].
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the mapping fails structural validation
+/// against the layer (leaving `out` with unspecified contents).
+pub(crate) fn analyze_into(
+    layer: &Layer,
+    mapping: &Mapping,
+    out: &mut Analysis,
+) -> Result<(), EvalError> {
     mapping.validate(layer)?;
     let kind = layer.kind();
     let stride = layer.stride();
     let num_levels = mapping.levels().len();
 
-    let mut levels = Vec::with_capacity(num_levels);
+    let levels = &mut out.levels;
+    levels.clear();
+    levels.reserve(num_levels);
     let mut parent = *layer.dims();
     // Π_{i≤ℓ} unicast_i(T): distinct spatial copies of T's tiles chip-wide.
     let mut cum_unicast = [1u128; 3];
@@ -169,7 +190,8 @@ pub fn analyze(layer: &Layer, mapping: &Mapping) -> Result<Analysis, EvalError> 
     // Chip-wide distinct output tiles at the current granularity.
     let mut cum_distinct_out: u128 = 1;
 
-    let mut mid_words_per_unit = Vec::new();
+    let mut mid_words_per_unit = std::mem::take(&mut out.buffers.mid_words_per_unit);
+    mid_words_per_unit.clear();
     let mut l2_words = 0u64;
 
     for (idx, level) in mapping.levels().iter().enumerate() {
@@ -245,15 +267,13 @@ pub fn analyze(layer: &Layer, mapping: &Mapping) -> Result<Analysis, EvalError> 
     let issued = total_leaf_steps * pe_tile_macs as u128 * num_pes as u128;
     let utilization = macs_total as f64 / issued as f64;
 
-    Ok(Analysis {
-        macs_total,
-        pe_tile_macs,
-        total_leaf_steps,
-        num_pes,
-        levels,
-        buffers: BufferRequirement { l2_words, mid_words_per_unit, l1_words_per_pe },
-        utilization,
-    })
+    out.macs_total = macs_total;
+    out.pe_tile_macs = pe_tile_macs;
+    out.total_leaf_steps = total_leaf_steps;
+    out.num_pes = num_pes;
+    out.buffers = BufferRequirement { l2_words, mid_words_per_unit, l1_words_per_pe };
+    out.utilization = utilization;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -231,11 +231,29 @@ mod tests {
 
     #[test]
     fn keys_are_stable_across_calls_and_builds() {
-        // A pinned golden value: if this changes, bump KEY_VERSION.
         let layer = Layer::gemm("g", 8, 4, 2);
         let m = Mapping::row_major_example(&layer, 2, 2);
         let k = key(&layer, &m);
         assert_eq!(k, key(&layer, &m));
         assert_ne!(k, 0);
+    }
+
+    #[test]
+    fn golden_key_values_never_drift() {
+        // Pinned golden values for KEY_VERSION 1. External caches (disk
+        // spills, cross-process memos) persist these keys, so ANY change
+        // here is a compatibility break: if this test fails, you changed
+        // the key encoding or the hashed constants — bump KEY_VERSION so
+        // stale caches can never alias, then re-pin these values.
+        assert_eq!(KEY_VERSION, 1, "key version changed: re-pin the golden values below");
+        let gemm = Layer::gemm("g", 8, 4, 2);
+        let mg = Mapping::row_major_example(&gemm, 2, 2);
+        let conv = Layer::conv("c", 64, 32, 16, 16, 3, 3, 1);
+        let mc = Mapping::row_major_example(&conv, 8, 4);
+        let edge = Evaluator::new(Platform::edge());
+        let cloud = Evaluator::new(Platform::cloud());
+        assert_eq!(edge.cache_key(&gemm, &mg), 0xb91f_b65d_d4b3_9818);
+        assert_eq!(edge.cache_key(&conv, &mc), 0xb7da_1d5f_bda1_02e1);
+        assert_eq!(cloud.cache_key(&conv, &mc), 0xfc5a_1d5f_bda1_02e1);
     }
 }

@@ -1,14 +1,25 @@
 //! The evaluator front door: `(layer, mapping) → CostReport`.
 
 use crate::accelerator::{HwConfig, Platform};
-use crate::analysis::analyze;
+use crate::analysis::{analyze, analyze_into};
 use crate::area::{AreaModel, AREA_MODEL_15NM};
 use crate::energy::{EnergyModel, ENERGY_MODEL_DEFAULT};
 use crate::error::EvalError;
 use crate::latency::latency;
 use crate::mapping::Mapping;
 use crate::report::CostReport;
+use crate::scratch::EvalScratch;
 use digamma_workload::Layer;
+use std::cell::RefCell;
+
+thread_local! {
+    /// The lazily-created per-thread scratch backing [`Evaluator::evaluate`]:
+    /// the public signature stays scratch-free while every call on a given
+    /// thread reuses one arena. (An `Evaluator` is shared immutably across
+    /// worker threads, so it cannot own the scratch itself without a lock
+    /// on the hot path.)
+    static THREAD_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::new());
+}
 
 /// Evaluates `(layer, mapping)` pairs on a platform.
 ///
@@ -63,6 +74,31 @@ impl Evaluator {
         &self.area_model
     }
 
+    /// The active energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Feeds every model constant the cost model reads — platform
+    /// bandwidths plus area/energy coefficients — into `hasher`, in the
+    /// same order [`crate::cachekey::layer_eval_key`] uses. Higher-level
+    /// caches (the genome-level memo) build their stable keys on this so
+    /// the evaluator's identity hashes one way everywhere.
+    pub fn write_model_constants(&self, hasher: &mut crate::cachekey::StableHasher) {
+        hasher.write_f64(self.platform.bw_dram);
+        hasher.write_f64(self.platform.bw_noc);
+        hasher.write_f64(self.area_model.pe_um2);
+        hasher.write_f64(self.area_model.l1_um2_per_word);
+        hasher.write_f64(self.area_model.mid_um2_per_word);
+        hasher.write_f64(self.area_model.l2_um2_per_word);
+        hasher.write_f64(self.energy_model.mac_pj);
+        hasher.write_f64(self.energy_model.l1_pj);
+        hasher.write_f64(self.energy_model.mid_pj);
+        hasher.write_f64(self.energy_model.l2_pj);
+        hasher.write_f64(self.energy_model.noc_pj);
+        hasher.write_f64(self.energy_model.dram_pj);
+    }
+
     /// Stable memo key for [`Evaluator::evaluate`] on this evaluator:
     /// equal keys guarantee identical [`CostReport`]s (see
     /// [`crate::cachekey`]).
@@ -80,12 +116,66 @@ impl Evaluator {
     /// Evaluates a mapping, deriving minimum-footprint hardware
     /// (DiGamma's buffer allocation strategy).
     ///
+    /// Internally this borrows a lazily-created per-thread
+    /// [`EvalScratch`], so repeated calls on one thread are
+    /// allocation-free apart from the returned report; callers managing
+    /// their own scratch (batch evaluators, benchmark loops) should use
+    /// [`Evaluator::evaluate_with_scratch`] directly.
+    ///
     /// # Errors
     ///
     /// Returns [`EvalError`] when the mapping is structurally invalid for
     /// the layer. Over-budget designs still evaluate — the constraint
     /// checker upstream decides their fate.
     pub fn evaluate(&self, layer: &Layer, mapping: &Mapping) -> Result<CostReport, EvalError> {
+        THREAD_SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+            Ok(mut scratch) => self.evaluate_with_scratch(layer, mapping, &mut scratch),
+            // Unreachable in practice (evaluation never re-enters), but
+            // a fresh scratch keeps even that case correct.
+            Err(_) => self.evaluate_with_scratch(layer, mapping, &mut EvalScratch::new()),
+        })
+    }
+
+    /// [`Evaluator::evaluate`] against an explicit reusable scratch: one
+    /// reuse analysis (the baseline ran two), no intermediate
+    /// allocations beyond what the returned [`CostReport`] owns.
+    ///
+    /// Results are bit-identical to [`Evaluator::evaluate_baseline`];
+    /// the equivalence tests below enforce it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the mapping is structurally invalid.
+    pub fn evaluate_with_scratch(
+        &self,
+        layer: &Layer,
+        mapping: &Mapping,
+        scratch: &mut EvalScratch,
+    ) -> Result<CostReport, EvalError> {
+        analyze_into(layer, mapping, scratch.analysis_mut())?;
+        let analysis = scratch.analysis();
+        let hw = HwConfig::for_mapping_buffers(mapping.pe_shape(), &analysis.buffers);
+        let lat = latency(analysis, &self.platform);
+        let energy = self.energy_model.energy_pj(analysis);
+        let area = self.area_model.area_um2(&hw);
+        let pe_area = self.area_model.pe_area_um2(&hw);
+        Ok(CostReport::assemble_from_ref(analysis, lat, energy, area, pe_area, hw))
+    }
+
+    /// The pre-scratch **allocating reference path**, kept verbatim (it
+    /// runs the reuse analysis twice: once to derive the hardware, once
+    /// to score it). Exists so the equivalence tests and the perf
+    /// harness (`digamma_bench::perfjson`) can measure and verify the
+    /// optimized path against the original behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the mapping is structurally invalid.
+    pub fn evaluate_baseline(
+        &self,
+        layer: &Layer,
+        mapping: &Mapping,
+    ) -> Result<CostReport, EvalError> {
         let fanouts: Vec<u64> = mapping.pe_shape();
         let analysis = analyze(layer, mapping)?;
         let hw = HwConfig::for_mapping_buffers(fanouts, &analysis.buffers);
@@ -173,6 +263,74 @@ mod tests {
         let fixed = eval.evaluate_on_hw(&layer, &m, &big_hw).unwrap();
         assert!(fixed.area_um2 > derived.area_um2);
         assert!((fixed.latency_cycles - derived.latency_cycles).abs() < 1e-9);
+    }
+
+    /// Bit-exact equality of two cost reports, field by field.
+    fn assert_bit_identical(a: &CostReport, b: &CostReport, context: &str) {
+        assert_eq!(a.latency_cycles.to_bits(), b.latency_cycles.to_bits(), "{context}");
+        assert_eq!(a.latency.compute_cycles.to_bits(), b.latency.compute_cycles.to_bits());
+        assert_eq!(a.latency.dram_cycles.to_bits(), b.latency.dram_cycles.to_bits());
+        assert_eq!(a.latency.noc_cycles.len(), b.latency.noc_cycles.len());
+        for (x, y) in a.latency.noc_cycles.iter().zip(&b.latency.noc_cycles) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}");
+        }
+        assert_eq!(a.latency.fill_cycles.to_bits(), b.latency.fill_cycles.to_bits());
+        assert_eq!(a.latency.total_cycles.to_bits(), b.latency.total_cycles.to_bits());
+        assert_eq!(a.latency.bottleneck, b.latency.bottleneck, "{context}");
+        assert_eq!(a.energy_pj.to_bits(), b.energy_pj.to_bits(), "{context}");
+        assert_eq!(a.area_um2.to_bits(), b.area_um2.to_bits(), "{context}");
+        assert_eq!(a.pe_area_um2.to_bits(), b.pe_area_um2.to_bits(), "{context}");
+        assert_eq!(a.hw, b.hw, "{context}");
+        assert_eq!(a.buffers, b.buffers, "{context}");
+        assert_eq!(a.traffic, b.traffic, "{context}");
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits(), "{context}");
+        assert_eq!(a.macs, b.macs, "{context}");
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_allocating_baseline() {
+        // One reused scratch across every layer of every zoo model and
+        // several PE shapes: the optimized path must reproduce the
+        // original double-analysis path to the bit, with no state
+        // leaking between consecutive evaluations.
+        let mut scratch = crate::EvalScratch::new();
+        for platform in [Platform::edge(), Platform::cloud()] {
+            let eval = Evaluator::new(platform);
+            for model in zoo::all_models() {
+                for layer in model.layers().iter().take(8) {
+                    for (rows, cols) in [(4, 8), (8, 4)] {
+                        let m = Mapping::row_major_example(layer, rows, cols);
+                        let baseline = eval.evaluate_baseline(layer, &m).unwrap();
+                        let scratched =
+                            eval.evaluate_with_scratch(layer, &m, &mut scratch).unwrap();
+                        let threaded = eval.evaluate(layer, &m).unwrap();
+                        let context = format!("{}/{}", model.name(), layer.name());
+                        assert_bit_identical(&baseline, &scratched, &context);
+                        assert_bit_identical(&baseline, &threaded, &context);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_errors_between_evaluations() {
+        let eval = Evaluator::new(Platform::edge());
+        let layer = digamma_workload::Layer::gemm("g", 64, 32, 64);
+        let good = Mapping::row_major_example(&layer, 4, 4);
+        let mut scratch = crate::EvalScratch::new();
+        // An invalid mapping (zero fan-out) errors without poisoning the
+        // scratch for the next evaluation.
+        let bad = Mapping::new(vec![crate::LevelSpec {
+            fanout: 0,
+            spatial_dim: digamma_workload::Dim::K,
+            order: digamma_workload::Dim::ALL,
+            tile: digamma_workload::DimVec::splat(1),
+        }]);
+        assert!(eval.evaluate_with_scratch(&layer, &bad, &mut scratch).is_err());
+        let after_error = eval.evaluate_with_scratch(&layer, &good, &mut scratch).unwrap();
+        let baseline = eval.evaluate_baseline(&layer, &good).unwrap();
+        assert_bit_identical(&baseline, &after_error, "post-error");
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod error;
 mod eval;
 mod mapping;
 mod report;
+mod scratch;
 
 pub use accelerator::{HwConfig, Platform};
 pub use analysis::{analyze, Analysis, BufferRequirement};
@@ -56,3 +57,4 @@ pub use error::EvalError;
 pub use eval::Evaluator;
 pub use mapping::{LevelSpec, Mapping, MAX_LEVELS};
 pub use report::CostReport;
+pub use scratch::EvalScratch;

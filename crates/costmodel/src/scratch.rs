@@ -1,0 +1,309 @@
+//! Reusable evaluation scratch: the allocation-free hot path.
+//!
+//! The search loop calls the cost model millions of times, and profiling
+//! the evaluator showed the dominant overhead was not arithmetic but
+//! allocator traffic: every [`crate::simulate`] tile step built fresh
+//! `Vec`s of active units and `HashSet`s for multicast dedup, and every
+//! [`Evaluator`](crate::Evaluator) call materialized two full reuse
+//! analyses (one to derive the hardware, one to score it). This module
+//! provides the arena those paths reuse instead:
+//!
+//! * [`EvalScratch`] — a bag of buffers threaded through
+//!   [`Evaluator::evaluate_with_scratch`](crate::Evaluator::evaluate_with_scratch)
+//!   and [`simulate_with_scratch`](crate::simulate::simulate_with_scratch).
+//!   Buffers are cleared (capacity kept) rather than reallocated, so after
+//!   the first evaluation the steady state allocates only what the
+//!   returned report itself must own.
+//! * [`TileSet`] — an open-addressed set of tile ids with O(1)
+//!   generation-stamped clearing: bumping a counter invalidates every
+//!   slot at once, so the per-step multicast/eviction dedup sets reset
+//!   without touching memory.
+//!
+//! Equivalence contract: results produced through a scratch are
+//! **bit-identical** to the allocating reference paths
+//! ([`crate::simulate::simulate`], `Evaluator::evaluate_baseline`), and a
+//! reused scratch must behave exactly like a fresh one. Both properties
+//! are enforced by tests here and in the sibling modules; debug builds
+//! additionally assert the scratch is pristine after every reset
+//! ([`EvalScratch::debug_assert_pristine`]).
+
+use crate::analysis::{Analysis, LinkTraffic};
+use digamma_workload::{DimVec, NUM_DIMS};
+
+/// A tensor-tile identity: the tile's origin projected onto the tensor's
+/// relevant dimensions (irrelevant coordinates zeroed). Shared with the
+/// simulator.
+pub(crate) type TileId = [u64; NUM_DIMS];
+
+/// Per-unit resident-tile state (one entry per tensor). Shared with the
+/// simulator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct UnitCache {
+    pub(crate) resident: [Option<TileId>; 3],
+}
+
+/// One active unit during a lockstep simulation step: its path id, tile
+/// origin, and clipped extent. Shared with the simulator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActiveUnit {
+    pub(crate) unit_id: usize,
+    pub(crate) origin: DimVec<u64>,
+    pub(crate) clipped: DimVec<u64>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn hash_tile(id: &TileId) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in id {
+        h ^= w;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Fold the high bits down: open addressing masks with the table
+    // size, so the low bits must carry the whole hash.
+    h ^ (h >> 32)
+}
+
+/// An open-addressed set of [`TileId`]s with generation-stamped O(1)
+/// clearing (the "flushed tiles" structure of the scratch-based
+/// simulator). Insertion and membership are a hash-and-probe; `clear`
+/// bumps a generation counter instead of touching slots.
+#[derive(Debug, Clone)]
+pub(crate) struct TileSet {
+    /// `(stamp, id)` slots; a slot is live iff `stamp == generation`.
+    slots: Vec<(u64, TileId)>,
+    generation: u64,
+    len: usize,
+}
+
+impl Default for TileSet {
+    fn default() -> TileSet {
+        TileSet::new()
+    }
+}
+
+impl TileSet {
+    const MIN_SLOTS: usize = 16;
+
+    pub(crate) fn new() -> TileSet {
+        // Stamp 0 with generation 1 marks every slot empty from birth.
+        TileSet { slots: vec![(0, [0; NUM_DIMS]); TileSet::MIN_SLOTS], generation: 1, len: 0 }
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Drops every entry in O(1) by advancing the generation stamp.
+    pub(crate) fn clear(&mut self) {
+        self.generation += 1;
+        self.len = 0;
+    }
+
+    /// Inserts `id`; returns `true` when it was not present.
+    pub(crate) fn insert(&mut self, id: TileId) -> bool {
+        // Keep the load factor under 3/4 so probes stay short.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_tile(&id) as usize & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.0 != self.generation {
+                *slot = (self.generation, id);
+                self.len += 1;
+                return true;
+            }
+            if slot.1 == id {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether `id` is present.
+    pub(crate) fn contains(&self, id: &TileId) -> bool {
+        let mask = self.slots.len() - 1;
+        let mut i = hash_tile(id) as usize & mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.0 != self.generation {
+                return false;
+            }
+            if slot.1 == *id {
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Iterates live entries (arbitrary order — callers only count or
+    /// re-insert into another set).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &TileId> {
+        let generation = self.generation;
+        self.slots.iter().filter(move |s| s.0 == generation).map(|s| &s.1)
+    }
+
+    fn grow(&mut self) {
+        let live: Vec<TileId> = self.iter().copied().collect();
+        let new_len = (self.slots.len() * 2).max(TileSet::MIN_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, (0, [0; NUM_DIMS]));
+        self.generation = 1;
+        self.len = 0;
+        for id in live {
+            self.insert(id);
+        }
+    }
+}
+
+/// Reusable buffers for one evaluation thread. See the module docs.
+///
+/// A scratch is plain mutable state: thread it through the `_with_scratch`
+/// entry points (one scratch per worker thread). It may be freely reused
+/// across different layers, mappings, and platforms — every entry point
+/// resets exactly the state it reads.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Reused reuse-analysis output (levels and buffer vectors keep
+    /// their capacity between evaluations).
+    pub(crate) analysis: Analysis,
+    // --- simulator arenas ---
+    /// Active units at the current depth ("parents").
+    pub(crate) sim_parents: Vec<ActiveUnit>,
+    /// Active units being built for the next depth ("children").
+    pub(crate) sim_children: Vec<ActiveUnit>,
+    /// Per-depth unit caches, addressed by unit path id.
+    pub(crate) sim_caches: Vec<Vec<UnitCache>>,
+    /// Output tile ids ever flushed at each level.
+    pub(crate) sim_flushed: Vec<TileSet>,
+    /// Per-step multicast dedup, one set per tensor.
+    pub(crate) sim_delivered: [TileSet; 3],
+    /// Per-step merged evictions.
+    pub(crate) sim_evicted: TileSet,
+    /// Per-step partial-sum readbacks.
+    pub(crate) sim_read_back: TileSet,
+    /// Per-level tensor footprints.
+    pub(crate) sim_footprints: Vec<[u64; 3]>,
+    /// Per-level iteration counts.
+    pub(crate) sim_counts: Vec<DimVec<u64>>,
+    /// Per-level accumulated traffic.
+    pub(crate) sim_traffic: Vec<LinkTraffic>,
+    /// The combined odometer.
+    pub(crate) sim_idx: Vec<DimVec<u64>>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Debug-only leak check: called right after an entry point resets
+    /// the scratch, this asserts no state from a previous evaluation
+    /// survived the reset. Release builds compile it away.
+    pub(crate) fn debug_assert_pristine(&self, num_levels: usize) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.sim_children.is_empty(), "child arena not cleared");
+            assert_eq!(self.sim_caches.len(), num_levels);
+            for units in &self.sim_caches {
+                assert!(
+                    units.iter().all(|u| *u == UnitCache::default()),
+                    "unit caches leaked resident tiles across evaluations"
+                );
+            }
+            assert_eq!(self.sim_flushed.len(), num_levels);
+            assert!(self.sim_flushed.iter().all(|s| s.len() == 0), "flushed sets leaked");
+            assert!(self.sim_delivered.iter().all(|s| s.len() == 0), "delivered sets leaked");
+            assert_eq!(self.sim_evicted.len(), 0, "evicted set leaked");
+            assert_eq!(self.sim_read_back.len(), 0, "read-back set leaked");
+            assert!(
+                self.sim_traffic.iter().all(|t| *t == LinkTraffic::default()),
+                "traffic accumulators leaked"
+            );
+            assert!(self.sim_idx.iter().all(|i| i.iter().all(|(_, v)| v == 0)));
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = num_levels;
+    }
+
+    /// Read access to the (last) analysis for the evaluator path.
+    pub(crate) fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Mutable access for [`crate::analysis::analyze_into`].
+    pub(crate) fn analysis_mut(&mut self) -> &mut Analysis {
+        &mut self.analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seed: u64) -> TileId {
+        let mut t = [0u64; NUM_DIMS];
+        for (i, w) in t.iter_mut().enumerate() {
+            *w = seed.wrapping_mul(i as u64 + 1);
+        }
+        t
+    }
+
+    #[test]
+    fn tile_set_insert_contains_and_counts() {
+        let mut set = TileSet::new();
+        assert!(set.insert(id(1)));
+        assert!(!set.insert(id(1)), "duplicate insert must report existing");
+        assert!(set.insert(id(2)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&id(1)));
+        assert!(!set.contains(&id(3)));
+    }
+
+    #[test]
+    fn tile_set_clear_is_generation_cheap_and_complete() {
+        let mut set = TileSet::new();
+        for s in 0..100 {
+            set.insert(id(s));
+        }
+        set.clear();
+        assert_eq!(set.len(), 0);
+        for s in 0..100 {
+            assert!(!set.contains(&id(s)), "cleared entry {s} still visible");
+        }
+        // Reuse after clear behaves like a fresh set.
+        assert!(set.insert(id(7)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn tile_set_grows_past_initial_capacity() {
+        let mut set = TileSet::new();
+        for s in 0..10_000u64 {
+            assert!(set.insert(id(s)));
+        }
+        assert_eq!(set.len(), 10_000);
+        for s in 0..10_000u64 {
+            assert!(set.contains(&id(s)));
+        }
+        assert_eq!(set.iter().count(), 10_000);
+    }
+
+    #[test]
+    fn tile_set_survives_many_generations() {
+        // Generation stamps must never alias a stale slot as live.
+        let mut set = TileSet::new();
+        for round in 0..1000u64 {
+            set.insert(id(round));
+            assert!(set.contains(&id(round)));
+            assert!(!set.contains(&id(round + 1)));
+            set.clear();
+        }
+        assert_eq!(set.len(), 0);
+    }
+}

@@ -136,8 +136,28 @@ impl Genome {
     ///
     /// Panics if `unique.len()` differs from the genome's layer count.
     pub fn decode(&self, unique: &[UniqueLayer]) -> Vec<Mapping> {
+        self.decode_with_fanouts(unique, &self.fanouts)
+    }
+
+    /// [`Genome::decode`] with the hardware fan-outs overridden — the
+    /// Fixed-HW path, where a constraint pins the PE array. Equivalent
+    /// to cloning the genome, overwriting `fanouts`, and decoding, but
+    /// without materializing that intermediate clone (decoding already
+    /// clones once internally for repair; evaluators batch-decode whole
+    /// populations, so the saving is per genome per generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unique.len()` differs from the genome's layer count,
+    /// or `fanouts.len()` from its level count.
+    pub fn decode_with_fanouts(&self, unique: &[UniqueLayer], fanouts: &[u64]) -> Vec<Mapping> {
         assert_eq!(unique.len(), self.layers.len(), "layer count mismatch");
+        assert_eq!(fanouts.len(), self.num_levels(), "fan-out count mismatch");
         let mut repaired = self.clone();
+        if repaired.fanouts != fanouts {
+            repaired.fanouts.clear();
+            repaired.fanouts.extend_from_slice(fanouts);
+        }
         repair::nest_tiles(&mut repaired, unique);
         repaired
             .layers
@@ -235,6 +255,21 @@ mod tests {
         g.layers[0].levels[1].tile = DimVec::splat(1_000_000);
         let m = &g.decode(&unique)[0];
         m.validate(&unique[0].layer).unwrap();
+    }
+
+    #[test]
+    fn decode_with_fanouts_matches_clone_and_override() {
+        let unique = zoo::ncf().unique_layers();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = Genome::random(&mut rng, &unique, &Platform::edge(), 2);
+            let fixed = [4u64, 8];
+            let mut overridden = g.clone();
+            overridden.fanouts = fixed.to_vec();
+            assert_eq!(g.decode_with_fanouts(&unique, &fixed), overridden.decode(&unique));
+            // And with the genome's own fan-outs it is exactly `decode`.
+            assert_eq!(g.decode_with_fanouts(&unique, &g.fanouts), g.decode(&unique));
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! digamma-netd [--addr 127.0.0.1:7171] [--workers N] [--cache-capacity N]
+//!              [--genome-cache-capacity N] [--event-log-capacity N]
 //!              [--eviction fifo|lru] [--checkpoint-dir DIR]
 //! ```
 //!
@@ -46,6 +47,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 config.cache_capacity = value("--cache-capacity")?
                     .parse()
                     .map_err(|_| "--cache-capacity needs an integer (0 disables)".to_owned())?;
+            }
+            "--genome-cache-capacity" => {
+                config.genome_cache_capacity =
+                    value("--genome-cache-capacity")?.parse().map_err(|_| {
+                        "--genome-cache-capacity needs an integer (0 disables)".to_owned()
+                    })?;
+            }
+            "--event-log-capacity" => {
+                config.event_log_capacity = value("--event-log-capacity")?
+                    .parse()
+                    .map_err(|_| "--event-log-capacity needs a positive integer".to_owned())?;
             }
             "--eviction" => {
                 let raw = value("--eviction")?;

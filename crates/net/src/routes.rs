@@ -169,8 +169,17 @@ fn stream_events(
 ) -> std::io::Result<()> {
     let mut chunks = ChunkedWriter::start(stream, 200)?;
     let mut cursor = from;
-    while let Some((lines, done)) = registry.events(id, cursor, EVENT_POLL) {
-        cursor += lines.len();
+    while let Some((first_seq, lines, done)) = registry.events(id, cursor, EVENT_POLL) {
+        if first_seq > cursor {
+            // The ring dropped history between the requested offset and
+            // the oldest retained line; say so (as a `#` comment the
+            // section parsers skip) instead of silently skipping.
+            chunks.chunk(&format!(
+                "# {} event(s) dropped by retention; resuming at seq {first_seq}\n",
+                first_seq - cursor
+            ))?;
+        }
+        cursor = first_seq + lines.len();
         for line in &lines {
             // A disconnected client errors here, ending the stream.
             chunks.chunk(&format!("{line}\n"))?;
@@ -231,6 +240,8 @@ pub fn render_job_view(view: &JobView) -> String {
         }
         s.push("cache_hits", report.cache_hits.to_string());
         s.push("cache_misses", report.cache_misses.to_string());
+        s.push("genome_hits", report.genome_hits.to_string());
+        s.push("genome_misses", report.genome_misses.to_string());
         s.push("dedup_skipped", report.dedup_skipped.to_string());
         s.push("wall_ms", format!("{:.1}", report.wall.as_secs_f64() * 1e3));
         sections.push(s);
@@ -260,6 +271,17 @@ pub fn render_stats(registry: &JobRegistry) -> String {
         c.push("hit_rate", format!("{:.4}", cache.hit_rate()));
         c.push("insertions", cache.insertions.to_string());
         c.push("evictions", cache.evictions.to_string());
+        sections.push(c);
+    }
+    if let Some(memo) = registry.server().genome_memo_stats() {
+        let mut c = Section::new("genome_cache");
+        c.push("entries", memo.entries.to_string());
+        c.push("capacity", registry.server().config().genome_cache_capacity.to_string());
+        c.push("hits", memo.hits.to_string());
+        c.push("misses", memo.misses.to_string());
+        c.push("hit_rate", format!("{:.4}", memo.hit_rate()));
+        c.push("insertions", memo.insertions.to_string());
+        c.push("evictions", memo.evictions.to_string());
         sections.push(c);
     }
     digamma_server::textio::render_sections(&sections)

@@ -1,0 +1,110 @@
+//! The persistent-cache acceptance test: a real `digamma-netd`, killed
+//! with SIGKILL after finishing a job, restarted on the same checkpoint
+//! directory — the new life must warm-start its fitness memo from the
+//! spill file and serve the first resubmitted job from it (nonzero
+//! cache hits, zero misses), keeping accumulated cost-model work and
+//! not just the job queue.
+
+use digamma_net::client;
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(checkpoint_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_digamma-netd"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "1", "--checkpoint-dir"])
+            .arg(checkpoint_dir)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn digamma-netd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines.next().expect("a handshake line").expect("readable stdout");
+        let addr = first
+            .strip_prefix("digamma-netd listening on ")
+            .unwrap_or_else(|| panic!("unexpected handshake {first:?}"))
+            .to_owned();
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Daemon { child, addr }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("kill netd");
+        self.child.wait().expect("reap netd");
+    }
+
+    fn shutdown(mut self) {
+        let _ = client::post(&self.addr, "/shutdown", None);
+        let status = self.child.wait().expect("reap netd");
+        assert!(status.success(), "netd exited {status}");
+    }
+}
+
+fn wait_done(addr: &str, id: u64) -> String {
+    for _ in 0..1200 {
+        let body = client::get(addr, &format!("/jobs/{id}")).unwrap();
+        if body.contains("status = done") {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {id} never finished");
+}
+
+fn field(body: &str, key: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} = ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing {key} in:\n{body}"))
+}
+
+#[test]
+fn killed_netd_warm_starts_its_fitness_memo() {
+    let dir = std::env::temp_dir().join(format!("digamma-warmstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let job = |name: &str| {
+        format!("[job]\nname = {name}\nmodel = ncf\nbudget = 160\npopulation = 8\nseed = 9\n")
+    };
+
+    // Life one: run a small job to completion (its finish spills the
+    // memo), then SIGKILL — no cooperative shutdown, only the spill
+    // file survives.
+    let daemon = Daemon::start(&dir);
+    let accepted = client::post(&daemon.addr, "/jobs", Some(&job("seed-run"))).unwrap();
+    assert!(accepted.contains("id = 1"), "{accepted}");
+    let first = wait_done(&daemon.addr, 1);
+    assert!(field(&first, "cache_misses") > 0, "a cold memo must miss:\n{first}");
+    daemon.kill();
+    assert!(dir.join("fitness-memo.cache").exists(), "spill file must survive the kill");
+
+    // Life two: before any job runs, the memo is already warm.
+    let reborn = Daemon::start(&dir);
+    let stats = client::get(&reborn.addr, "/stats").unwrap();
+    let preloaded = field(&stats, "entries");
+    assert!(preloaded > 0, "restart must preload the spill:\n{stats}");
+
+    // The first resubmitted (identical) job is served from the warm
+    // memo: every per-layer probe hits, none misses.
+    let accepted = client::post(&reborn.addr, "/jobs", Some(&job("warm-run"))).unwrap();
+    assert!(accepted.contains("name = warm-run"), "{accepted}");
+    let rerun_id = field(&accepted, "id");
+    let rerun = wait_done(&reborn.addr, rerun_id);
+    assert!(field(&rerun, "cache_hits") > 0, "warm memo must report hits:\n{rerun}");
+    assert_eq!(field(&rerun, "cache_misses"), 0, "warm rerun must not miss:\n{rerun}");
+    // Same search, same answer.
+    let best = |body: &str| {
+        body.lines().find_map(|l| l.strip_prefix("best_cost = ").map(str::to_owned)).unwrap()
+    };
+    assert_eq!(best(&first), best(&rerun));
+
+    reborn.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

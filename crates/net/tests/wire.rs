@@ -141,6 +141,19 @@ fn stats_report_queue_depth_workers_and_cache() {
     let hits: u64 =
         stats.lines().find_map(|l| l.strip_prefix("hits = ")).and_then(|v| v.parse().ok()).unwrap();
     assert!(hits > 0, "{stats}");
+    // The genome memo layer reports its own section, and the identical
+    // second job must have hit it.
+    assert!(stats.contains("[genome_cache]"), "{stats}");
+    let genome_hits: u64 = stats
+        .split("[genome_cache]")
+        .nth(1)
+        .and_then(|tail| tail.lines().find_map(|l| l.strip_prefix("hits = ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(genome_hits > 0, "{stats}");
+    // Per-job reports carry the genome counters on the wire too.
+    let body = client::get(&service.addr, &format!("/jobs/{}", ids[1])).unwrap();
+    assert!(body.contains("genome_hits = "), "{body}");
 }
 
 #[test]

@@ -1,14 +1,19 @@
-//! The sharded, capacity-bounded fitness memoization cache.
+//! The sharded, capacity-bounded memoization caches.
 //!
 //! Across a population — and across the many searches a co-design
-//! service runs — the same `(layer, mapping, hardware)` evaluations
-//! recur constantly: elites are re-scored every generation, template
-//! seeds recur across jobs, and different users ask about the same
-//! models. This cache memoizes per-layer [`CostReport`]s under the
-//! stable key from [`digamma_costmodel::Evaluator::cache_key`], so hits
-//! skip the cost model entirely.
+//! service runs — the same evaluations recur constantly: elites are
+//! re-scored every generation, template seeds recur across jobs, and
+//! different users ask about the same models. This module memoizes at
+//! two granularities over one shared sharded-map core:
 //!
-//! Design points:
+//! * [`ShardedFitnessCache`] — per-layer [`CostReport`]s under the
+//!   stable key from [`digamma_costmodel::Evaluator::cache_key`]; hits
+//!   skip one cost-model call.
+//! * [`ShardedGenomeMemo`] — whole-genome [`DesignEvaluation`]s under
+//!   [`digamma::CoOptProblem::genome_key`]; hits skip the entire
+//!   decode → per-layer loop → aggregate pipeline.
+//!
+//! Design points (shared by both):
 //!
 //! * **Sharded** — the key space is split across independently locked
 //!   shards, so worker threads hammering the cache contend only when
@@ -21,10 +26,10 @@
 //!   through churn. `digamma_bench::cachebench` records the measured
 //!   difference on a long multi-model batch.
 //! * **Counted** — hits, misses, insertions, and evictions are atomic
-//!   counters; [`JobCacheView`] layers per-job hit/miss counters over a
-//!   shared cache so every job can report its own reuse.
+//!   counters; [`JobCacheView`] / [`JobGenomeMemoView`] layer per-job
+//!   counters over a shared cache so every job reports its own reuse.
 
-use digamma::EvalCache;
+use digamma::{DesignEvaluation, EvalCache, GenomeMemo};
 use digamma_costmodel::CostReport;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -91,17 +96,17 @@ impl CacheStats {
 }
 
 #[derive(Debug)]
-struct Entry {
-    report: Arc<CostReport>,
+struct Entry<V> {
+    value: V,
     /// Tick of the last ordering-relevant touch (insertion; plus hits
     /// under LRU). The order queue pairs carrying an older tick for this
     /// key are stale.
     touched: u64,
 }
 
-#[derive(Debug, Default)]
-struct Shard {
-    map: HashMap<u64, Entry>,
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
     /// `(tick, key)` pairs in tick order. A pair is live only while the
     /// entry's `touched` still equals its tick; stale pairs are skipped
     /// lazily at eviction and swept by [`Shard::compact`].
@@ -109,7 +114,13 @@ struct Shard {
     tick: u64,
 }
 
-impl Shard {
+impl<V> Default for Shard<V> {
+    fn default() -> Shard<V> {
+        Shard { map: HashMap::new(), order: VecDeque::new(), tick: 0 }
+    }
+}
+
+impl<V> Shard<V> {
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick
@@ -150,10 +161,10 @@ impl Shard {
     }
 }
 
-/// The shared fitness memo: see the module docs.
+/// The value-generic sharded memo both public caches wrap.
 #[derive(Debug)]
-pub struct ShardedFitnessCache {
-    shards: Vec<Mutex<Shard>>,
+struct ShardedMemo<V> {
+    shards: Vec<Mutex<Shard<V>>>,
     shard_capacity: usize,
     policy: EvictionPolicy,
     hits: AtomicU64,
@@ -165,6 +176,102 @@ pub struct ShardedFitnessCache {
 /// Default shard count: enough that a worker pool on a big machine
 /// rarely collides, small enough that an empty cache stays tiny.
 const DEFAULT_SHARDS: usize = 64;
+
+impl<V: Clone> ShardedMemo<V> {
+    /// Shard count is rounded up to a power of two (minimum 1); total
+    /// capacity splits evenly across shards, each holding at least one
+    /// entry.
+    fn new(capacity: usize, shards: usize, policy: EvictionPolicy) -> ShardedMemo<V> {
+        let shards = shards.max(1).next_power_of_two();
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedMemo {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            policy,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        // Fold the high bits in so shard choice isn't just the key's low
+        // bits (FNV mixes well, but this is free insurance).
+        let mixed = key ^ (key >> 32);
+        &self.shards[(mixed as usize) & (self.shards.len() - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(&key).map(|e| e.value.clone());
+        if found.is_some() && self.policy == EvictionPolicy::Lru {
+            shard.touch(key);
+        }
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: u64, value: V) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        // Two workers may race to evaluate the same key; the racing
+        // re-store refreshes the value without a new order-queue pair
+        // (the existing tick stays authoritative).
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.value = value;
+            return;
+        }
+        let tick = shard.next_tick();
+        shard.map.insert(key, Entry { value, touched: tick });
+        shard.order.push_back((tick, key));
+        let evicted = shard.evict_to(self.shard_capacity);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every resident entry (shard by shard —
+    /// concurrent writers may land between shards, which is fine for
+    /// the disk-spill use).
+    fn entries(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.map.iter().map(|(&k, e)| (k, e.value.clone())));
+        }
+        out
+    }
+}
+
+/// The shared per-layer fitness memo: see the module docs.
+#[derive(Debug)]
+pub struct ShardedFitnessCache {
+    memo: ShardedMemo<Arc<CostReport>>,
+}
 
 impl ShardedFitnessCache {
     /// Creates a FIFO-evicting cache bounded to roughly `capacity`
@@ -192,34 +299,17 @@ impl ShardedFitnessCache {
         shards: usize,
         policy: EvictionPolicy,
     ) -> ShardedFitnessCache {
-        let shards = shards.max(1).next_power_of_two();
-        let shard_capacity = capacity.div_ceil(shards).max(1);
-        ShardedFitnessCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_capacity,
-            policy,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        }
+        ShardedFitnessCache { memo: ShardedMemo::new(capacity, shards, policy) }
     }
 
     /// The active eviction policy.
     pub fn policy(&self) -> EvictionPolicy {
-        self.policy
-    }
-
-    fn shard(&self, key: u64) -> &Mutex<Shard> {
-        // Fold the high bits in so shard choice isn't just the key's low
-        // bits (FNV mixes well, but this is free insurance).
-        let mixed = key ^ (key >> 32);
-        &self.shards[(mixed as usize) & (self.shards.len() - 1)]
+        self.memo.policy
     }
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.memo.len()
     }
 
     /// True when no reports are resident.
@@ -229,56 +319,80 @@ impl ShardedFitnessCache {
 
     /// Maximum resident reports (shard capacity × shard count).
     pub fn capacity(&self) -> usize {
-        self.shard_capacity * self.shards.len()
+        self.memo.capacity()
     }
 
     /// A consistent-enough snapshot of the counters (each counter is
     /// individually exact; the set is not taken under one lock).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len() as u64,
-        }
+        self.memo.stats()
+    }
+
+    /// A point-in-time copy of every resident `(key, report)` pair —
+    /// what the disk spill persists.
+    pub fn entries(&self) -> Vec<(u64, Arc<CostReport>)> {
+        self.memo.entries()
     }
 }
 
 impl EvalCache for ShardedFitnessCache {
     fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        let found = shard.map.get(&key).map(|e| Arc::clone(&e.report));
-        if found.is_some() && self.policy == EvictionPolicy::Lru {
-            shard.touch(key);
-        }
-        drop(shard);
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        self.memo.lookup(key)
     }
 
     fn store(&self, key: u64, report: &Arc<CostReport>) {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        // Two workers may race to evaluate the same key; the racing
-        // re-store refreshes the report without a new order-queue pair
-        // (the existing tick stays authoritative). Cloning an `Arc`
-        // keeps both store and hit paths shallow.
-        if let Some(entry) = shard.map.get_mut(&key) {
-            entry.report = Arc::clone(report);
-            return;
-        }
-        let tick = shard.next_tick();
-        shard.map.insert(key, Entry { report: Arc::clone(report), touched: tick });
-        shard.order.push_back((tick, key));
-        let evicted = shard.evict_to(self.shard_capacity);
-        drop(shard);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        }
+        self.memo.store(key, Arc::clone(report));
+    }
+}
+
+/// The shared whole-genome memo: [`DesignEvaluation`]s keyed by
+/// [`digamma::CoOptProblem::genome_key`]. Same sharding, bounds, and
+/// eviction machinery as the fitness cache.
+#[derive(Debug)]
+pub struct ShardedGenomeMemo {
+    memo: ShardedMemo<Arc<DesignEvaluation>>,
+}
+
+impl ShardedGenomeMemo {
+    /// Creates a FIFO-evicting memo bounded to roughly `capacity`
+    /// evaluations total.
+    pub fn new(capacity: usize) -> ShardedGenomeMemo {
+        ShardedGenomeMemo::with_policy(capacity, EvictionPolicy::Fifo)
+    }
+
+    /// Creates a memo with the given eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> ShardedGenomeMemo {
+        ShardedGenomeMemo { memo: ShardedMemo::new(capacity, DEFAULT_SHARDS, policy) }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum resident evaluations.
+    pub fn capacity(&self) -> usize {
+        self.memo.capacity()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+}
+
+impl GenomeMemo for ShardedGenomeMemo {
+    fn lookup(&self, key: u64) -> Option<Arc<DesignEvaluation>> {
+        self.memo.lookup(key)
+    }
+
+    fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>) {
+        self.memo.store(key, Arc::clone(evaluation));
     }
 }
 
@@ -327,11 +441,53 @@ impl EvalCache for JobCacheView {
     }
 }
 
+/// A per-job window onto a shared [`ShardedGenomeMemo`] — the genome
+/// memo's counterpart of [`JobCacheView`].
+#[derive(Debug)]
+pub struct JobGenomeMemoView {
+    shared: Arc<ShardedGenomeMemo>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl JobGenomeMemoView {
+    /// Creates a view over `shared` with zeroed counters.
+    pub fn new(shared: Arc<ShardedGenomeMemo>) -> JobGenomeMemoView {
+        JobGenomeMemoView { shared, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// Whole-genome hits observed through this view.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Whole-genome misses observed through this view.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl GenomeMemo for JobGenomeMemoView {
+    fn lookup(&self, key: u64) -> Option<Arc<DesignEvaluation>> {
+        let found = self.shared.lookup(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>) {
+        self.shared.store(key, evaluation);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use digamma::{CoOptProblem, Objective};
     use digamma_costmodel::{Evaluator, Mapping, Platform};
-    use digamma_workload::Layer;
+    use digamma_workload::{zoo, Layer};
 
     fn report_for(rows: u64, cols: u64) -> (u64, Arc<CostReport>) {
         let layer = Layer::conv("l", 64, 32, 16, 16, 3, 3, 1);
@@ -401,7 +557,7 @@ mod tests {
         for _ in 0..10_000 {
             assert!(cache.lookup(key).is_some());
         }
-        let shard = cache.shards[0].lock().unwrap();
+        let shard = cache.memo.shards[0].lock().unwrap();
         assert!(shard.order.len() <= 2 * shard.map.len() + 65, "queue len {}", shard.order.len());
     }
 
@@ -446,8 +602,56 @@ mod tests {
     #[test]
     fn shard_count_rounds_to_power_of_two() {
         let cache = ShardedFitnessCache::with_shards(100, 3);
-        assert_eq!(cache.shards.len(), 4);
+        assert_eq!(cache.memo.shards.len(), 4);
         assert!(cache.capacity() >= 100);
         assert!(ShardedFitnessCache::with_shards(10, 0).capacity() >= 10);
+    }
+
+    #[test]
+    fn entries_snapshot_round_trips_through_a_fresh_cache() {
+        let cache = ShardedFitnessCache::new(100);
+        let pairs: Vec<_> = [(2, 2), (4, 2), (8, 4)].map(|(r, c)| report_for(r, c)).into();
+        for (key, report) in &pairs {
+            cache.store(*key, report);
+        }
+        let mut exported = cache.entries();
+        assert_eq!(exported.len(), pairs.len());
+        // Re-import into a fresh cache: lookups serve identical reports.
+        let fresh = ShardedFitnessCache::new(100);
+        exported.sort_by_key(|(k, _)| *k);
+        for (key, report) in &exported {
+            fresh.store(*key, report);
+        }
+        for (key, report) in &pairs {
+            let back = fresh.lookup(*key).expect("re-imported");
+            assert_eq!(back.latency_cycles.to_bits(), report.latency_cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn genome_memo_shares_machinery_and_counts() {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(3)
+        };
+        let genome = digamma_encoding::Genome::random(
+            &mut rng,
+            problem.unique_layers(),
+            problem.platform(),
+            2,
+        );
+        let key = problem.genome_key(&genome);
+        let evaluation = Arc::new(problem.evaluate(&genome));
+        let memo = Arc::new(ShardedGenomeMemo::new(64));
+        let view = JobGenomeMemoView::new(Arc::clone(&memo));
+        assert!(view.lookup(key).is_none());
+        view.store(key, &evaluation);
+        let back = view.lookup(key).expect("stored");
+        assert_eq!(*back, *evaluation);
+        assert_eq!((view.hits(), view.misses()), (1, 1));
+        assert_eq!(memo.stats().insertions, 1);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.capacity() >= 64);
     }
 }

@@ -188,6 +188,12 @@ pub struct JobReport {
     pub cache_hits: u64,
     /// Per-job fitness-cache misses.
     pub cache_misses: u64,
+    /// Per-job whole-genome memo hits: recurring genomes (elites,
+    /// resubmitted populations) that skipped the per-layer loop
+    /// entirely. 0 when the genome memo is disabled.
+    pub genome_hits: u64,
+    /// Per-job whole-genome memo misses.
+    pub genome_misses: u64,
     /// Identical `(layer shape, mapping)` evaluations skipped by the
     /// batch-local dedupe map before reaching the cache.
     pub dedup_skipped: u64,
@@ -206,6 +212,16 @@ impl JobReport {
         }
     }
 
+    /// Per-job genome-memo hit rate in `[0, 1]` (0 when disabled).
+    pub fn genome_hit_rate(&self) -> f64 {
+        let total = self.genome_hits + self.genome_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.genome_hits as f64 / total as f64
+        }
+    }
+
     /// One human-readable summary line.
     pub fn summary(&self) -> String {
         let outcome = match &self.best {
@@ -221,7 +237,7 @@ impl JobReport {
         };
         let cancelled = if self.cancelled { " | cancelled" } else { "" };
         format!(
-            "{:<24} {:<12} {} | {} samples | cache {:.0}% hit ({}h/{}m) | {:.2}s{}{}",
+            "{:<24} {:<12} {} | {} samples | cache {:.0}% hit ({}h/{}m) | genome {}h | {:.2}s{}{}",
             self.name,
             self.algorithm,
             outcome,
@@ -229,6 +245,7 @@ impl JobReport {
             self.cache_hit_rate() * 100.0,
             self.cache_hits,
             self.cache_misses,
+            self.genome_hits,
             self.wall.as_secs_f64(),
             resumed,
             cancelled

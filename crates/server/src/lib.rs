@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+pub mod cachefile;
 mod job;
 mod journal;
 mod manifest;
@@ -54,7 +55,10 @@ pub mod textio;
 
 pub use journal::Journal;
 
-pub use cache::{CacheStats, EvictionPolicy, JobCacheView, ShardedFitnessCache};
+pub use cache::{
+    CacheStats, EvictionPolicy, JobCacheView, JobGenomeMemoView, ShardedFitnessCache,
+    ShardedGenomeMemo,
+};
 pub use job::{JobAlgorithm, JobReport, JobSpec};
 pub use manifest::{parse_manifest, parse_manifest_full, render_job, Manifest, ServerOverrides};
 pub use queue::{JobControl, JobProgress, SearchServer, ServerConfig};

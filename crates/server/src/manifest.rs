@@ -10,6 +10,8 @@
 //! [server]
 //! workers = 4                    # worker threads (optional)
 //! cache_capacity = 262144        # fitness memo entries, 0 = off
+//! genome_cache_capacity = 65536  # whole-genome memo entries, 0 = off
+//! event_log_capacity = 1024      # per-job event ring, newest N lines
 //! eviction = lru                 # fifo | lru (default fifo)
 //! checkpoint_every = 8           # default snapshot cadence
 //!
@@ -43,10 +45,14 @@ pub struct ServerOverrides {
     pub workers: Option<usize>,
     /// Fitness-cache capacity (`0` disables), when given.
     pub cache_capacity: Option<usize>,
+    /// Whole-genome memo capacity (`0` disables), when given.
+    pub genome_cache_capacity: Option<usize>,
     /// Cache eviction policy, when given.
     pub eviction: Option<EvictionPolicy>,
     /// Default snapshot cadence, when given.
     pub checkpoint_every: Option<u64>,
+    /// Per-job event-log ring capacity, when given.
+    pub event_log_capacity: Option<usize>,
 }
 
 impl ServerOverrides {
@@ -58,11 +64,17 @@ impl ServerOverrides {
         if let Some(capacity) = self.cache_capacity {
             config.cache_capacity = capacity;
         }
+        if let Some(capacity) = self.genome_cache_capacity {
+            config.genome_cache_capacity = capacity;
+        }
         if let Some(eviction) = self.eviction {
             config.eviction = eviction;
         }
         if let Some(every) = self.checkpoint_every {
             config.checkpoint_every = every;
+        }
+        if let Some(capacity) = self.event_log_capacity {
+            config.event_log_capacity = capacity;
         }
     }
 }
@@ -147,6 +159,14 @@ fn parse_server_section(section: &Section) -> Result<ServerOverrides, TextError>
             "workers" => overrides.workers = Some(section.get_parsed_or("workers", 0)?),
             "cache_capacity" => {
                 overrides.cache_capacity = Some(section.get_parsed_or("cache_capacity", 0)?);
+            }
+            "genome_cache_capacity" => {
+                overrides.genome_cache_capacity =
+                    Some(section.get_parsed_or("genome_cache_capacity", 0)?);
+            }
+            "event_log_capacity" => {
+                overrides.event_log_capacity =
+                    Some(section.get_parsed_or("event_log_capacity", 0)?);
             }
             "eviction" => {
                 overrides.eviction = Some(EvictionPolicy::parse(value).ok_or_else(|| {
@@ -271,6 +291,8 @@ algorithm = cma
 [server]
 workers = 3
 cache_capacity = 1024
+genome_cache_capacity = 512
+event_log_capacity = 64
 eviction = lru
 
 [job]
@@ -281,6 +303,8 @@ model = ncf
         manifest.server.apply(&mut config);
         assert_eq!(config.workers, 3);
         assert_eq!(config.cache_capacity, 1024);
+        assert_eq!(config.genome_cache_capacity, 512);
+        assert_eq!(config.event_log_capacity, 64);
         assert_eq!(config.eviction, EvictionPolicy::Lru);
         // Absent keys leave the base config alone.
         assert_eq!(config.checkpoint_every, ServerConfig::default().checkpoint_every);

@@ -13,7 +13,11 @@
 //! re-submitted job whose snapshot survives resumes bit-identically
 //! instead of starting over.
 
-use crate::cache::{CacheStats, EvictionPolicy, JobCacheView, ShardedFitnessCache};
+use crate::cache::{
+    CacheStats, EvictionPolicy, JobCacheView, JobGenomeMemoView, ShardedFitnessCache,
+    ShardedGenomeMemo,
+};
+use crate::cachefile;
 use crate::job::{JobAlgorithm, JobReport, JobSpec};
 use crate::snapshot::Snapshot;
 use digamma::{
@@ -23,7 +27,7 @@ use digamma::{
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -35,12 +39,20 @@ pub struct ServerConfig {
     /// Total fitness-cache capacity in memoized per-layer reports;
     /// `0` runs the server cache-less.
     pub cache_capacity: usize,
+    /// Whole-genome memo capacity in memoized design evaluations; `0`
+    /// disables the genome layer (the per-layer cache still applies).
+    pub genome_cache_capacity: usize,
     /// How the fitness cache evicts past capacity.
     pub eviction: EvictionPolicy,
-    /// Where GA jobs write checkpoints; `None` disables checkpointing.
+    /// Where GA jobs write checkpoints; `None` disables checkpointing
+    /// (and with it the fitness-memo disk spill).
     pub checkpoint_dir: Option<PathBuf>,
     /// Default snapshot cadence in generations (jobs may override).
     pub checkpoint_every: u64,
+    /// Per-job event-log ring capacity: the newest this many event
+    /// lines are retained for late subscribers; older lines are dropped
+    /// (the stream reports the first retained sequence number).
+    pub event_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,9 +60,11 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: digamma::default_threads(),
             cache_capacity: 256 * 1024,
+            genome_cache_capacity: 64 * 1024,
             eviction: EvictionPolicy::Fifo,
             checkpoint_dir: None,
             checkpoint_every: 8,
+            event_log_capacity: 1024,
         }
     }
 }
@@ -131,21 +145,100 @@ impl fmt::Debug for JobControl {
     }
 }
 
-/// The long-running search service: a shared fitness memo plus a worker
-/// pool that schedules submitted jobs.
+/// The long-running search service: a shared fitness memo (per-layer
+/// and whole-genome layers) plus a worker pool that schedules submitted
+/// jobs.
 #[derive(Debug)]
 pub struct SearchServer {
     config: ServerConfig,
     cache: Option<Arc<ShardedFitnessCache>>,
+    genome_memo: Option<Arc<ShardedGenomeMemo>>,
+    /// The fitness-memo spill file (`<checkpoint_dir>/fitness-memo.cache`)
+    /// when both checkpointing and caching are on.
+    cache_file: Option<PathBuf>,
+    /// `insertions` counter value at the last spill; a spill is skipped
+    /// while nothing new was memoized.
+    spilled_insertions: AtomicU64,
+    /// Serializes spills: concurrent finishing jobs must not interleave
+    /// writes to the shared tmp file.
+    spill_lock: Mutex<()>,
 }
 
 impl SearchServer {
-    /// Builds a server (allocating its shared cache up front).
+    /// Builds a server (allocating its shared caches up front). With a
+    /// checkpoint directory configured, the fitness memo **warm-starts**
+    /// from the previous life's spill file — a corrupt or version-stale
+    /// file degrades to a cold start.
     pub fn new(config: ServerConfig) -> SearchServer {
         let cache = (config.cache_capacity > 0).then(|| {
             Arc::new(ShardedFitnessCache::with_policy(config.cache_capacity, config.eviction))
         });
-        SearchServer { config, cache }
+        let genome_memo = (config.genome_cache_capacity > 0).then(|| {
+            Arc::new(ShardedGenomeMemo::with_policy(config.genome_cache_capacity, config.eviction))
+        });
+        let cache_file = match (&config.checkpoint_dir, &cache) {
+            (Some(dir), Some(_)) => Some(dir.join("fitness-memo.cache")),
+            _ => None,
+        };
+        let server = SearchServer {
+            config,
+            cache,
+            genome_memo,
+            cache_file,
+            spilled_insertions: AtomicU64::new(0),
+            spill_lock: Mutex::new(()),
+        };
+        server.warm_start();
+        server
+    }
+
+    /// Loads the spill file (if any) into the fresh cache.
+    fn warm_start(&self) {
+        let (Some(path), Some(cache)) = (&self.cache_file, &self.cache) else { return };
+        let (entries, _load) = cachefile::read_cache_file(path);
+        for (key, report) in entries {
+            digamma::EvalCache::store(cache.as_ref(), key, &Arc::new(report));
+        }
+        // The warm-start insertions are already on disk; don't let them
+        // alone trigger a rewrite.
+        self.spilled_insertions.store(cache.stats().insertions, Ordering::Relaxed);
+    }
+
+    /// New insertions a *cadence* spill waits for before rewriting the
+    /// file. A spill serializes the whole resident cache (potentially
+    /// hundreds of thousands of entries) on the searching thread, so
+    /// mid-search spills must amortize: a long job spills only per this
+    /// many new memoizations, while job completion and shutdown spill
+    /// on any dirt at all.
+    const SPILL_CADENCE_MIN_INSERTIONS: u64 = 4096;
+
+    /// Spills the fitness memo to its file when new entries were
+    /// memoized since the last spill. Called at job completion and
+    /// registry shutdown; cheap when clean (one atomic read). Errors
+    /// are swallowed — a spill is an optimization, never worth failing
+    /// a search over.
+    pub fn spill_cache_if_dirty(&self) {
+        self.spill_cache(1);
+    }
+
+    /// The checkpoint-cadence variant: only rewrites once at least
+    /// [`SearchServer::SPILL_CADENCE_MIN_INSERTIONS`] new entries
+    /// accumulated, bounding how often a long search pays the
+    /// serialize-everything cost mid-run.
+    fn spill_cache_at_cadence(&self) {
+        self.spill_cache(SearchServer::SPILL_CADENCE_MIN_INSERTIONS);
+    }
+
+    fn spill_cache(&self, min_new_insertions: u64) {
+        let (Some(path), Some(cache)) = (&self.cache_file, &self.cache) else { return };
+        let _guard = self.spill_lock.lock().expect("spill lock poisoned");
+        let insertions = cache.stats().insertions;
+        let since_last = insertions.saturating_sub(self.spilled_insertions.load(Ordering::Relaxed));
+        if since_last < min_new_insertions.max(1) {
+            return;
+        }
+        self.spilled_insertions.store(insertions, Ordering::Relaxed);
+        let _ = cachefile::write_cache_file(path, &cache.entries());
     }
 
     /// The active configuration.
@@ -156,6 +249,11 @@ impl SearchServer {
     /// Counters of the shared cache (`None` when running cache-less).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Counters of the whole-genome memo (`None` when disabled).
+    pub fn genome_memo_stats(&self) -> Option<CacheStats> {
+        self.genome_memo.as_ref().map(|c| c.stats())
     }
 
     /// Runs every job to completion and returns reports in submission
@@ -194,10 +292,15 @@ impl SearchServer {
     pub fn run_job_controlled(&self, spec: &JobSpec, control: &JobControl) -> JobReport {
         let started = Instant::now();
         let view = self.cache.as_ref().map(|c| Arc::new(JobCacheView::new(Arc::clone(c))));
+        let genome_view =
+            self.genome_memo.as_ref().map(|m| Arc::new(JobGenomeMemoView::new(Arc::clone(m))));
         let mut problem =
             CoOptProblem::new(spec.model.clone(), spec.platform.clone(), spec.objective);
         if let Some(view) = &view {
             problem = problem.with_cache(Arc::clone(view) as _);
+        }
+        if let Some(genome_view) = &genome_view {
+            problem = problem.with_genome_memo(Arc::clone(genome_view) as _);
         }
 
         let (result, generations, resumed_at, cancelled) = match spec.algorithm {
@@ -234,6 +337,10 @@ impl SearchServer {
             }
         };
 
+        // The job just memoized its work; persist it so a restart keeps
+        // it (cheap no-op when nothing new was inserted).
+        self.spill_cache_if_dirty();
+
         JobReport {
             name: spec.name.clone(),
             algorithm: spec.algorithm.to_string(),
@@ -244,6 +351,8 @@ impl SearchServer {
             cancelled,
             cache_hits: view.as_ref().map_or(0, |v| v.hits()),
             cache_misses: view.as_ref().map_or(0, |v| v.misses()),
+            genome_hits: genome_view.as_ref().map_or(0, |v| v.hits()),
+            genome_misses: genome_view.as_ref().map_or(0, |v| v.misses()),
             dedup_skipped: problem.batch_dedup_skipped(),
             wall: started.elapsed(),
         }
@@ -279,6 +388,7 @@ impl SearchServer {
         };
         let every = spec.checkpoint_every.unwrap_or(self.config.checkpoint_every).max(1);
         let mut observer = DriveObserver {
+            server: self,
             path: path.as_deref(),
             fingerprint: &fingerprint,
             every,
@@ -318,10 +428,11 @@ impl SearchServer {
 }
 
 /// The server's per-generation observer: streams progress, writes
-/// checkpoints at the configured cadence, and honours cooperative
-/// cancellation (snapshotting before stopping so the partial search
-/// survives).
+/// checkpoints at the configured cadence (spilling the fitness memo on
+/// the same beat), and honours cooperative cancellation (snapshotting
+/// before stopping so the partial search survives).
 struct DriveObserver<'a> {
+    server: &'a SearchServer,
     path: Option<&'a std::path::Path>,
     fingerprint: &'a str,
     every: u64,
@@ -352,11 +463,13 @@ impl StepObserver for DriveObserver<'_> {
         });
         if self.control.is_cancelled() {
             self.snapshot(state);
+            self.server.spill_cache_if_dirty();
             self.cancelled = true;
             return StepAction::Stop;
         }
         if state.generation().is_multiple_of(self.every) {
             self.snapshot(state);
+            self.server.spill_cache_at_cadence();
         }
         StepAction::Continue
     }
@@ -421,7 +534,14 @@ mod tests {
 
     #[test]
     fn shared_cache_reports_per_job_hits() {
-        let server = SearchServer::new(ServerConfig { workers: 1, ..Default::default() });
+        // Genome memo off: the per-layer cache is the first memo layer,
+        // so elite re-evaluations hit it directly (the original
+        // behaviour, still reachable by configuration).
+        let server = SearchServer::new(ServerConfig {
+            workers: 1,
+            genome_cache_capacity: 0,
+            ..Default::default()
+        });
         // The same search twice: the second run should hit constantly.
         let jobs = vec![spec("first", JobAlgorithm::DiGamma), spec("again", JobAlgorithm::DiGamma)];
         let reports = server.run(&jobs);
@@ -432,8 +552,68 @@ mod tests {
             reports[1].cache_hit_rate(),
             reports[0].cache_hit_rate()
         );
+        assert_eq!(reports[0].genome_hits + reports[1].genome_hits, 0, "memo disabled");
         let stats = server.cache_stats().expect("cache enabled");
         assert_eq!(stats.hits, reports[0].cache_hits + reports[1].cache_hits);
+    }
+
+    #[test]
+    fn genome_memo_absorbs_recurring_genomes_above_the_layer_cache() {
+        let server = SearchServer::new(ServerConfig { workers: 1, ..Default::default() });
+        let jobs = vec![spec("first", JobAlgorithm::DiGamma), spec("again", JobAlgorithm::DiGamma)];
+        let reports = server.run(&jobs);
+        // Within one search, elites recur every generation: the genome
+        // layer catches them before any per-layer work happens.
+        assert!(reports[0].genome_hits > 0, "elites must hit the genome memo");
+        // The second job is byte-identical (same model/seed/budget), so
+        // its deterministic trajectory revisits only genomes the first
+        // job memoized: every single lookup hits.
+        assert_eq!(reports[1].genome_misses, 0, "identical rerun must be all genome hits");
+        assert!(reports[1].genome_hits >= reports[1].samples as u64);
+        assert!((reports[1].genome_hit_rate() - 1.0).abs() < 1e-12);
+        // And identical results, of course.
+        assert_eq!(
+            reports[0].best.as_ref().map(|b| b.cost.to_bits()),
+            reports[1].best.as_ref().map(|b| b.cost.to_bits()),
+        );
+        let stats = server.genome_memo_stats().expect("genome memo enabled");
+        assert_eq!(stats.hits, reports[0].genome_hits + reports[1].genome_hits);
+    }
+
+    #[test]
+    fn fitness_memo_spills_and_warm_starts_across_server_lives() {
+        let dir = std::env::temp_dir().join(format!("digamma-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServerConfig {
+            workers: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+
+        let first_life = SearchServer::new(config.clone());
+        let r1 = first_life.run_job(&spec("life1", JobAlgorithm::DiGamma));
+        assert!(r1.cache_misses > 0, "a cold cache must miss");
+        let resident = first_life.cache_stats().unwrap().entries;
+        drop(first_life);
+        let spill = dir.join("fitness-memo.cache");
+        assert!(spill.exists(), "job completion must spill the memo");
+
+        // Second life: the memo warm-starts from disk, so the identical
+        // search (fresh genome memo, deterministic trajectory) re-probes
+        // exactly the keys the first life stored — zero misses.
+        let second_life = SearchServer::new(config);
+        let loaded = second_life.cache_stats().unwrap().entries;
+        assert_eq!(loaded, resident, "every spilled entry must reload");
+        let r2 = second_life.run_job(&spec("life2", JobAlgorithm::DiGamma));
+        assert!(r2.cache_hits > 0, "warm cache must serve the rerun");
+        assert_eq!(r2.cache_misses, 0, "identical rerun on a warm cache misses nothing");
+        assert_eq!(
+            r1.best.as_ref().map(|b| b.cost.to_bits()),
+            r2.best.as_ref().map(|b| b.cost.to_bits()),
+            "replayed reports must not change results"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -102,9 +102,13 @@ struct JobEntry {
     /// stop (not journaled, so the job resumes on the next start).
     user_cancelled: bool,
     progress: Option<JobProgress>,
-    /// One line per generation (plus a terminal line); event streams
-    /// index into this.
-    events: Vec<String>,
+    /// A bounded ring of the newest event lines (one per generation,
+    /// plus a terminal line). Event streams address lines by *sequence
+    /// number*; `events_base` is the sequence of `events[0]`, so dropped
+    /// history is visible as a gap instead of shifting indices.
+    events: VecDeque<String>,
+    /// Sequence number of the first retained event line.
+    events_base: usize,
     events_done: bool,
     report: Option<JobReport>,
 }
@@ -304,7 +308,8 @@ impl JobRegistry {
             JobStatus::Queued => {
                 entry.status = JobStatus::Cancelled;
                 entry.user_cancelled = true;
-                entry.events.push("end status=cancelled".to_owned());
+                let capacity = self.inner.server.config().event_log_capacity;
+                entry.push_event("end status=cancelled".to_owned(), capacity);
                 entry.events_done = true;
                 if let Some(journal) = &journal {
                     let _ = journal.append_finished(id, JobStatus::Cancelled);
@@ -324,24 +329,34 @@ impl JobRegistry {
         Some(status)
     }
 
-    /// Returns the job's event lines starting at `from`, plus whether
-    /// the stream is complete. Blocks up to `timeout` for news when
-    /// there is none yet; an unknown id returns `None`.
-    pub fn events(&self, id: JobId, from: usize, timeout: Duration) -> Option<(Vec<String>, bool)> {
+    /// Returns the job's event lines starting at sequence `from`, as
+    /// `(first_seq, lines, done)`. Event logs are bounded rings
+    /// ([`ServerConfig::event_log_capacity`]): when `from` points at
+    /// history the ring already dropped, `first_seq > from` and the
+    /// lines resume from the oldest retained sequence — late
+    /// subscribers resume from an offset instead of replaying unbounded
+    /// history. Blocks up to `timeout` for news when there is none yet;
+    /// an unknown id returns `None`.
+    pub fn events(
+        &self,
+        id: JobId,
+        from: usize,
+        timeout: Duration,
+    ) -> Option<(usize, Vec<String>, bool)> {
         let mut state = self.inner.state.lock().expect("registry poisoned");
         loop {
             let entry = state.jobs.get(&id)?;
-            if entry.events.len() > from || entry.events_done {
-                let lines = entry.events.get(from..).unwrap_or(&[]).to_vec();
-                return Some((lines, entry.events_done));
+            if entry.events_end() > from || entry.events_done {
+                let (first_seq, lines) = entry.events_from(from);
+                return Some((first_seq, lines, entry.events_done));
             }
             let (next, wait) =
                 self.inner.cond.wait_timeout(state, timeout).expect("registry poisoned");
             state = next;
             if wait.timed_out() {
                 let entry = state.jobs.get(&id)?;
-                let lines = entry.events.get(from..).unwrap_or(&[]).to_vec();
-                return Some((lines, entry.events_done));
+                let (first_seq, lines) = entry.events_from(from);
+                return Some((first_seq, lines, entry.events_done));
             }
         }
     }
@@ -384,6 +399,9 @@ impl JobRegistry {
         for handle in handles {
             let _ = handle.join();
         }
+        // Final spill: the next life warm-starts from everything this
+        // one memoized.
+        self.inner.server.spill_cache_if_dirty();
     }
 }
 
@@ -398,10 +416,11 @@ fn make_control(inner: &Arc<Inner>, id: JobId) -> Arc<JobControl> {
     let inner = Arc::downgrade(inner);
     Arc::new(JobControl::new().with_progress(move |progress: JobProgress| {
         let Some(inner) = inner.upgrade() else { return };
+        let capacity = inner.server.config().event_log_capacity;
         let mut state = inner.state.lock().expect("registry poisoned");
         if let Some(entry) = state.jobs.get_mut(&id) {
             entry.progress = Some(progress);
-            entry.events.push(progress.line());
+            entry.push_event(progress.line(), capacity);
         }
         drop(state);
         inner.cond.notify_all();
@@ -416,10 +435,36 @@ impl JobEntry {
             control,
             user_cancelled: false,
             progress: None,
-            events: Vec::new(),
+            events: VecDeque::new(),
+            events_base: 0,
             events_done: false,
             report: None,
         }
+    }
+
+    /// Appends an event line, dropping the oldest retained line once
+    /// the ring is full (`capacity` ≥ 1 always retains the newest line).
+    fn push_event(&mut self, line: String, capacity: usize) {
+        while self.events.len() >= capacity.max(1) {
+            self.events.pop_front();
+            self.events_base += 1;
+        }
+        self.events.push_back(line);
+    }
+
+    /// Sequence number one past the newest retained line.
+    fn events_end(&self) -> usize {
+        self.events_base + self.events.len()
+    }
+
+    /// Lines from sequence `from` on: `(first_seq, lines)` where
+    /// `first_seq = max(from, events_base)` — a `first_seq` beyond
+    /// `from` tells the subscriber the ring dropped that many lines.
+    fn events_from(&self, from: usize) -> (usize, Vec<String>) {
+        let start = from.max(self.events_base);
+        let lines =
+            self.events.iter().skip(start - self.events_base).cloned().collect::<Vec<String>>();
+        (start, lines)
     }
 
     fn view(&self, id: JobId) -> JobView {
@@ -478,9 +523,10 @@ fn worker_loop(inner: &Arc<Inner>) {
         // the next start. A user's cancel is terminal and journaled.
         let terminal =
             status == JobStatus::Done || state.jobs.get(&id).is_some_and(|e| e.user_cancelled);
+        let capacity = inner.server.config().event_log_capacity;
         if let Some(entry) = state.jobs.get_mut(&id) {
             entry.status = status;
-            entry.events.push(format!("end status={status}"));
+            entry.push_event(format!("end status={status}"), capacity);
             entry.events_done = true;
             entry.report = Some(report);
         }
@@ -558,8 +604,9 @@ mod tests {
         let mut lines = Vec::new();
         let mut from = 0;
         loop {
-            let (chunk, done) =
+            let (first_seq, chunk, done) =
                 registry.events(id, from, Duration::from_millis(200)).expect("known job");
+            assert_eq!(first_seq, from, "nothing drops below the default ring capacity");
             from += chunk.len();
             lines.extend(chunk);
             if done {
@@ -596,7 +643,7 @@ mod tests {
         let queued = registry.submit(spec("queued", 96)).unwrap();
         assert_eq!(registry.cancel(queued), Some(JobStatus::Cancelled));
         // Wait until the long job has actually stepped, then cancel it.
-        let (_, done) = registry.events(running, 0, Duration::from_secs(10)).unwrap();
+        let (_, _, done) = registry.events(running, 0, Duration::from_secs(10)).unwrap();
         assert!(!done, "job must still be running");
         registry.cancel(running);
         let view = wait_done(&registry, running);
@@ -611,6 +658,37 @@ mod tests {
         assert_eq!(registry.job(queued).unwrap().status, JobStatus::Cancelled);
         registry.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_reports_resume_offset() {
+        // Capacity 4: a ~20-generation job must overflow the ring, and
+        // a late subscriber asking from 0 must land at the oldest
+        // retained sequence instead of replaying everything.
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, event_log_capacity: 4, ..ServerConfig::default() },
+            None,
+        )
+        .unwrap();
+        let id = registry.submit(spec("ring", 160)).unwrap();
+        wait_done(&registry, id);
+        let (first_seq, lines, done) =
+            registry.events(id, 0, Duration::from_millis(100)).expect("known job");
+        assert!(done);
+        assert_eq!(lines.len(), 4, "ring retains exactly its capacity");
+        assert!(first_seq > 0, "late subscriber must see the drop offset");
+        assert_eq!(lines.last().unwrap(), "end status=done", "terminal line survives");
+        // Resuming from a retained offset yields exactly the tail.
+        let (seq2, tail, _) =
+            registry.events(id, first_seq + 2, Duration::from_millis(100)).unwrap();
+        assert_eq!(seq2, first_seq + 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail, lines[2..].to_vec());
+        // Asking beyond the end of a finished stream returns no lines.
+        let (_, empty, done) =
+            registry.events(id, first_seq + 4, Duration::from_millis(100)).unwrap();
+        assert!(done && empty.is_empty());
+        registry.shutdown();
     }
 
     #[test]

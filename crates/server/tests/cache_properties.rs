@@ -84,6 +84,80 @@ proptest! {
         assert_identical(&truth, &cached.evaluate(&g));
         assert_identical(&truth, &cached.evaluate(&g));
     }
+
+    /// The genome memo's key contract: equal genome hashes must imply
+    /// equal per-layer key *sets* (the genome key covers everything the
+    /// evaluation reads, so two same-key genomes present identical work
+    /// to the per-layer cache). Pairs are exact clones (the key-equal
+    /// branch, exercised non-vacuously) or single-gene mutants — if the
+    /// genome hash ever omitted a gene, the mutant pair would collide
+    /// with different layer keys and fail here.
+    #[test]
+    fn genome_hash_equality_implies_layer_key_set_equality(
+        seed in 0u64..10_000,
+        mutate in 0usize..5,
+    ) {
+        let p = problem();
+        let unique = p.unique_layers().to_vec();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g1 = Genome::random(&mut rng, &unique, p.platform(), 2);
+        let mut g2 = g1.clone();
+        match mutate {
+            0 => {} // exact clone: keys MUST be equal
+            1 => {
+                let fi = rng.gen_range(0..g2.fanouts.len());
+                g2.fanouts[fi] = (g2.fanouts[fi] * 2).min(p.platform().max_pes);
+            }
+            2 => {
+                let li = rng.gen_range(0..g2.layers.len());
+                g2.layers[li].levels[0].order.swap(0, 5);
+            }
+            3 => {
+                let li = rng.gen_range(0..g2.layers.len());
+                g2.layers[li].levels[1].spatial_dim = Dim::from_index(rng.gen_range(0..6));
+            }
+            _ => {
+                let li = rng.gen_range(0..g2.layers.len());
+                let tile = &mut g2.layers[li].levels[0].tile;
+                *tile = tile.map(|t| (t * 2).max(2));
+                repair(&mut g2, &unique, p.platform());
+            }
+        }
+        let key_set = |g: &Genome| {
+            let mut keys: Vec<u64> = unique
+                .iter()
+                .zip(g.decode(&unique))
+                .map(|(u, m)| p.evaluator().cache_key(&u.layer, &m))
+                .collect();
+            keys.sort_unstable();
+            keys
+        };
+        if p.genome_key(&g1) == p.genome_key(&g2) {
+            assert_eq!(key_set(&g1), key_set(&g2), "colliding genome keys with different work");
+            assert_identical(&p.evaluate(&g1), &p.evaluate(&g2));
+        }
+        // Sanity: the clone branch really does take the key-equal path.
+        if mutate == 0 {
+            assert_eq!(p.genome_key(&g1), p.genome_key(&g2));
+        }
+    }
+
+    /// Evaluations served by the genome memo — first pass stores, second
+    /// pass replays — are bit-identical to memo-less evaluation.
+    #[test]
+    fn genome_memoized_evaluation_is_bit_identical(seed in 0u64..10_000) {
+        let bare = problem();
+        let memoized = problem()
+            .with_genome_memo(Arc::new(digamma_server::ShardedGenomeMemo::new(1024)));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(&mut rng, bare.unique_layers(), bare.platform(), 2);
+        let truth = bare.evaluate(&g);
+        assert_identical(&truth, &memoized.evaluate(&g));
+        assert_identical(&truth, &memoized.evaluate(&g));
+        let batch = memoized.evaluate_batch(&[g.clone(), g], 1);
+        assert_identical(&truth, &batch[0]);
+        assert_identical(&truth, &batch[1]);
+    }
 }
 
 /// Per-layer reports replayed from the cache are the stored bytes, not a
