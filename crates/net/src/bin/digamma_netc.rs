@@ -1,30 +1,39 @@
 //! `digamma-netc`: command-line client for `digamma-netd`.
 //!
 //! ```text
-//! digamma-netc submit <addr> <manifest-file>     # POST /jobs
-//! digamma-netc status <addr> <job-id>            # GET /jobs/{id}
-//! digamma-netc watch  <addr> <job-id>            # GET /jobs/{id}/events (streams)
-//! digamma-netc cancel <addr> <job-id>            # POST /jobs/{id}/cancel
-//! digamma-netc stats  <addr>                     # GET /stats
-//! digamma-netc shutdown <addr>                   # POST /shutdown
-//! digamma-netc smoke  <manifest-file> [netd]     # end-to-end self-test
+//! digamma-netc [--token TOKEN] submit <addr> <manifest-file>   # POST /jobs
+//! digamma-netc [--token TOKEN] status <addr> <job-id>          # GET /jobs/{id}
+//! digamma-netc [--token TOKEN] watch  <addr> <job-id>          # GET /jobs/{id}/events (streams)
+//! digamma-netc [--token TOKEN] cancel <addr> <job-id>          # POST /jobs/{id}/cancel
+//! digamma-netc [--token TOKEN] stats  <addr>                   # GET /stats
+//! digamma-netc [--token TOKEN] shutdown <addr>                 # POST /shutdown
+//! digamma-netc smoke <manifest-file> [netd] [--tenants FILE]   # end-to-end self-test
 //! ```
+//!
+//! `--token` sends `Authorization: Bearer TOKEN` with every request, for
+//! daemons running an authenticated tenant roster (`netd --tenants`).
 //!
 //! `smoke` is the CI path: it spawns the sibling `digamma-netd` binary
 //! on an ephemeral port with a temporary checkpoint dir, submits the
 //! manifest over a real socket, streams every job's events to
 //! completion, checks `/stats` and each final report, requests shutdown,
-//! and verifies the daemon exits cleanly.
+//! and verifies the daemon exits cleanly. With `--tenants FILE` the
+//! daemon runs that roster and the smoke additionally proves the
+//! multi-tenant contract: an unauthenticated submit bounces with 401, an
+//! over-quota tenant's submit bounces with 429, and `/stats` reports
+//! per-tenant usage.
 
 use digamma_net::client;
+use digamma_server::TenantSet;
 use std::io::BufRead;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: digamma-netc <submit|status|watch|cancel|stats|shutdown|smoke> ...".to_owned()
+    "usage: digamma-netc [--token TOKEN] <submit|status|watch|cancel|stats|shutdown|smoke> ..."
+        .to_owned()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], token: Option<&str>, tenants_path: Option<&str>) -> Result<(), String> {
     let command = args.first().map(String::as_str).ok_or_else(usage)?;
     let arg = |i: usize, what: &str| {
         args.get(i).map(String::as_str).ok_or_else(|| format!("{command} needs {what}"))
@@ -34,21 +43,21 @@ fn run(args: &[String]) -> Result<(), String> {
             let addr = arg(1, "<addr>")?;
             let manifest = std::fs::read_to_string(arg(2, "<manifest-file>")?)
                 .map_err(|e| format!("cannot read manifest: {e}"))?;
-            let body = client::post(addr, "/jobs", Some(&manifest)).map_err(stringify)?;
+            let body = client::post_as(addr, "/jobs", Some(&manifest), token).map_err(stringify)?;
             print!("{body}");
             Ok(())
         }
         "status" => {
             let addr = arg(1, "<addr>")?;
             let id = arg(2, "<job-id>")?;
-            print!("{}", client::get(addr, &format!("/jobs/{id}")).map_err(stringify)?);
+            print!("{}", client::get_as(addr, &format!("/jobs/{id}"), token).map_err(stringify)?);
             Ok(())
         }
         "watch" => {
             let addr = arg(1, "<addr>")?;
             let id: u64 =
                 arg(2, "<job-id>")?.parse().map_err(|_| "job id must be a number".to_owned())?;
-            client::stream_events(addr, id, 0, |line| {
+            client::stream_events_as(addr, id, 0, token, |line| {
                 println!("{line}");
                 true
             })
@@ -60,19 +69,23 @@ fn run(args: &[String]) -> Result<(), String> {
             let id = arg(2, "<job-id>")?;
             print!(
                 "{}",
-                client::post(addr, &format!("/jobs/{id}/cancel"), None).map_err(stringify)?
+                client::post_as(addr, &format!("/jobs/{id}/cancel"), None, token)
+                    .map_err(stringify)?
             );
             Ok(())
         }
         "stats" => {
-            print!("{}", client::get(arg(1, "<addr>")?, "/stats").map_err(stringify)?);
+            print!("{}", client::get_as(arg(1, "<addr>")?, "/stats", token).map_err(stringify)?);
             Ok(())
         }
         "shutdown" => {
-            print!("{}", client::post(arg(1, "<addr>")?, "/shutdown", None).map_err(stringify)?);
+            print!(
+                "{}",
+                client::post_as(arg(1, "<addr>")?, "/shutdown", None, token).map_err(stringify)?
+            );
             Ok(())
         }
-        "smoke" => smoke(arg(1, "<manifest-file>")?, args.get(2).map(String::as_str)),
+        "smoke" => smoke(arg(1, "<manifest-file>")?, args.get(2).map(String::as_str), tenants_path),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -93,9 +106,35 @@ fn sibling_netd() -> Result<std::path::PathBuf, String> {
     }
 }
 
-fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String> {
+fn smoke(
+    manifest_path: &str,
+    netd_override: Option<&str>,
+    tenants_path: Option<&str>,
+) -> Result<(), String> {
     let manifest =
         std::fs::read_to_string(manifest_path).map_err(|e| format!("cannot read manifest: {e}"))?;
+    // In tenant mode, read the roster ourselves to pick identities: a
+    // tokened, quota-free tenant runs the manifest; a tokened tenant
+    // with a tight `max_evals` proves quota rejection.
+    let roster = match tenants_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read tenants file: {e}"))?;
+            Some(TenantSet::parse(&text).map_err(|e| format!("bad tenants file: {e}"))?)
+        }
+        None => None,
+    };
+    let (main_token, limited_token) = match &roster {
+        Some(set) => {
+            let main = set
+                .iter()
+                .find(|t| t.token.is_some() && t.max_evals.is_none() && t.max_queued.is_none())
+                .ok_or("tenants file needs a tokened tenant without quotas")?;
+            let limited = set.iter().find(|t| t.token.is_some() && t.max_evals.is_some());
+            (main.token.clone(), limited.and_then(|t| t.token.clone()))
+        }
+        None => (None, None),
+    };
     let netd = match netd_override {
         Some(path) => std::path::PathBuf::from(path),
         None => sibling_netd()?,
@@ -104,9 +143,14 @@ fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String>
     let _ = std::fs::remove_dir_all(&ckpt);
 
     println!("smoke: starting {}", netd.display());
-    let mut child = std::process::Command::new(&netd)
+    let mut command = std::process::Command::new(&netd);
+    command
         .args(["--addr", "127.0.0.1:0", "--workers", "2", "--eviction", "lru", "--checkpoint-dir"])
-        .arg(&ckpt)
+        .arg(&ckpt);
+    if let Some(path) = tenants_path {
+        command.args(["--tenants", path]);
+    }
+    let mut child = command
         .stdout(std::process::Stdio::piped())
         .spawn()
         .map_err(|e| format!("cannot spawn netd: {e}"))?;
@@ -120,8 +164,30 @@ fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String>
         .to_owned();
     println!("smoke: daemon on {addr}");
 
+    let token = main_token.as_deref();
     let outcome = (|| -> Result<(), String> {
-        let accepted = client::post(&addr, "/jobs", Some(&manifest)).map_err(stringify)?;
+        if roster.is_some() {
+            // The whole point of a tokened roster: anonymous requests
+            // bounce with 401, over-quota tenants with 429 — neither is
+            // allowed to surface as a 500.
+            let denied =
+                client::request(&addr, "POST", "/jobs", Some(&manifest)).map_err(stringify)?;
+            if denied.status != 401 {
+                return Err(format!("unauthenticated submit got {}, wanted 401", denied.status));
+            }
+            println!("smoke: unauthenticated submit rejected with 401");
+            if let Some(limited) = limited_token.as_deref() {
+                let over =
+                    client::request_as(&addr, "POST", "/jobs", Some(&manifest), Some(limited))
+                        .map_err(stringify)?;
+                if over.status != 429 {
+                    return Err(format!("over-quota submit got {}, wanted 429", over.status));
+                }
+                println!("smoke: over-quota submit rejected with 429");
+            }
+        }
+        let accepted =
+            client::post_as(&addr, "/jobs", Some(&manifest), token).map_err(stringify)?;
         let ids: Vec<u64> = accepted
             .lines()
             .filter_map(|l| l.strip_prefix("id = "))
@@ -132,27 +198,31 @@ fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String>
         }
         println!("smoke: submitted {} job(s): {ids:?}", ids.len());
         for &id in &ids {
-            let events = client::stream_events(&addr, id, 0, |_| true).map_err(stringify)?;
+            let events =
+                client::stream_events_as(&addr, id, 0, token, |_| true).map_err(stringify)?;
             let last = events.last().cloned().unwrap_or_default();
             println!("smoke: job {id}: {} event(s), final {last:?}", events.len());
             if last != "end status=done" {
                 return Err(format!("job {id} ended {last:?}, wanted done"));
             }
-            let status = client::get(&addr, &format!("/jobs/{id}")).map_err(stringify)?;
+            let status = client::get_as(&addr, &format!("/jobs/{id}"), token).map_err(stringify)?;
             if !status.contains("status = done") || !status.contains("best_cost") {
                 return Err(format!("job {id} status lacks a best design:\n{status}"));
             }
         }
-        let stats = client::get(&addr, "/stats").map_err(stringify)?;
+        let stats = client::get_as(&addr, "/stats", token).map_err(stringify)?;
         println!("smoke: stats\n{stats}");
         if !stats.contains(&format!("done = {}", ids.len())) {
             return Err(format!("stats disagree about completions:\n{stats}"));
+        }
+        if roster.is_some() && !stats.contains("[tenant ") {
+            return Err(format!("stats lack per-tenant sections:\n{stats}"));
         }
         Ok(())
     })();
 
     println!("smoke: shutting down");
-    let shutdown = client::post(&addr, "/shutdown", None).map_err(stringify);
+    let shutdown = client::post_as(&addr, "/shutdown", None, token).map_err(stringify);
     let status = child.wait().map_err(stringify)?;
     std::fs::remove_dir_all(&ckpt).ok();
     outcome?;
@@ -164,9 +234,28 @@ fn smoke(manifest_path: &str, netd_override: Option<&str>) -> Result<(), String>
     Ok(())
 }
 
+/// Extracts every `--flag VALUE` pair from `args` (any position),
+/// returning the last VALUE given.
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut value = None;
+    while let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        value = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    Ok(value)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = (|| {
+        let token = extract_flag(&mut args, "--token")?;
+        let tenants = extract_flag(&mut args, "--tenants")?;
+        run(&args, token.as_deref(), tenants.as_deref())
+    })();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("digamma-netc: {message}");

@@ -4,6 +4,7 @@
 //! digamma-netd [--addr 127.0.0.1:7171] [--workers N] [--cache-capacity N]
 //!              [--genome-cache-capacity N] [--event-log-capacity N]
 //!              [--eviction fifo|lru] [--checkpoint-dir DIR]
+//!              [--tenants FILE]
 //! ```
 //!
 //! Binds a TCP listener (port 0 picks an ephemeral port; the resolved
@@ -16,9 +17,16 @@
 //! into `DIR` at generation boundaries, and a killed-then-restarted
 //! `digamma-netd` replays the journal and resumes every in-flight job
 //! from its snapshot.
+//!
+//! With `--tenants FILE`, the service is multi-tenant: FILE is a roster
+//! of `[tenant]` sections (id, optional bearer token, weight, quotas —
+//! see `digamma_server::TenantSet`). Workers then share the pool across
+//! tenants by weighted round-robin, quotas reject over-limit submits
+//! with 429, and — once any tenant defines a token — every request must
+//! carry `Authorization: Bearer <token>`.
 
 use digamma_net::NetServer;
-use digamma_server::{EvictionPolicy, JobRegistry, ServerConfig};
+use digamma_server::{EvictionPolicy, JobRegistry, ServerConfig, TenantSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,11 +34,13 @@ use std::sync::Arc;
 struct Options {
     addr: String,
     config: ServerConfig,
+    tenants_path: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = "127.0.0.1:7171".to_owned();
     let mut config = ServerConfig::default();
+    let mut tenants_path = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -67,13 +77,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--checkpoint-dir" => {
                 config.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
             }
+            "--tenants" => {
+                tenants_path = Some(PathBuf::from(value("--tenants")?));
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_owned());
     }
-    Ok(Options { addr, config })
+    Ok(Options { addr, config, tenants_path })
 }
 
 fn run() -> Result<(), String> {
@@ -87,8 +100,19 @@ fn run() -> Result<(), String> {
         }
         None => None,
     };
+    let tenants = match &options.tenants_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read tenants file {}: {e}", path.display()))?;
+            TenantSet::parse(&text)
+                .map_err(|e| format!("bad tenants file {}: {e}", path.display()))?
+        }
+        None => TenantSet::default(),
+    };
+    let tenant_count = tenants.len();
+    let authenticated = tenants.requires_auth();
     let registry = Arc::new(
-        JobRegistry::start(options.config, journal)
+        JobRegistry::start_with_tenants(options.config, journal, tenants)
             .map_err(|e| format!("cannot start registry: {e}"))?,
     );
     let replayed = registry.stats().queued;
@@ -97,6 +121,10 @@ fn run() -> Result<(), String> {
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // The parseable handshake line tools and tests key on.
     println!("digamma-netd listening on {addr}");
+    if tenant_count > 0 {
+        let auth = if authenticated { "bearer tokens required" } else { "no tokens configured" };
+        println!("digamma-netd: serving {tenant_count} tenant(s), {auth}");
+    }
     if replayed > 0 {
         println!("digamma-netd: resuming {replayed} journaled job(s)");
     }

@@ -4,6 +4,10 @@
 //! responses decoded — enough for the `digamma-netc` CLI, the wire
 //! integration tests, and the CI smoke to exercise the real client path
 //! without crates.io.
+//!
+//! Every call has a `_as` variant taking an optional bearer token for
+//! services running with an authenticated tenant roster; the plain
+//! variants are the token-less shorthand.
 
 use crate::httpio::{read_chunk, Response};
 use std::io::{BufReader, Write};
@@ -21,11 +25,27 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<Response> {
+    request_as(addr, method, path, body, None)
+}
+
+/// [`request`] with an optional `Authorization: Bearer` credential.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] on connection or framing failures.
+pub fn request_as(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    token: Option<&str>,
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
+    let auth = bearer_header(token);
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()?;
@@ -35,6 +55,13 @@ pub fn request(
     Ok(response)
 }
 
+fn bearer_header(token: Option<&str>) -> String {
+    match token {
+        Some(token) => format!("Authorization: Bearer {token}\r\n"),
+        None => String::new(),
+    }
+}
+
 /// `GET path`, expecting success; returns the body.
 ///
 /// # Errors
@@ -42,7 +69,16 @@ pub fn request(
 /// Returns [`std::io::Error`], mapping non-2xx statuses to
 /// `ErrorKind::Other` with the body as the message.
 pub fn get(addr: &str, path: &str) -> std::io::Result<String> {
-    expect_ok(request(addr, "GET", path, None)?)
+    get_as(addr, path, None)
+}
+
+/// [`get`] with an optional bearer token.
+///
+/// # Errors
+///
+/// See [`get`].
+pub fn get_as(addr: &str, path: &str, token: Option<&str>) -> std::io::Result<String> {
+    expect_ok(request_as(addr, "GET", path, None, token)?)
 }
 
 /// `POST path` with an optional body, expecting success; returns the
@@ -52,7 +88,21 @@ pub fn get(addr: &str, path: &str) -> std::io::Result<String> {
 ///
 /// See [`get`].
 pub fn post(addr: &str, path: &str, body: Option<&str>) -> std::io::Result<String> {
-    expect_ok(request(addr, "POST", path, body)?)
+    post_as(addr, path, body, None)
+}
+
+/// [`post`] with an optional bearer token.
+///
+/// # Errors
+///
+/// See [`get`].
+pub fn post_as(
+    addr: &str,
+    path: &str,
+    body: Option<&str>,
+    token: Option<&str>,
+) -> std::io::Result<String> {
+    expect_ok(request_as(addr, "POST", path, body, token)?)
 }
 
 fn expect_ok(response: Response) -> std::io::Result<String> {
@@ -76,12 +126,28 @@ pub fn stream_events(
     addr: &str,
     id: u64,
     from: usize,
+    on_line: impl FnMut(&str) -> bool,
+) -> std::io::Result<Vec<String>> {
+    stream_events_as(addr, id, from, None, on_line)
+}
+
+/// [`stream_events`] with an optional bearer token.
+///
+/// # Errors
+///
+/// See [`stream_events`].
+pub fn stream_events_as(
+    addr: &str,
+    id: u64,
+    from: usize,
+    token: Option<&str>,
     mut on_line: impl FnMut(&str) -> bool,
 ) -> std::io::Result<Vec<String>> {
     let mut stream = TcpStream::connect(addr)?;
+    let auth = bearer_header(token);
     write!(
         stream,
-        "GET /jobs/{id}/events?from={from} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET /jobs/{id}/events?from={from} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\n\r\n"
     )?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);

@@ -56,6 +56,18 @@ impl Request {
         !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 
+    /// The credential from an `Authorization: Bearer <token>` header,
+    /// if one was sent with that scheme.
+    pub fn bearer_token(&self) -> Option<&str> {
+        let value = self.header("authorization")?;
+        let (scheme, token) = value.split_once(char::is_whitespace)?;
+        if !scheme.eq_ignore_ascii_case("bearer") {
+            return None;
+        }
+        let token = token.trim();
+        (!token.is_empty()).then_some(token)
+    }
+
     /// Reads one request off the stream. `Ok(None)` is a clean EOF
     /// before any bytes — the peer closed an idle keep-alive connection.
     ///
@@ -154,9 +166,12 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Unknown",
     }

@@ -7,16 +7,27 @@
 //! | `GET /jobs/{id}`          | status, live progress, and the report (best-so-far design) |
 //! | `GET /jobs/{id}/events`   | chunked stream: one line per GA generation, then `end status=...` (`?from=N` to skip) |
 //! | `POST /jobs/{id}/cancel`  | cooperative cancel at the next generation boundary |
-//! | `GET /stats`              | queue depth, worker utilization, cache counters |
+//! | `GET /stats`              | queue depth, worker utilization, cache counters, per-tenant usage |
 //! | `POST /shutdown`          | stop accepting, cancel running jobs (they snapshot), exit |
 //!
 //! Responses are `text/plain` in the workspace's `[section]` /
 //! `key = value` format, so the same parsers read manifests, snapshots,
 //! journals, and wire responses.
+//!
+//! # Authentication
+//!
+//! When the registry's [`TenantSet`](digamma_server::TenantSet) defines
+//! any bearer token, every endpoint demands `Authorization: Bearer
+//! <token>`: a missing or unknown token is 401, submitting runs the
+//! manifest under the *authenticated* tenant (manifest `tenant` keys
+//! cannot impersonate), and cancelling another tenant's job is 403.
+//! Quota rejections surface as 429 so clients can back off and retry.
+//! Without tokens the service is open, exactly as before tenancy
+//! existed.
 
 use crate::httpio::{write_response, ChunkedWriter, Request};
 use digamma_server::textio::Section;
-use digamma_server::{JobId, JobRegistry, JobView};
+use digamma_server::{JobId, JobRegistry, JobView, SubmitError};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -62,12 +73,27 @@ pub fn handle(
     stream: &mut impl Write,
 ) -> std::io::Result<bool> {
     let keep = request.keep_alive();
+    // Authenticate first: once any tenant has a token, *every* endpoint
+    // demands one, and the authenticated tenant id becomes the
+    // request's identity.
+    let tenants = registry.tenants();
+    let identity: Option<String> = if tenants.requires_auth() {
+        match request.bearer_token().and_then(|token| tenants.by_token(token)) {
+            Some(tenant) => Some(tenant.id.clone()),
+            None => {
+                write_response(stream, 401, "missing or unknown bearer token\n", keep)?;
+                return Ok(keep);
+            }
+        }
+    } else {
+        None
+    };
     let path = request.path().to_owned();
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => {
             let body = String::from_utf8_lossy(&request.body);
-            match registry.submit_manifest(&body) {
+            match registry.submit_manifest_as(&body, identity.as_deref()) {
                 Ok(ids) => {
                     let sections: Vec<Section> = ids
                         .iter()
@@ -76,13 +102,22 @@ pub fn handle(
                             let mut s = Section::new("submitted");
                             s.push("id", id.to_string());
                             s.push("name", view.name);
+                            s.push("tenant", view.spec.tenant);
                             s
                         })
                         .collect();
                     let body = digamma_server::textio::render_sections(&sections);
                     write_response(stream, 202, &body, keep)?;
                 }
-                Err(e) => write_response(stream, 400, &format!("bad manifest: {e}\n"), keep)?,
+                Err(SubmitError::Invalid(msg)) => {
+                    write_response(stream, 400, &format!("bad manifest: {msg}\n"), keep)?;
+                }
+                Err(SubmitError::UnknownTenant(msg)) => {
+                    write_response(stream, 403, &format!("{msg}\n"), keep)?;
+                }
+                Err(SubmitError::QuotaExceeded(msg)) => {
+                    write_response(stream, 429, &format!("{msg}\n"), keep)?;
+                }
             }
             Ok(keep)
         }
@@ -94,6 +129,7 @@ pub fn handle(
                     let mut s = Section::new("job");
                     s.push("id", view.id.to_string());
                     s.push("name", view.name);
+                    s.push("tenant", view.spec.tenant.clone());
                     s.push("status", view.status.to_string());
                     s
                 })
@@ -121,6 +157,21 @@ pub fn handle(
             Ok(false)
         }
         ("POST", ["jobs", id, "cancel"]) => {
+            // Reads are open to any authenticated tenant; cancellation
+            // mutates, so it is owner-only.
+            if let (Some(identity), Some(view)) =
+                (&identity, parse_id(id).and_then(|id| registry.job(id)))
+            {
+                if view.spec.tenant != *identity {
+                    write_response(
+                        stream,
+                        403,
+                        &format!("job {} belongs to tenant {:?}\n", view.id, view.spec.tenant),
+                        keep,
+                    )?;
+                    return Ok(keep);
+                }
+            }
             match parse_id(id).and_then(|id| registry.cancel(id)) {
                 Some(status) => {
                     write_response(stream, 202, &format!("status = {status}\n"), keep)?;
@@ -178,6 +229,12 @@ fn stream_events(
                 "# {} event(s) dropped by retention; resuming at seq {first_seq}\n",
                 first_seq - cursor
             ))?;
+        } else if first_seq < cursor {
+            // `?from=` overshot the end of the stream; the registry
+            // answered with the true cursor instead of stalling.
+            chunks.chunk(&format!(
+                "# seq {cursor} is beyond the stream end; resuming at seq {first_seq}\n"
+            ))?;
         }
         cursor = first_seq + lines.len();
         for line in &lines {
@@ -205,6 +262,7 @@ pub fn render_job_view(view: &JobView) -> String {
     let mut job = Section::new("job");
     job.push("id", view.id.to_string());
     job.push("name", view.name.clone());
+    job.push("tenant", view.spec.tenant.clone());
     job.push("status", view.status.to_string());
     job.push("model", view.spec.model.name());
     job.push("platform", view.spec.platform.name.clone());
@@ -240,8 +298,10 @@ pub fn render_job_view(view: &JobView) -> String {
         }
         s.push("cache_hits", report.cache_hits.to_string());
         s.push("cache_misses", report.cache_misses.to_string());
+        s.push("cache_insertions", report.cache_insertions.to_string());
         s.push("genome_hits", report.genome_hits.to_string());
         s.push("genome_misses", report.genome_misses.to_string());
+        s.push("genome_insertions", report.genome_insertions.to_string());
         s.push("dedup_skipped", report.dedup_skipped.to_string());
         s.push("wall_ms", format!("{:.1}", report.wall.as_secs_f64() * 1e3));
         sections.push(s);
@@ -249,18 +309,37 @@ pub fn render_job_view(view: &JobView) -> String {
     digamma_server::textio::render_sections(&sections)
 }
 
-/// Renders the `/stats` body: registry counters plus (when caching is
-/// on) the shared fitness-cache counters.
+/// Renders the `/stats` body: registry counters, one `[tenant <id>]`
+/// section per known tenant, plus (when caching is on) the shared
+/// fitness-cache counters.
 pub fn render_stats(registry: &JobRegistry) -> String {
     let stats = registry.stats();
     let mut s = Section::new("stats");
     s.push("workers", stats.workers.to_string());
     s.push("busy_workers", stats.busy_workers.to_string());
+    s.push("running_threads", stats.running_threads.to_string());
     s.push("queue_depth", stats.queued.to_string());
     s.push("running", stats.running.to_string());
     s.push("done", stats.done.to_string());
     s.push("cancelled", stats.cancelled.to_string());
     let mut sections = vec![s];
+    for tenant in &stats.tenants {
+        let mut t = Section::new(format!("tenant {}", tenant.id));
+        t.push("weight", tenant.weight.to_string());
+        t.push("queued", tenant.queued.to_string());
+        t.push("running", tenant.running.to_string());
+        t.push("done", tenant.done.to_string());
+        t.push("cancelled", tenant.cancelled.to_string());
+        t.push("evals_submitted", tenant.evals_submitted.to_string());
+        t.push("evals_consumed", tenant.evals_consumed.to_string());
+        t.push("cache_hits", tenant.cache_hits.to_string());
+        t.push("cache_misses", tenant.cache_misses.to_string());
+        t.push("cache_insertions", tenant.cache_insertions.to_string());
+        t.push("genome_hits", tenant.genome_hits.to_string());
+        t.push("genome_misses", tenant.genome_misses.to_string());
+        t.push("genome_insertions", tenant.genome_insertions.to_string());
+        sections.push(t);
+    }
     if let Some(cache) = registry.server().cache_stats() {
         let mut c = Section::new("cache");
         c.push("entries", cache.entries.to_string());

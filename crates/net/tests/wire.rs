@@ -2,7 +2,7 @@
 //! a real TCP client, the full job lifecycle.
 
 use digamma_net::{client, NetServer, ShutdownHandle};
-use digamma_server::{JobRegistry, ServerConfig};
+use digamma_server::{JobRegistry, ServerConfig, TenantSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,8 +16,16 @@ struct Service {
 
 impl Service {
     fn start(workers: usize, checkpoint_dir: Option<PathBuf>) -> Service {
+        Service::start_with_tenants(workers, checkpoint_dir, TenantSet::default())
+    }
+
+    fn start_with_tenants(
+        workers: usize,
+        checkpoint_dir: Option<PathBuf>,
+        tenants: TenantSet,
+    ) -> Service {
         let config = ServerConfig { workers, checkpoint_dir, ..ServerConfig::default() };
-        let registry = Arc::new(JobRegistry::start(config, None).unwrap());
+        let registry = Arc::new(JobRegistry::start_with_tenants(config, None, tenants).unwrap());
         let server = NetServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
         let addr = server.local_addr().unwrap().to_string();
         let handle = server.shutdown_handle().unwrap();
@@ -199,6 +207,135 @@ fn protocol_errors_are_4xx_not_hangs() {
     );
     assert!(service.registry.jobs().iter().all(|v| v.name != "fresh"));
     service.registry.cancel(ids[0]);
+}
+
+#[test]
+fn event_stream_from_beyond_end_resyncs_instead_of_stalling() {
+    let service = Service::start(1, None);
+    let ids = service.submit(&small_job("overshoot", 96));
+    service.wait_status(ids[0], "done");
+    let full = client::stream_events(&service.addr, ids[0], 0, |_| true).unwrap();
+    let end = full.len();
+    // A cursor far past the end must answer immediately with a resync
+    // marker, not park the connection waiting for events that will
+    // never come.
+    let started = std::time::Instant::now();
+    let lines = client::stream_events(&service.addr, ids[0], end + 50, |_| true).unwrap();
+    assert!(started.elapsed() < Duration::from_secs(5), "overshot stream stalled");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].starts_with("# seq "), "{lines:?}");
+    assert!(lines[0].contains("beyond the stream end"), "{lines:?}");
+    assert!(lines[0].ends_with(&format!("resuming at seq {end}")), "{lines:?}");
+}
+
+#[test]
+fn bearer_auth_guards_the_wire_and_pins_identity() {
+    let roster = TenantSet::parse(
+        "[tenant]\nid = alpha\ntoken = alpha-secret\n\n\
+         [tenant]\nid = beta\ntoken = beta-secret\n\n\
+         [tenant]\nid = broke\ntoken = broke-secret\nmax_evals = 10\n",
+    )
+    .unwrap();
+    let service = Service::start_with_tenants(1, None, roster);
+    let alpha = Some("alpha-secret");
+
+    // Anonymous and wrong-token requests bounce with 401 on every route.
+    let err = client::get(&service.addr, "/stats").unwrap_err();
+    assert!(err.to_string().contains("401"), "{err}");
+    let err = client::get_as(&service.addr, "/stats", Some("nope")).unwrap_err();
+    assert!(err.to_string().contains("401"), "{err}");
+    let err = client::stream_events(&service.addr, 1, 0, |_| true).unwrap_err();
+    assert!(err.to_string().contains("401"), "{err}");
+
+    // An authenticated submit runs under the token's tenant no matter
+    // what the manifest claims — no impersonation over the wire.
+    let manifest = "[job]\nname = pinned\ntenant = beta\nmodel = ncf\nbudget = 200000\npopulation = 8\nseed = 9\n";
+    let body = client::post_as(&service.addr, "/jobs", Some(manifest), alpha).unwrap();
+    assert!(body.contains("tenant = alpha"), "{body}");
+    let id: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("id = "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+
+    // Another tenant may read the job but not cancel it.
+    let view = client::get_as(&service.addr, &format!("/jobs/{id}"), Some("beta-secret")).unwrap();
+    assert!(view.contains("tenant = alpha"), "{view}");
+    let err =
+        client::post_as(&service.addr, &format!("/jobs/{id}/cancel"), None, Some("beta-secret"))
+            .unwrap_err();
+    assert!(err.to_string().contains("403"), "{err}");
+
+    // Quota violations are typed 429s, not 500s.
+    let over = "[job]\nname = broke-1\nmodel = ncf\nbudget = 100\npopulation = 8\n";
+    let err =
+        client::post_as(&service.addr, "/jobs", Some(over), Some("broke-secret")).unwrap_err();
+    assert!(err.to_string().contains("429"), "{err}");
+
+    // Authenticated reads see the per-tenant ledger.
+    let stats = client::get_as(&service.addr, "/stats", alpha).unwrap();
+    assert!(stats.contains("[tenant alpha]"), "{stats}");
+    assert!(stats.contains("evals_submitted = 200000"), "{stats}");
+    assert!(stats.contains("[tenant broke]"), "{stats}");
+
+    // The owner cancels their own job fine.
+    let ok = client::post_as(&service.addr, &format!("/jobs/{id}/cancel"), None, alpha).unwrap();
+    assert!(ok.contains("status ="), "{ok}");
+}
+
+#[test]
+fn weighted_tenants_share_the_workers_three_to_one() {
+    // alpha (weight 3) and beta (weight 1) each queue 20 jobs on a
+    // 2-worker service; the deficit round-robin must hand alpha ~3 of
+    // every 4 claims. Tokenless roster: scheduling without auth.
+    let roster =
+        TenantSet::parse("[tenant]\nid = alpha\nweight = 3\n\n[tenant]\nid = beta\nweight = 1\n")
+            .unwrap();
+    let service = Service::start_with_tenants(2, None, roster);
+    let mut manifest = String::new();
+    for k in 0..20 {
+        for tenant in ["alpha", "beta"] {
+            let seed = 100 + k * 2 + usize::from(tenant == "beta");
+            manifest.push_str(&format!(
+                "[job]\nname = {tenant}-{k:02}\ntenant = {tenant}\nmodel = ncf\nbudget = 240\npopulation = 8\nseed = {seed}\n\n"
+            ));
+        }
+    }
+    let ids = service.submit(&manifest);
+    assert_eq!(ids.len(), 40);
+
+    // Observe dispatch order over the wire: poll the listing and record
+    // each job the first time it is seen off the queue.
+    let mut order: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..20_000 {
+        let body = client::get(&service.addr, "/jobs").unwrap();
+        for section in digamma_server::textio::parse_sections(&body).unwrap() {
+            let name = section.get("name").unwrap_or_default().to_owned();
+            let status = section.get("status").unwrap_or_default();
+            if !name.is_empty() && status != "queued" && seen.insert(name.clone()) {
+                order.push(name);
+            }
+        }
+        if order.len() >= 24 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(order.len() >= 24, "workers never drained the queues: {order:?}");
+
+    // Ideal split of the first 24 claims is 18:6; allow ±15% of the
+    // window for polling jitter.
+    let alpha = order[..24].iter().filter(|name| name.starts_with("alpha-")).count();
+    assert!(
+        (15..=21).contains(&alpha),
+        "weight-3 tenant took {alpha} of the first 24 claims (wanted 18 +/- 3): {order:?}"
+    );
+
+    // Don't leave 2 workers grinding the leftovers during shutdown.
+    for &id in &ids {
+        service.registry.cancel(id);
+    }
 }
 
 #[test]

@@ -407,12 +407,18 @@ pub struct JobCacheView {
     shared: Arc<ShardedFitnessCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
 }
 
 impl JobCacheView {
     /// Creates a view over `shared` with zeroed counters.
     pub fn new(shared: Arc<ShardedFitnessCache>) -> JobCacheView {
-        JobCacheView { shared, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        JobCacheView {
+            shared,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
     }
 
     /// Hits observed through this view.
@@ -423,6 +429,14 @@ impl JobCacheView {
     /// Misses observed through this view.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Store calls issued through this view. Counts *attempts* (the
+    /// shared cache may coalesce a racing duplicate), which is the right
+    /// attribution for per-tenant partitioning: it measures how much
+    /// cache space this job's work demanded.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
     }
 }
 
@@ -437,6 +451,7 @@ impl EvalCache for JobCacheView {
     }
 
     fn store(&self, key: u64, report: &Arc<CostReport>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
         self.shared.store(key, report);
     }
 }
@@ -448,12 +463,18 @@ pub struct JobGenomeMemoView {
     shared: Arc<ShardedGenomeMemo>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
 }
 
 impl JobGenomeMemoView {
     /// Creates a view over `shared` with zeroed counters.
     pub fn new(shared: Arc<ShardedGenomeMemo>) -> JobGenomeMemoView {
-        JobGenomeMemoView { shared, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        JobGenomeMemoView {
+            shared,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
     }
 
     /// Whole-genome hits observed through this view.
@@ -464,6 +485,12 @@ impl JobGenomeMemoView {
     /// Whole-genome misses observed through this view.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Store calls issued through this view (see
+    /// [`JobCacheView::insertions`]).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
     }
 }
 
@@ -478,6 +505,7 @@ impl GenomeMemo for JobGenomeMemoView {
     }
 
     fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
         self.shared.store(key, evaluation);
     }
 }

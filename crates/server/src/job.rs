@@ -67,6 +67,10 @@ impl fmt::Display for JobAlgorithm {
 pub struct JobSpec {
     /// Unique job name (also names its checkpoint file).
     pub name: String,
+    /// The tenant this job belongs to (scheduling, quotas, accounting).
+    /// Defaults to [`crate::tenant::DEFAULT_TENANT`]; journals written
+    /// before tenancy existed replay under that default.
+    pub tenant: String,
     /// The workload to co-optimize for.
     pub model: Model,
     /// The platform envelope (area budget, bandwidths).
@@ -102,6 +106,7 @@ impl JobSpec {
     ) -> JobSpec {
         JobSpec {
             name: name.into(),
+            tenant: crate::tenant::DEFAULT_TENANT.to_owned(),
             model,
             platform,
             objective,
@@ -116,6 +121,9 @@ impl JobSpec {
 
     /// The identity line stored in checkpoints: a resumed job must match
     /// it exactly, or the snapshot describes a different search.
+    /// `threads` and `tenant` are deliberately excluded — both are
+    /// execution/ownership details, and keeping them out lets snapshots
+    /// written before tenancy existed resume bit-identically.
     pub fn fingerprint(&self) -> String {
         format!(
             "{}/{}/{}/{}/b{}/s{}/p{}",
@@ -194,6 +202,11 @@ pub struct JobReport {
     pub genome_hits: u64,
     /// Per-job whole-genome memo misses.
     pub genome_misses: u64,
+    /// Fitness-cache store calls issued by this job (the partitioning
+    /// hook: how much shared-cache space each tenant's jobs claim).
+    pub cache_insertions: u64,
+    /// Genome-memo store calls issued by this job.
+    pub genome_insertions: u64,
     /// Identical `(layer shape, mapping)` evaluations skipped by the
     /// batch-local dedupe map before reaching the cache.
     pub dedup_skipped: u64,
@@ -303,6 +316,11 @@ mod tests {
         // Threads are an execution detail, not identity.
         let mut other = base.clone();
         other.threads = 8;
+        assert_eq!(fp, other.fingerprint());
+        // Tenant is ownership, not identity: pre-tenancy snapshots must
+        // still resume after a journal replays the job under "default".
+        let mut other = base;
+        other.tenant = "alpha".to_owned();
         assert_eq!(fp, other.fingerprint());
     }
 

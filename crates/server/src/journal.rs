@@ -12,9 +12,13 @@
 //! checkpoint path.
 //!
 //! ```text
+//! [journal]
+//! version = 2                   # format version (see JOURNAL_VERSION)
+//!
 //! [submitted]
 //! id = 3
 //! name = ncf-edge
+//! tenant = alpha                # since version 2
 //! model = ncf
 //! ...                           # the full [job] key set
 //!
@@ -22,6 +26,13 @@
 //! id = 3
 //! status = done                 # done | cancelled
 //! ```
+//!
+//! Version 1 journals (written before tenancy) carry neither the
+//! `[journal]` header nor `tenant` keys; they replay cleanly, every job
+//! defaulting to the `"default"` tenant. A journal declaring a version
+//! *newer* than [`JOURNAL_VERSION`] refuses to replay — silently
+//! dropping records a future format considers essential would be worse
+//! than failing the start.
 //!
 //! Appends are small and section-atomic in practice, but a kill can
 //! still truncate the tail mid-write — so replay parses leniently,
@@ -34,6 +45,11 @@ use crate::textio::{self, Section};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// The journal format version this build writes. Bumped to 2 when jobs
+/// gained `tenant` tags; version-1 files (no `[journal]` header) still
+/// replay, defaulting every job's tenant.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// An append-only job journal at a fixed path.
 #[derive(Debug, Clone)]
@@ -113,6 +129,14 @@ impl Journal {
 
     fn append_raw(&self, text: &str) -> std::io::Result<()> {
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        // A fresh (or empty) journal starts with its version header.
+        // Appends are serialized under the registry lock, so the
+        // metadata check cannot race another writer.
+        if file.metadata()?.len() == 0 {
+            let mut header = Section::new("journal");
+            header.push("version", JOURNAL_VERSION.to_string());
+            file.write_all(format!("{}\n", header.render()).as_bytes())?;
+        }
         file.write_all(text.as_bytes())
     }
 
@@ -135,6 +159,24 @@ impl Journal {
         let mut finished = Vec::new();
         let mut next_id: JobId = 1;
         for section in lenient_sections(&text) {
+            if section.name == "journal" {
+                // Version 1 files have no header at all; anything newer
+                // than this build refuses to replay rather than silently
+                // dropping records it cannot understand.
+                let version = section.get("version").and_then(|v| v.parse::<u64>().ok());
+                if version.is_some_and(|v| v > JOURNAL_VERSION) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "journal {} declares version {}, newer than supported {}",
+                            self.path.display(),
+                            version.unwrap_or(0),
+                            JOURNAL_VERSION
+                        ),
+                    ));
+                }
+                continue;
+            }
             let Some(id) = section.get("id").and_then(|v| v.parse::<JobId>().ok()) else {
                 continue;
             };
@@ -246,6 +288,66 @@ mod tests {
         // Record 2 has no parsable model line → dropped; record 1 lives.
         assert_eq!(replay.pending.len(), 1);
         assert_eq!(replay.pending[0].1.name, "alive");
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn fresh_journals_carry_the_version_header_once() {
+        let journal = temp_journal("header");
+        journal.append_submitted(1, &spec("a")).unwrap();
+        journal.append_finished(1, JobStatus::Done).unwrap();
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        assert!(text.starts_with("[journal]\nversion = 2\n"), "{text}");
+        assert_eq!(text.matches("[journal]").count(), 1, "header appends exactly once");
+        assert!(journal.replay().is_ok());
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn version_1_journals_replay_as_the_default_tenant() {
+        // A journal exactly as the previous (pre-tenancy) version wrote
+        // it: no [journal] header, no tenant keys.
+        let journal = temp_journal("v1");
+        let v1 = "\
+[submitted]
+id = 1
+name = old-life
+model = ncf
+platform = edge
+objective = latency
+algorithm = digamma
+budget = 160
+seed = 0
+population = 8
+threads = 1
+
+[submitted]
+id = 2
+name = finished-long-ago
+model = ncf
+budget = 64
+
+[finished]
+id = 2
+status = done
+";
+        std::fs::write(journal.path(), v1).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.pending.len(), 1);
+        let (id, back) = &replay.pending[0];
+        assert_eq!((*id, back.name.as_str()), (1, "old-life"));
+        assert_eq!(back.tenant, "default", "pre-tenancy jobs replay under the default tenant");
+        assert_eq!(back.fingerprint(), spec("old-life").fingerprint());
+        assert_eq!(replay.next_id, 3);
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn journals_from_the_future_refuse_to_replay() {
+        let journal = temp_journal("future");
+        std::fs::write(journal.path(), "[journal]\nversion = 99\n").unwrap();
+        let err = journal.replay().unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
         std::fs::remove_file(journal.path()).ok();
     }
 

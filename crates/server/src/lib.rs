@@ -53,7 +53,9 @@ mod registry;
 mod snapshot;
 pub mod textio;
 
-pub use journal::Journal;
+mod tenant;
+
+pub use journal::{Journal, JOURNAL_VERSION};
 
 pub use cache::{
     CacheStats, EvictionPolicy, JobCacheView, JobGenomeMemoView, ShardedFitnessCache,
@@ -62,5 +64,8 @@ pub use cache::{
 pub use job::{JobAlgorithm, JobReport, JobSpec};
 pub use manifest::{parse_manifest, parse_manifest_full, render_job, Manifest, ServerOverrides};
 pub use queue::{JobControl, JobProgress, SearchServer, ServerConfig};
-pub use registry::{JobId, JobRegistry, JobStatus, JobView, RegistryStats};
+pub use registry::{
+    JobId, JobRegistry, JobStatus, JobView, RegistryStats, SubmitError, TenantStats,
+};
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
+pub use tenant::{valid_tenant_id, TenantSet, TenantSpec, DEFAULT_TENANT};

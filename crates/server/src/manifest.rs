@@ -26,8 +26,28 @@
 //! budget = 600                   # design evaluations (default 600)
 //! seed = 1                       # RNG seed (default 0)
 //! population = 20                # GA population (default 20)
-//! threads = 1                    # per-job eval threads (default 1)
+//! threads = 1                    # per-job eval threads (>= 1; the
+//!                                # registry clamps to its worker count)
 //! checkpoint_every = 8           # generations between snapshots
+//! tenant = alpha                 # owning tenant id (default "default";
+//!                                # ignored when the wire front-end
+//!                                # authenticates — the token decides)
+//! ```
+//!
+//! Multi-tenant deployments additionally configure a tenant roster —
+//! `digamma-netd --tenants FILE` — of `[tenant]` sections (parsed by
+//! [`crate::tenant::TenantSet`], a separate document from the job
+//! manifest):
+//!
+//! ```text
+//! [tenant]
+//! id = alpha                     # required; [A-Za-z0-9._-]
+//! token = alpha-secret           # bearer token (optional; any token in
+//!                                # the roster turns authentication on)
+//! weight = 3                     # weighted-round-robin share (default 1)
+//! max_queued = 100               # cap on waiting jobs (optional)
+//! max_running = 2                # cap on concurrently running jobs
+//! max_evals = 1000000            # lifetime submitted-eval-budget cap
 //! ```
 
 use crate::cache::EvictionPolicy;
@@ -112,6 +132,15 @@ pub fn parse_job_section(section: &Section, index: usize) -> Result<JobSpec, Tex
         None => JobAlgorithm::DiGamma,
     };
     let mut spec = JobSpec::new(name, model, platform, objective, algorithm);
+    if let Some(tenant) = section.get("tenant") {
+        if !crate::tenant::valid_tenant_id(tenant) {
+            return Err(TextError::new(format!(
+                "job {:?}: bad tenant id {tenant:?} (use letters, digits, '.', '_', '-')",
+                spec.name
+            )));
+        }
+        spec.tenant = tenant.to_owned();
+    }
     spec.budget = section.get_parsed_or("budget", spec.budget)?;
     spec.seed = section.get_parsed_or("seed", spec.seed)?;
     spec.population_size = section.get_parsed_or("population", spec.population_size)?;
@@ -127,6 +156,9 @@ pub fn parse_job_section(section: &Section, index: usize) -> Result<JobSpec, Tex
     if spec.budget == 0 {
         return Err(TextError::new(format!("job {:?}: budget must be positive", spec.name)));
     }
+    if spec.threads == 0 {
+        return Err(TextError::new(format!("job {:?}: threads must be at least 1", spec.name)));
+    }
     Ok(spec)
 }
 
@@ -138,6 +170,7 @@ pub fn parse_job_section(section: &Section, index: usize) -> Result<JobSpec, Tex
 pub fn render_job(spec: &JobSpec) -> Section {
     let mut section = Section::new("job");
     section.push("name", &spec.name);
+    section.push("tenant", &spec.tenant);
     section.push("model", spec.model.name());
     section.push("platform", &spec.platform.name);
     section.push("objective", spec.objective.to_string());
@@ -343,6 +376,18 @@ checkpoint_every = 5
         assert_eq!(back.fingerprint(), spec.fingerprint());
         assert_eq!(back.threads, spec.threads);
         assert_eq!(back.checkpoint_every, spec.checkpoint_every);
+        assert_eq!(back.tenant, "default", "absent tenant key defaults");
+    }
+
+    #[test]
+    fn tenant_key_roundtrips_and_defaults() {
+        let jobs =
+            parse_manifest("[job]\nmodel = ncf\ntenant = alpha\n[job]\nmodel = dlrm\n").unwrap();
+        assert_eq!(jobs[0].tenant, "alpha");
+        assert_eq!(jobs[1].tenant, "default");
+        let rendered = render_job(&jobs[0]).render();
+        let back = parse_job_section(&textio::parse_sections(&rendered).unwrap()[0], 0).unwrap();
+        assert_eq!(back.tenant, "alpha");
     }
 
     #[test]
@@ -355,6 +400,8 @@ checkpoint_every = 5
             ("[job]\nmodel = ncf\nalgorithm = annealing\n", "unknown algorithm"),
             ("[job]\nmodel = ncf\nbudget = 0\n", "budget"),
             ("[job]\nmodel = ncf\npopulation = 2\n", "population"),
+            ("[job]\nmodel = ncf\nthreads = 0\n", "threads"),
+            ("[job]\nmodel = ncf\ntenant = no spaces\n", "bad tenant id"),
             ("[job]\nname = a\nmodel = ncf\n[job]\nname = a\nmodel = ncf\n", "duplicate"),
             ("[batch]\n", "unknown section"),
         ] {

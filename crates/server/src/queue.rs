@@ -351,8 +351,10 @@ impl SearchServer {
             cancelled,
             cache_hits: view.as_ref().map_or(0, |v| v.hits()),
             cache_misses: view.as_ref().map_or(0, |v| v.misses()),
+            cache_insertions: view.as_ref().map_or(0, |v| v.insertions()),
             genome_hits: genome_view.as_ref().map_or(0, |v| v.hits()),
             genome_misses: genome_view.as_ref().map_or(0, |v| v.misses()),
+            genome_insertions: genome_view.as_ref().map_or(0, |v| v.insertions()),
             dedup_skipped: problem.batch_dedup_skipped(),
             wall: started.elapsed(),
         }

@@ -1,4 +1,5 @@
-//! The runtime job registry: accept work while searches run.
+//! The runtime job registry: accept work from many tenants while
+//! searches run.
 //!
 //! [`SearchServer::run`] drains a batch fixed up front; a network
 //! service cannot work that way — clients submit jobs at any time, watch
@@ -6,15 +7,28 @@
 //! that turns the batch server into that service:
 //!
 //! * **Submit at runtime** — [`JobRegistry::submit`] enqueues a job onto
-//!   a condvar-signalled queue drained by long-lived worker threads
-//!   (plain `std::thread::spawn`, since jobs outlive any caller scope).
+//!   its tenant's queue; long-lived worker threads (plain
+//!   `std::thread::spawn`, since jobs outlive any caller scope) drain
+//!   the queues under a condvar.
+//! * **Share fairly** — each tenant ([`crate::TenantSpec`]) owns a FIFO
+//!   queue; workers pick across tenants by *weighted round-robin with
+//!   deficit counters*, so a tenant with weight 3 completes roughly
+//!   three jobs for every one of a weight-1 tenant no matter how deep
+//!   either backlog runs. Admission control enforces per-tenant quotas
+//!   (queued jobs, running jobs, lifetime eval budget) and keeps the sum
+//!   of running jobs' `threads` within the worker pool; violations are
+//!   typed [`SubmitError`]s so the wire layer can answer 403/429 rather
+//!   than 500.
 //! * **Observe** — every job keeps an event log (one line per GA
 //!   generation, fed by the [`JobControl`] progress seam) that
 //!   subscribers can poll or block on; [`JobView`] snapshots a job's
-//!   status, live progress, and best-so-far/final report.
+//!   status, live progress, and best-so-far/final report, and
+//!   [`RegistryStats`] breaks queue depth, eval consumption, and cache
+//!   reuse down per tenant.
 //! * **Cancel** — [`JobRegistry::cancel`] flips the job's cooperative
 //!   flag; the search stops at its next generation boundary, snapshots,
-//!   and reports its partial best.
+//!   and reports its partial best. A queued job cancels immediately and
+//!   leaves its tenant's queue at once.
 //! * **Survive kills** — with a [`Journal`] attached, accepted jobs are
 //!   logged before they run and marked when they finish; a restarted
 //!   registry replays the journal and resubmits every unfinished job,
@@ -23,8 +37,9 @@
 use crate::job::{JobReport, JobSpec};
 use crate::journal::Journal;
 use crate::queue::{JobControl, JobProgress, SearchServer, ServerConfig};
+use crate::tenant::{valid_tenant_id, TenantSet, TenantSpec};
 use crate::textio::TextError;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -58,6 +73,42 @@ impl std::fmt::Display for JobStatus {
     }
 }
 
+/// Why a submission was rejected. The variants split along the wire
+/// status the front-end should answer with: a malformed request is the
+/// client's bug (400), an unknown tenant is a permission problem (403),
+/// and a quota rejection is back-pressure the client can retry after
+/// (429).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The spec or manifest itself is unacceptable (bad name, zero
+    /// threads, parse error, shutdown in progress).
+    Invalid(String),
+    /// The spec names a tenant the service's roster does not list (only
+    /// possible when a non-empty [`TenantSet`] is configured).
+    UnknownTenant(String),
+    /// Accepting the batch would exceed the tenant's `max_queued` or
+    /// `max_evals` quota; nothing was accepted.
+    QuotaExceeded(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(msg)
+            | SubmitError::UnknownTenant(msg)
+            | SubmitError::QuotaExceeded(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<TextError> for SubmitError {
+    fn from(e: TextError) -> SubmitError {
+        SubmitError::Invalid(e.to_string())
+    }
+}
+
 /// A point-in-time snapshot of one job, safe to hand to other threads
 /// (and to render onto the wire).
 #[derive(Debug, Clone)]
@@ -77,13 +128,18 @@ pub struct JobView {
 }
 
 /// Aggregate service counters for the `/stats` endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RegistryStats {
     /// Worker threads serving the registry.
     pub workers: usize,
     /// Workers currently running a job.
     pub busy_workers: usize,
-    /// Jobs waiting for a worker.
+    /// Σ `spec.threads` over running jobs (admission keeps this ≤
+    /// `workers`).
+    pub running_threads: usize,
+    /// Jobs waiting in tenant queues (the scheduler's own queue depth,
+    /// not a recount of job statuses — a cancelled job must leave this
+    /// immediately).
     pub queued: usize,
     /// Jobs currently searching.
     pub running: usize,
@@ -91,6 +147,43 @@ pub struct RegistryStats {
     pub done: usize,
     /// Jobs cancelled.
     pub cancelled: usize,
+    /// Per-tenant breakdown, in tenant-id order.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// One tenant's slice of [`RegistryStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// The tenant id.
+    pub id: String,
+    /// Scheduling weight.
+    pub weight: u64,
+    /// Jobs waiting in this tenant's queue.
+    pub queued: usize,
+    /// Jobs currently searching.
+    pub running: usize,
+    /// Jobs finished to budget.
+    pub done: usize,
+    /// Jobs cancelled.
+    pub cancelled: usize,
+    /// Σ budget over every accepted job (what `max_evals` caps).
+    pub evals_submitted: u64,
+    /// Σ samples actually evaluated by finished jobs.
+    pub evals_consumed: u64,
+    /// Fitness-cache hits across this tenant's finished jobs.
+    pub cache_hits: u64,
+    /// Fitness-cache misses across this tenant's finished jobs.
+    pub cache_misses: u64,
+    /// Fitness-cache store calls across this tenant's finished jobs
+    /// (the per-tenant partitioning hook: how much shared cache space
+    /// the tenant's work demanded).
+    pub cache_insertions: u64,
+    /// Genome-memo hits across this tenant's finished jobs.
+    pub genome_hits: u64,
+    /// Genome-memo misses across this tenant's finished jobs.
+    pub genome_misses: u64,
+    /// Genome-memo store calls across this tenant's finished jobs.
+    pub genome_insertions: u64,
 }
 
 struct JobEntry {
@@ -113,19 +206,190 @@ struct JobEntry {
     report: Option<JobReport>,
 }
 
+/// Lifetime usage counters for one tenant (fed from finished jobs'
+/// [`JobReport`]s, except `evals_submitted` which admission maintains).
+#[derive(Debug, Default)]
+struct TenantUsage {
+    evals_submitted: u64,
+    evals_consumed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_insertions: u64,
+    genome_hits: u64,
+    genome_misses: u64,
+    genome_insertions: u64,
+}
+
+/// One tenant's scheduler state: its FIFO queue plus the deficit
+/// counter the weighted round-robin spends.
+struct TenantSched {
+    spec: TenantSpec,
+    queue: VecDeque<JobId>,
+    /// Claims left this round; replenished to `spec.weight` when every
+    /// tenant with eligible work has spent theirs.
+    deficit: u64,
+    /// Jobs currently running (what `spec.max_running` caps).
+    running: usize,
+    usage: TenantUsage,
+}
+
+impl TenantSched {
+    fn new(spec: TenantSpec) -> TenantSched {
+        TenantSched {
+            spec,
+            queue: VecDeque::new(),
+            deficit: 0,
+            running: 0,
+            usage: TenantUsage::default(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct RegState {
     next_id: JobId,
-    queue: VecDeque<JobId>,
+    /// Scheduler state per tenant id. Tenants from the configured
+    /// roster are seeded at start; unknown ids (permissive mode, old
+    /// journals) register on first use with default weight and no
+    /// quotas.
+    tenants: BTreeMap<String, TenantSched>,
+    /// Round-robin visit order (registration order, stable across the
+    /// registry's life).
+    rotation: Vec<String>,
+    /// Rotation index of the tenant that claimed most recently; the
+    /// next scan starts here so a tenant with deficit left keeps its
+    /// turn.
+    cursor: usize,
+    /// Σ `spec.threads` over running jobs.
+    running_threads: usize,
     jobs: HashMap<JobId, JobEntry>,
     busy_workers: usize,
     shutdown: bool,
+}
+
+impl RegState {
+    /// The tenant's scheduler state, registering it (default weight, no
+    /// quotas) on first sight.
+    fn tenant_mut(&mut self, id: &str) -> &mut TenantSched {
+        if !self.tenants.contains_key(id) {
+            self.tenants.insert(id.to_owned(), TenantSched::new(TenantSpec::named(id)));
+            self.rotation.push(id.to_owned());
+        }
+        self.tenants.get_mut(id).expect("just registered")
+    }
+
+    /// Registers an accepted job: into the jobs map and onto its
+    /// tenant's queue, with its budget charged against `max_evals`.
+    fn enqueue(&mut self, id: JobId, entry: JobEntry) {
+        let tenant = entry.spec.tenant.clone();
+        let budget = entry.spec.budget as u64;
+        self.jobs.insert(id, entry);
+        let sched = self.tenant_mut(&tenant);
+        sched.queue.push_back(id);
+        sched.usage.evals_submitted += budget;
+    }
+}
+
+/// Whether `sched`'s next job could start right now: something is
+/// queued, the tenant is below `max_running`, and the head job's
+/// `threads` fit in the worker pool. Head-of-line only — jobs within a
+/// tenant run in submission order, so a wide job at the head waits for
+/// threads rather than being overtaken by its own tenant's later jobs.
+fn head_admittable(
+    jobs: &HashMap<JobId, JobEntry>,
+    sched: &TenantSched,
+    running_threads: usize,
+    total_workers: usize,
+) -> bool {
+    if sched.spec.max_running.is_some_and(|max| sched.running >= max) {
+        return false;
+    }
+    let Some(head) = sched.queue.front() else { return false };
+    jobs.get(head).is_some_and(|entry| {
+        entry.status == JobStatus::Queued && running_threads + entry.spec.threads <= total_workers
+    })
+}
+
+/// Picks the job the calling worker should run next — the scheduling
+/// decision, factored out of [`worker_loop`] so tests can drive it
+/// deterministically.
+///
+/// Weighted round-robin with deficit counters: scanning the rotation
+/// from the cursor, the first tenant with deficit left and an
+/// admittable head job claims. When every such tenant has spent its
+/// deficit, each is replenished to its weight and the scan repeats —
+/// so over any busy stretch, tenants complete claims in proportion to
+/// their weights regardless of backlog depth. Returns `None` when no
+/// job can start (empty queues, `max_running` caps, or not enough free
+/// threads); the caller waits on the condvar.
+fn claim_next(state: &mut RegState, total_workers: usize) -> Option<(JobId, JobSpec)> {
+    // Drop stale heads (ids whose job is no longer queued) so they
+    // cannot wedge their tenant. Cancellation dequeues eagerly, so this
+    // is a backstop, not the cleanup path.
+    {
+        let jobs = &state.jobs;
+        for sched in state.tenants.values_mut() {
+            while sched
+                .queue
+                .front()
+                .is_some_and(|id| !jobs.get(id).is_some_and(|e| e.status == JobStatus::Queued))
+            {
+                sched.queue.pop_front();
+            }
+        }
+    }
+    for attempt in 0..2 {
+        let n = state.rotation.len();
+        let mut pick = None;
+        for step in 0..n {
+            let idx = (state.cursor + step) % n;
+            let sched = &state.tenants[&state.rotation[idx]];
+            if sched.deficit > 0
+                && head_admittable(&state.jobs, sched, state.running_threads, total_workers)
+            {
+                pick = Some(idx);
+                break;
+            }
+        }
+        if let Some(idx) = pick {
+            state.cursor = idx;
+            let tid = state.rotation[idx].clone();
+            let sched = state.tenants.get_mut(&tid).expect("rotation tracks tenants");
+            sched.deficit -= 1;
+            sched.running += 1;
+            let id = sched.queue.pop_front().expect("admittable head exists");
+            let entry = state.jobs.get_mut(&id).expect("queued jobs are registered");
+            entry.status = JobStatus::Running;
+            state.running_threads += entry.spec.threads;
+            return Some((id, entry.spec.clone()));
+        }
+        if attempt == 0 {
+            // Every tenant that could run is out of deficit: grant the
+            // next round. Only tenants with admittable work replenish,
+            // so an idle tenant cannot bank credit while absent and
+            // then starve everyone on return.
+            let jobs = &state.jobs;
+            let running_threads = state.running_threads;
+            let mut any = false;
+            for sched in state.tenants.values_mut() {
+                if head_admittable(jobs, sched, running_threads, total_workers) {
+                    sched.deficit = sched.spec.weight;
+                    any = true;
+                }
+            }
+            if !any {
+                return None;
+            }
+        }
+    }
+    None
 }
 
 struct Inner {
     server: SearchServer,
     workers: usize,
     journal: Option<Journal>,
+    tenants: TenantSet,
     state: Mutex<RegState>,
     cond: Condvar,
 }
@@ -143,10 +407,10 @@ impl std::fmt::Debug for JobRegistry {
 }
 
 impl JobRegistry {
-    /// Starts a registry: spins up `config.workers` worker threads and —
-    /// when `journal_path` is given — replays the journal, resubmitting
-    /// every job that never finished (each resumes from its snapshot
-    /// through the normal checkpoint path).
+    /// Starts a single-tenant (permissive) registry: every job runs
+    /// under whatever tenant id its spec carries, registered on first
+    /// sight with default weight and no quotas. Equivalent to
+    /// [`JobRegistry::start_with_tenants`] with an empty set.
     ///
     /// # Errors
     ///
@@ -155,6 +419,29 @@ impl JobRegistry {
     pub fn start(
         config: ServerConfig,
         journal_path: Option<PathBuf>,
+    ) -> std::io::Result<JobRegistry> {
+        JobRegistry::start_with_tenants(config, journal_path, TenantSet::default())
+    }
+
+    /// Starts a registry: spins up `config.workers` worker threads and —
+    /// when `journal_path` is given — replays the journal, resubmitting
+    /// every job that never finished (each resumes from its snapshot
+    /// through the normal checkpoint path).
+    ///
+    /// A non-empty `tenants` roster makes admission strict: jobs must
+    /// name a listed tenant, and each tenant's weight and quotas apply.
+    /// Journal replay stays lenient — a journal written before a tenant
+    /// left the roster still replays, auto-registering the id — so a
+    /// roster edit can never brick a restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the journal exists but cannot be
+    /// read.
+    pub fn start_with_tenants(
+        config: ServerConfig,
+        journal_path: Option<PathBuf>,
+        tenants: TenantSet,
     ) -> std::io::Result<JobRegistry> {
         let workers = config.workers.max(1);
         let journal = journal_path.map(Journal::new);
@@ -169,6 +456,7 @@ impl JobRegistry {
             server: SearchServer::new(config),
             workers,
             journal,
+            tenants,
             state: Mutex::new(RegState { next_id, ..RegState::default() }),
             cond: Condvar::new(),
         });
@@ -176,10 +464,15 @@ impl JobRegistry {
             // Controls carry a progress closure capturing `inner`, so
             // replayed jobs enqueue only after `inner` exists.
             let mut state = inner.state.lock().expect("registry poisoned");
+            // Seed the roster so weights and quotas apply from the
+            // first claim and `/stats` lists every configured tenant.
+            for tspec in inner.tenants.iter() {
+                state.tenants.insert(tspec.id.clone(), TenantSched::new(tspec.clone()));
+                state.rotation.push(tspec.id.clone());
+            }
             for (id, spec) in replayed {
-                state.queue.push_back(id);
                 let entry = JobEntry::new(spec, make_control(&inner, id));
-                state.jobs.insert(id, entry);
+                state.enqueue(id, entry);
             }
         }
         let handles = (0..workers)
@@ -196,51 +489,117 @@ impl JobRegistry {
         &self.inner.server
     }
 
+    /// The configured tenant roster (empty in permissive mode). The
+    /// wire front-end reads tokens and auth policy from here.
+    pub fn tenants(&self) -> &TenantSet {
+        &self.inner.tenants
+    }
+
     /// Submits one job; returns its id once it is queued (and journaled,
     /// when a journal is attached).
     ///
     /// # Errors
     ///
-    /// Returns [`TextError`] when another *live* (queued or running) job
-    /// already uses the name — names key checkpoint files, so two live
-    /// jobs sharing one would corrupt each other's snapshots — or when
-    /// the registry is shutting down.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobId, TextError> {
+    /// [`SubmitError::Invalid`] when another *live* (queued or running)
+    /// job already uses the name — names key checkpoint files, so two
+    /// live jobs sharing one would corrupt each other's snapshots —
+    /// when `threads` is zero or the tenant id is malformed, or when
+    /// the registry is shutting down. [`SubmitError::UnknownTenant`]
+    /// and [`SubmitError::QuotaExceeded`] per the configured roster.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         Ok(self.submit_all(vec![spec])?[0])
     }
 
     /// Submits a batch of jobs **atomically**: every spec is validated
-    /// against live names (and against the rest of the batch) before
-    /// anything is journaled or enqueued, so a rejected batch leaves no
-    /// orphan jobs running behind a client that saw an error.
+    /// against live names (and against the rest of the batch), the
+    /// roster, and every quota before anything is journaled or
+    /// enqueued, so a rejected batch leaves no orphan jobs running
+    /// behind a client that saw an error.
+    ///
+    /// Each accepted spec's `threads` is clamped to the worker count;
+    /// the scheduler then keeps Σ running `threads` ≤ workers, so no
+    /// admitted job can oversubscribe the pool.
     ///
     /// # Errors
     ///
     /// See [`JobRegistry::submit`]; on error, nothing was accepted.
-    pub fn submit_all(&self, specs: Vec<JobSpec>) -> Result<Vec<JobId>, TextError> {
+    pub fn submit_all(&self, mut specs: Vec<JobSpec>) -> Result<Vec<JobId>, SubmitError> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
+        let workers = self.inner.workers;
         let mut state = self.inner.state.lock().expect("registry poisoned");
         if state.shutdown {
-            return Err(TextError::new("registry is shutting down"));
+            return Err(SubmitError::Invalid("registry is shutting down".to_owned()));
         }
-        // Validate the whole batch first: live-name collisions and
-        // intra-batch duplicates.
+        // Validate the whole batch first: live-name collisions,
+        // intra-batch duplicates, tenant identity, and thread counts.
         let mut batch_names = std::collections::HashSet::new();
-        for spec in &specs {
+        for spec in &mut specs {
             let live_collision = state.jobs.values().any(|entry| {
                 entry.spec.name == spec.name
                     && matches!(entry.status, JobStatus::Queued | JobStatus::Running)
             });
             if live_collision {
-                return Err(TextError::new(format!(
+                return Err(SubmitError::Invalid(format!(
                     "a live job is already named {:?} (names key checkpoint files)",
                     spec.name
                 )));
             }
             if !batch_names.insert(spec.name.clone()) {
-                return Err(TextError::new(format!("duplicate job name {:?}", spec.name)));
+                return Err(SubmitError::Invalid(format!("duplicate job name {:?}", spec.name)));
+            }
+            if spec.threads == 0 {
+                return Err(SubmitError::Invalid(format!(
+                    "job {:?}: threads must be at least 1",
+                    spec.name
+                )));
+            }
+            // More threads than workers could never be scheduled; clamp
+            // rather than wedge the job forever.
+            spec.threads = spec.threads.min(workers);
+            if !valid_tenant_id(&spec.tenant) {
+                return Err(SubmitError::Invalid(format!(
+                    "job {:?}: bad tenant id {:?}",
+                    spec.name, spec.tenant
+                )));
+            }
+            if !self.inner.tenants.is_empty() && self.inner.tenants.get(&spec.tenant).is_none() {
+                return Err(SubmitError::UnknownTenant(format!(
+                    "unknown tenant {:?} (job {:?})",
+                    spec.tenant, spec.name
+                )));
+            }
+        }
+        // Quota admission, per tenant across the whole batch.
+        let mut per_tenant: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+        for spec in &specs {
+            let slot = per_tenant.entry(spec.tenant.as_str()).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += spec.budget as u64;
+        }
+        for (tid, &(count, budget)) in &per_tenant {
+            let sched = state.tenants.get(*tid);
+            let Some(tspec) = sched.map(|s| &s.spec).or_else(|| self.inner.tenants.get(tid)) else {
+                continue; // unlisted tenant in permissive mode: no quotas
+            };
+            if let Some(max) = tspec.max_queued {
+                let queued = sched.map_or(0, |s| s.queue.len());
+                if queued + count > max {
+                    return Err(SubmitError::QuotaExceeded(format!(
+                        "tenant {tid:?}: {queued} queued + {count} submitted exceeds \
+                         max_queued {max}"
+                    )));
+                }
+            }
+            if let Some(max) = tspec.max_evals {
+                let used = sched.map_or(0, |s| s.usage.evals_submitted);
+                if used + budget > max {
+                    return Err(SubmitError::QuotaExceeded(format!(
+                        "tenant {tid:?}: {used} evals submitted + {budget} requested exceeds \
+                         max_evals {max}"
+                    )));
+                }
             }
         }
         let ids: Vec<JobId> = (0..specs.len() as JobId).map(|i| state.next_id + i).collect();
@@ -250,13 +609,12 @@ impl JobRegistry {
             let batch: Vec<(JobId, &JobSpec)> = ids.iter().copied().zip(&specs).collect();
             journal
                 .append_submitted_all(&batch)
-                .map_err(|e| TextError::new(format!("journal append failed: {e}")))?;
+                .map_err(|e| SubmitError::Invalid(format!("journal append failed: {e}")))?;
         }
         state.next_id += specs.len() as JobId;
         for (&id, spec) in ids.iter().zip(specs) {
-            state.queue.push_back(id);
             let entry = JobEntry::new(spec, make_control(&self.inner, id));
-            state.jobs.insert(id, entry);
+            state.enqueue(id, entry);
         }
         drop(state);
         self.inner.cond.notify_all();
@@ -268,18 +626,42 @@ impl JobRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`TextError`] from parsing, from a `[server]` section
+    /// Returns [`SubmitError`] from parsing, from a `[server]` section
     /// (service knobs cannot be changed through the runtime submit
     /// path), or from [`JobRegistry::submit_all`].
-    pub fn submit_manifest(&self, text: &str) -> Result<Vec<JobId>, TextError> {
+    pub fn submit_manifest(&self, text: &str) -> Result<Vec<JobId>, SubmitError> {
+        self.submit_manifest_as(text, None)
+    }
+
+    /// [`JobRegistry::submit_manifest`] with the submitter's identity
+    /// pinned: when `tenant` is given (an authenticated wire client),
+    /// every job in the manifest runs under it — manifests cannot
+    /// impersonate another tenant no matter what their `tenant` keys
+    /// say.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRegistry::submit_manifest`].
+    pub fn submit_manifest_as(
+        &self,
+        text: &str,
+        tenant: Option<&str>,
+    ) -> Result<Vec<JobId>, SubmitError> {
         let manifest = crate::manifest::parse_manifest_full(text)?;
         if manifest.server != crate::manifest::ServerOverrides::default() {
-            return Err(TextError::new(
+            return Err(SubmitError::Invalid(
                 "[server] overrides are not accepted at runtime (a live service's \
-                 workers/cache are fixed at startup; configure them via CLI flags)",
+                 workers/cache are fixed at startup; configure them via CLI flags)"
+                    .to_owned(),
             ));
         }
-        self.submit_all(manifest.jobs)
+        let mut jobs = manifest.jobs;
+        if let Some(tenant) = tenant {
+            for job in &mut jobs {
+                job.tenant = tenant.to_owned();
+            }
+        }
+        self.submit_all(jobs)
     }
 
     /// Snapshots one job.
@@ -296,26 +678,30 @@ impl JobRegistry {
         views
     }
 
-    /// Requests cancellation. A queued job cancels immediately; a
-    /// running one stops cooperatively at its next generation boundary
-    /// (snapshotting first). Returns the job's status after the request,
-    /// or `None` for an unknown id.
+    /// Requests cancellation. A queued job cancels immediately (and
+    /// leaves its tenant's queue at once, so queue depth and `max_queued`
+    /// headroom update without waiting for a worker to trip over the
+    /// corpse); a running one stops cooperatively at its next generation
+    /// boundary (snapshotting first). Returns the job's status after the
+    /// request, or `None` for an unknown id.
     pub fn cancel(&self, id: JobId) -> Option<JobStatus> {
         let mut state = self.inner.state.lock().expect("registry poisoned");
         let journal = self.inner.journal.clone();
+        let capacity = self.inner.server.config().event_log_capacity;
         let entry = state.jobs.get_mut(&id)?;
+        let tenant = entry.spec.tenant.clone();
         match entry.status {
             JobStatus::Queued => {
                 entry.status = JobStatus::Cancelled;
                 entry.user_cancelled = true;
-                let capacity = self.inner.server.config().event_log_capacity;
                 entry.push_event("end status=cancelled".to_owned(), capacity);
                 entry.events_done = true;
+                if let Some(sched) = state.tenants.get_mut(&tenant) {
+                    sched.queue.retain(|&queued| queued != id);
+                }
                 if let Some(journal) = &journal {
                     let _ = journal.append_finished(id, JobStatus::Cancelled);
                 }
-                // Leave the id in `queue`; workers skip non-queued
-                // entries when they pop.
             }
             JobStatus::Running => {
                 entry.user_cancelled = true;
@@ -323,7 +709,7 @@ impl JobRegistry {
             }
             JobStatus::Done | JobStatus::Cancelled => {}
         }
-        let status = entry.status;
+        let status = state.jobs[&id].status;
         drop(state);
         self.inner.cond.notify_all();
         Some(status)
@@ -335,8 +721,11 @@ impl JobRegistry {
     /// history the ring already dropped, `first_seq > from` and the
     /// lines resume from the oldest retained sequence — late
     /// subscribers resume from an offset instead of replaying unbounded
-    /// history. Blocks up to `timeout` for news when there is none yet;
-    /// an unknown id returns `None`.
+    /// history. A `from` beyond the end of the stream answers
+    /// immediately with `(end, [], done)` so a confused subscriber
+    /// learns the real cursor instead of stalling. Blocks up to
+    /// `timeout` for news when there is none yet; an unknown id returns
+    /// `None`.
     pub fn events(
         &self,
         id: JobId,
@@ -346,7 +735,11 @@ impl JobRegistry {
         let mut state = self.inner.state.lock().expect("registry poisoned");
         loop {
             let entry = state.jobs.get(&id)?;
-            if entry.events_end() > from || entry.events_done {
+            let end = entry.events_end();
+            if from > end {
+                return Some((end, Vec::new(), entry.events_done));
+            }
+            if end > from || entry.events_done {
                 let (first_seq, lines) = entry.events_from(from);
                 return Some((first_seq, lines, entry.events_done));
             }
@@ -361,22 +754,63 @@ impl JobRegistry {
         }
     }
 
-    /// Aggregate queue/worker counters.
+    /// Aggregate queue/worker counters, with a per-tenant breakdown.
     pub fn stats(&self) -> RegistryStats {
         let state = self.inner.state.lock().expect("registry poisoned");
         let mut stats = RegistryStats {
             workers: self.inner.workers,
             busy_workers: state.busy_workers,
+            running_threads: state.running_threads,
             ..RegistryStats::default()
         };
+        let mut per_tenant: BTreeMap<&str, TenantStats> = state
+            .tenants
+            .iter()
+            .map(|(id, sched)| {
+                (
+                    id.as_str(),
+                    TenantStats {
+                        id: id.clone(),
+                        weight: sched.spec.weight,
+                        queued: sched.queue.len(),
+                        running: sched.running,
+                        evals_submitted: sched.usage.evals_submitted,
+                        evals_consumed: sched.usage.evals_consumed,
+                        cache_hits: sched.usage.cache_hits,
+                        cache_misses: sched.usage.cache_misses,
+                        cache_insertions: sched.usage.cache_insertions,
+                        genome_hits: sched.usage.genome_hits,
+                        genome_misses: sched.usage.genome_misses,
+                        genome_insertions: sched.usage.genome_insertions,
+                        ..TenantStats::default()
+                    },
+                )
+            })
+            .collect();
         for entry in state.jobs.values() {
+            let tenant = per_tenant.get_mut(entry.spec.tenant.as_str());
             match entry.status {
-                JobStatus::Queued => stats.queued += 1,
+                JobStatus::Queued => {}
                 JobStatus::Running => stats.running += 1,
-                JobStatus::Done => stats.done += 1,
-                JobStatus::Cancelled => stats.cancelled += 1,
+                JobStatus::Done => {
+                    stats.done += 1;
+                    if let Some(tenant) = tenant {
+                        tenant.done += 1;
+                    }
+                }
+                JobStatus::Cancelled => {
+                    stats.cancelled += 1;
+                    if let Some(tenant) = tenant {
+                        tenant.cancelled += 1;
+                    }
+                }
             }
         }
+        // Queue depth is the scheduler's truth (Σ tenant queues), not a
+        // recount of statuses: a stale id lingering in a queue *should*
+        // show up here as a bug.
+        stats.queued = state.tenants.values().map(|sched| sched.queue.len()).sum();
+        stats.tenants = per_tenant.into_values().collect();
         stats
     }
 
@@ -481,30 +915,18 @@ impl JobEntry {
 
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        // Claim the next queued job (skipping ids cancelled while
-        // queued), or exit on shutdown.
+        // Claim the next job the scheduler picks, or exit on shutdown.
         let (id, spec) = {
             let mut state = inner.state.lock().expect("registry poisoned");
             let claimed = loop {
                 if state.shutdown {
                     return;
                 }
-                let mut claimed = None;
-                while let Some(id) = state.queue.pop_front() {
-                    if let Some(entry) = state.jobs.get_mut(&id) {
-                        if entry.status == JobStatus::Queued {
-                            entry.status = JobStatus::Running;
-                            claimed = Some((id, entry.spec.clone()));
-                            break;
-                        }
-                    }
-                }
-                if claimed.is_some() {
+                if let Some(claimed) = claim_next(&mut state, inner.workers) {
                     break claimed;
                 }
                 state = inner.cond.wait(state).expect("registry poisoned");
             };
-            let Some(claimed) = claimed else { return };
             state.busy_workers += 1;
             claimed
         };
@@ -524,6 +946,18 @@ fn worker_loop(inner: &Arc<Inner>) {
         let terminal =
             status == JobStatus::Done || state.jobs.get(&id).is_some_and(|e| e.user_cancelled);
         let capacity = inner.server.config().event_log_capacity;
+        {
+            // Charge the tenant's lifetime meters before the report
+            // moves into the entry.
+            let usage = &mut state.tenant_mut(&spec.tenant).usage;
+            usage.evals_consumed += report.samples as u64;
+            usage.cache_hits += report.cache_hits;
+            usage.cache_misses += report.cache_misses;
+            usage.cache_insertions += report.cache_insertions;
+            usage.genome_hits += report.genome_hits;
+            usage.genome_misses += report.genome_misses;
+            usage.genome_insertions += report.genome_insertions;
+        }
         if let Some(entry) = state.jobs.get_mut(&id) {
             entry.status = status;
             entry.push_event(format!("end status={status}"), capacity);
@@ -531,6 +965,9 @@ fn worker_loop(inner: &Arc<Inner>) {
             entry.report = Some(report);
         }
         state.busy_workers -= 1;
+        state.running_threads = state.running_threads.saturating_sub(spec.threads);
+        let sched = state.tenant_mut(&spec.tenant);
+        sched.running = sched.running.saturating_sub(1);
         if terminal {
             if let Some(journal) = &inner.journal {
                 let _ = journal.append_finished(id, status);
@@ -592,6 +1029,11 @@ mod tests {
         let stats = registry.stats();
         assert_eq!(stats.done, 2);
         assert_eq!((stats.queued, stats.running), (0, 0));
+        // Permissive mode still accounts: both jobs ran as "default".
+        let tenant = stats.tenants.iter().find(|t| t.id == "default").expect("default tenant");
+        assert_eq!(tenant.done, 2);
+        assert_eq!(tenant.evals_submitted, 192);
+        assert_eq!(tenant.evals_consumed, 192);
         registry.shutdown();
     }
 
@@ -618,6 +1060,39 @@ mod tests {
         assert!(lines.len() >= 2, "{lines:?}");
         assert!(lines[0].starts_with("gen=1 "), "{lines:?}");
         assert_eq!(lines.last().unwrap(), "end status=done");
+        registry.shutdown();
+    }
+
+    #[test]
+    fn events_past_the_end_answer_immediately_with_the_real_cursor() {
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, checkpoint_every: 1_000_000, ..ServerConfig::default() },
+            None,
+        )
+        .unwrap();
+        let id = registry.submit(spec("overshoot", 600_000)).unwrap();
+        // Wait for at least one event so the stream is live but far
+        // from sequence 10_000.
+        let _ = registry.events(id, 0, Duration::from_secs(10));
+        let started = std::time::Instant::now();
+        let (seq, lines, done) =
+            registry.events(id, 10_000, Duration::from_secs(30)).expect("known job");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "overshooting `from` must not stall until timeout"
+        );
+        assert!(lines.is_empty());
+        assert!(!done);
+        assert!(seq < 10_000, "the reported cursor is the stream's true end, got {seq}");
+        registry.cancel(id);
+        wait_done(&registry, id);
+        // Same probe on a finished stream: immediate, done, real end.
+        let (end, _, done) = registry.events(id, 0, Duration::from_millis(100)).unwrap();
+        let end = end + registry.events(id, end, Duration::from_millis(100)).unwrap().1.len();
+        let (seq, lines, done_after) =
+            registry.events(id, end + 7, Duration::from_millis(100)).unwrap();
+        assert!(done && done_after);
+        assert_eq!((seq, lines.len()), (end, 0));
         registry.shutdown();
     }
 
@@ -661,6 +1136,55 @@ mod tests {
     }
 
     #[test]
+    fn mass_cancelling_queued_jobs_drains_the_queue() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 1, ..ServerConfig::default() }, None)
+                .unwrap();
+        // Hog the single worker so the rest stay queued.
+        let blocker = registry.submit(spec("blocker", 1_000_000)).unwrap();
+        let ids: Vec<JobId> =
+            (0..5).map(|i| registry.submit(spec(&format!("victim-{i}"), 96)).unwrap()).collect();
+        // Give the worker a moment to claim the blocker.
+        let _ = registry.events(blocker, 0, Duration::from_secs(10));
+        assert_eq!(registry.stats().queued, 5);
+        for &id in &ids {
+            assert_eq!(registry.cancel(id), Some(JobStatus::Cancelled));
+        }
+        // Cancelled ids leave the scheduler queue immediately — no
+        // lingering tombstones waiting for a worker to skip them.
+        let stats = registry.stats();
+        assert_eq!(stats.queued, 0, "cancelled jobs must leave the queue eagerly");
+        assert!(stats.tenants.iter().all(|t| t.queued == 0));
+        assert_eq!(stats.cancelled, 5);
+        registry.cancel(blocker);
+        wait_done(&registry, blocker);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn threads_are_clamped_to_workers_and_zero_is_rejected() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 2, ..ServerConfig::default() }, None)
+                .unwrap();
+        let mut wide = spec("wide", 64);
+        wide.threads = 64;
+        let id = registry.submit(wide).unwrap();
+        assert_eq!(
+            registry.job(id).unwrap().spec.threads,
+            2,
+            "threads clamp to the worker pool at admission"
+        );
+        let mut zero = spec("zero", 64);
+        zero.threads = 0;
+        match registry.submit(zero) {
+            Err(SubmitError::Invalid(msg)) => assert!(msg.contains("threads"), "{msg}"),
+            other => panic!("zero threads must be Invalid, got {other:?}"),
+        }
+        wait_done(&registry, id);
+        registry.shutdown();
+    }
+
+    #[test]
     fn event_ring_drops_oldest_and_reports_resume_offset() {
         // Capacity 4: a ~20-generation job must overflow the ring, and
         // a late subscriber asking from 0 must land at the oldest
@@ -684,7 +1208,7 @@ mod tests {
         assert_eq!(seq2, first_seq + 2);
         assert_eq!(tail.len(), 2);
         assert_eq!(tail, lines[2..].to_vec());
-        // Asking beyond the end of a finished stream returns no lines.
+        // Asking exactly at the end of a finished stream returns no lines.
         let (_, empty, done) =
             registry.events(id, first_seq + 4, Duration::from_millis(100)).unwrap();
         assert!(done && empty.is_empty());
@@ -705,6 +1229,123 @@ mod tests {
         wait_done(&registry, id);
         assert!(registry.submit(spec("dup", 64)).is_ok());
         registry.shutdown();
+    }
+
+    #[test]
+    fn quotas_and_unknown_tenants_reject_with_typed_errors() {
+        let roster = TenantSet::parse(
+            "[tenant]\nid = small\nmax_queued = 2\nmax_evals = 1000\n[tenant]\nid = big\n",
+        )
+        .unwrap();
+        let registry = JobRegistry::start_with_tenants(
+            ServerConfig { workers: 1, ..ServerConfig::default() },
+            None,
+            roster,
+        )
+        .unwrap();
+        let as_tenant = |name: &str, budget: usize, tenant: &str| {
+            let mut s = spec(name, budget);
+            s.tenant = tenant.to_owned();
+            s
+        };
+        // Hog the worker so "small" jobs stay queued.
+        let blocker = registry.submit(as_tenant("blocker", 1_000_000, "big")).unwrap();
+        let _ = registry.events(blocker, 0, Duration::from_secs(10));
+        let first = registry.submit(as_tenant("s1", 100, "small")).unwrap();
+        registry.submit(as_tenant("s2", 100, "small")).unwrap();
+        match registry.submit(as_tenant("s3", 100, "small")) {
+            Err(SubmitError::QuotaExceeded(msg)) => assert!(msg.contains("max_queued"), "{msg}"),
+            other => panic!("third queued job must exceed max_queued, got {other:?}"),
+        }
+        // Eager cancel frees queue headroom immediately...
+        registry.cancel(first);
+        match registry.submit(as_tenant("s4", 900, "small")) {
+            // ...but submitted evals are a lifetime meter: 200 already
+            // accepted + 900 > 1000.
+            Err(SubmitError::QuotaExceeded(msg)) => assert!(msg.contains("max_evals"), "{msg}"),
+            other => panic!("budget past max_evals must be rejected, got {other:?}"),
+        }
+        registry.submit(as_tenant("s5", 100, "small")).expect("within both quotas");
+        match registry.submit(as_tenant("ghost", 64, "nobody")) {
+            Err(SubmitError::UnknownTenant(msg)) => assert!(msg.contains("nobody"), "{msg}"),
+            other => panic!("strict roster must reject unknown tenants, got {other:?}"),
+        }
+        let stats = registry.stats();
+        let small = stats.tenants.iter().find(|t| t.id == "small").unwrap();
+        assert_eq!(small.queued, 2);
+        assert_eq!(small.evals_submitted, 300);
+        registry.cancel(blocker);
+        wait_done(&registry, blocker);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn claim_next_honors_weights() {
+        let mut state = RegState::default();
+        for (tid, weight) in [("a", 3u64), ("b", 1)] {
+            let mut tspec = TenantSpec::named(tid);
+            tspec.weight = weight;
+            state.tenants.insert(tid.to_owned(), TenantSched::new(tspec));
+            state.rotation.push(tid.to_owned());
+        }
+        let mut next: JobId = 1;
+        for tid in ["a", "b"] {
+            for k in 0..8 {
+                let mut s = spec(&format!("{tid}-{k}"), 64);
+                s.tenant = tid.to_owned();
+                let id = next;
+                next += 1;
+                state.tenants.get_mut(tid).unwrap().queue.push_back(id);
+                state.jobs.insert(id, JobEntry::new(s, Arc::new(JobControl::new())));
+            }
+        }
+        // Claim 8 with a roomy pool, releasing each claim's threads so
+        // admission never interferes: every 4-claim window must split
+        // 3 "a" to 1 "b".
+        let order: Vec<String> = (0..8)
+            .map(|_| {
+                let (_, claimed) = claim_next(&mut state, 64).expect("work is available");
+                state.running_threads -= claimed.threads;
+                claimed.tenant
+            })
+            .collect();
+        let a_first = order[..4].iter().filter(|t| *t == "a").count();
+        let a_second = order[4..].iter().filter(|t| *t == "a").count();
+        assert_eq!((a_first, a_second), (3, 3), "{order:?}");
+    }
+
+    #[test]
+    fn claim_next_respects_thread_budget_and_max_running() {
+        let mut state = RegState::default();
+        let mut capped = TenantSpec::named("capped");
+        capped.max_running = Some(1);
+        state.tenants.insert("capped".to_owned(), TenantSched::new(capped));
+        state.rotation.push("capped".to_owned());
+        let mut wide = spec("wide", 64);
+        wide.tenant = "capped".to_owned();
+        wide.threads = 2;
+        let mut narrow = spec("narrow", 64);
+        narrow.tenant = "capped".to_owned();
+        state.jobs.insert(1, JobEntry::new(wide, Arc::new(JobControl::new())));
+        state.jobs.insert(2, JobEntry::new(narrow, Arc::new(JobControl::new())));
+        let sched = state.tenants.get_mut("capped").unwrap();
+        sched.queue.push_back(1);
+        sched.queue.push_back(2);
+        // One of two worker threads is taken: the 2-thread head cannot
+        // start, and FIFO means the narrow job behind it waits too.
+        state.running_threads = 1;
+        assert!(claim_next(&mut state, 2).is_none(), "head needs 2 threads, only 1 free");
+        state.running_threads = 0;
+        let (id, _) = claim_next(&mut state, 2).expect("whole pool is free");
+        assert_eq!(id, 1);
+        assert_eq!(state.running_threads, 2);
+        // The narrow job now fits thread-wise once the pool frees, but
+        // max_running = 1 holds it back until the wide job finishes.
+        state.running_threads = 0;
+        assert!(claim_next(&mut state, 2).is_none(), "max_running caps the tenant at 1");
+        state.tenants.get_mut("capped").unwrap().running = 0;
+        let (id, _) = claim_next(&mut state, 2).expect("slot freed");
+        assert_eq!(id, 2);
     }
 
     #[test]
@@ -746,6 +1387,11 @@ mod tests {
         .unwrap();
         let view = reborn.job(id).expect("replayed under the same id");
         assert_eq!(view.name, "revenant");
+        assert_eq!(view.spec.tenant, "default", "v1-era jobs replay as the default tenant");
+        // Replayed budgets still count against the tenant's meter.
+        let stats = reborn.stats();
+        let tenant = stats.tenants.iter().find(|t| t.id == "default").unwrap();
+        assert_eq!(tenant.evals_submitted, 400_000);
         // It resumed rather than restarting: the report (when the job
         // eventually finishes or is cancelled again) notes the resume
         // generation. Cancel to finish fast.
