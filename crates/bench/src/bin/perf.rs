@@ -5,10 +5,11 @@
 //! ```
 //!
 //! Runs the fixed seeded workloads (`gemm`, `vgg16`, `bert`) through
-//! the allocating baseline and the scratch evaluation paths plus the
-//! cold/warm memo searches, writes the JSON report, re-validates it,
-//! and exits non-zero if the scratch path ever diverged from the
-//! baseline or the file is malformed. Recorded numbers come from
+//! the allocating baseline and the scratch evaluation paths, the
+//! cold/warm memo searches, and the metrics-on vs metrics-off
+//! instrumentation comparison, writes the JSON report, re-validates
+//! it, and exits non-zero if either timed comparison ever diverged
+//! bit-wise or the file is malformed. Recorded numbers come from
 //! `--mode full` on a release build; CI runs `--mode smoke`.
 
 use digamma_bench::perfjson::{render_json, run, validate_json, PerfConfig};
@@ -40,6 +41,17 @@ fn main() -> ExitCode {
             m.workload, m.cold_wall_ms, m.warm_wall_ms, m.warm_speedup, m.warm_genome_hit_rate
         );
     }
+    for p in &report.instrumentation {
+        println!(
+            "instr {:<8} {:>6} evals | metrics off {:>11.0} evals/s | on {:>11.0} evals/s | overhead {:>6.2}% | bit-identical: {}",
+            p.workload,
+            p.evals,
+            p.metrics_off_evals_per_sec,
+            p.metrics_on_evals_per_sec,
+            p.overhead_pct,
+            p.bit_identical
+        );
+    }
 
     let json = render_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
@@ -59,6 +71,10 @@ fn main() -> ExitCode {
     }
     if report.eval.iter().any(|e| !e.bit_identical) {
         eprintln!("perf: scratch path diverged from the allocating baseline — numbers are void");
+        return ExitCode::FAILURE;
+    }
+    if report.instrumentation.iter().any(|p| !p.bit_identical) {
+        eprintln!("perf: attaching metrics changed evaluation results — numbers are void");
         return ExitCode::FAILURE;
     }
     println!("perf: wrote {out}");

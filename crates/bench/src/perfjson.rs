@@ -8,7 +8,7 @@
 //! future perf PRs are judged against it.
 //!
 //! Three fixed seeded workloads (`gemm`, `vgg16`, `bert`) are measured
-//! two ways:
+//! three ways:
 //!
 //! * **eval** — raw `(layer, mapping) → CostReport` throughput, the
 //!   allocating pre-change path (`Evaluator::evaluate_baseline`) vs the
@@ -18,18 +18,27 @@
 //! * **memo** — a cold search followed by an identical warm search on a
 //!   shared server, recording the genome-memo / per-layer-cache /
 //!   batch-dedupe counters and the warm-over-cold wall-clock ratio.
+//! * **instrumentation** — `CoOptProblem::evaluate_batch` throughput
+//!   with the metrics registry detached vs attached
+//!   ([`digamma::EvalMetrics`]), guarding the observability layer's
+//!   promise that the eval hot path stays allocation-free and within a
+//!   few percent of the uninstrumented speed, again behind a
+//!   bit-identity checksum gate.
 //!
 //! `--mode smoke` shrinks the budgets so CI can assert the file is
 //! produced and well-formed in seconds; recorded numbers come from
 //! `--mode full` on a release build (see the README's Performance
 //! section).
 
+use digamma::{CoOptProblem, EvalMetrics, Objective};
 use digamma_costmodel::{EvalScratch, Evaluator, Mapping, Platform};
 use digamma_encoding::Genome;
+use digamma_obs::MetricsRegistry;
 use digamma_server::{JobAlgorithm, JobReport, JobSpec, SearchServer, ServerConfig};
 use digamma_workload::{zoo, Layer, Model, UniqueLayer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Harness knobs. `full()` is what recorded numbers use; `smoke()` is
@@ -122,6 +131,28 @@ pub struct MemoPerf {
     pub dedup_skipped: u64,
 }
 
+/// Instrumentation overhead for one workload: the same seeded
+/// `evaluate_batch` calls with the metrics registry detached vs
+/// attached. The observability layer's contract is that this stays
+/// within a few percent (see the README's Observability section).
+#[derive(Debug, Clone)]
+pub struct InstrPerf {
+    /// Workload name.
+    pub workload: String,
+    /// Per-layer evaluations per timed batch (before dedupe).
+    pub evals: usize,
+    /// Throughput with no metrics attached.
+    pub metrics_off_evals_per_sec: f64,
+    /// Throughput with tenant-labelled [`EvalMetrics`] attached to an
+    /// enabled registry.
+    pub metrics_on_evals_per_sec: f64,
+    /// `(off - on) / off`, as a percentage — positive means the
+    /// instrumented path is slower.
+    pub overhead_pct: f64,
+    /// Whether both paths produced bit-identical evaluation checksums.
+    pub bit_identical: bool,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -131,6 +162,8 @@ pub struct PerfReport {
     pub eval: Vec<EvalPerf>,
     /// Memo effectiveness per workload.
     pub memo: Vec<MemoPerf>,
+    /// Metrics-on vs metrics-off evaluation throughput per workload.
+    pub instrumentation: Vec<InstrPerf>,
 }
 
 /// The three fixed workloads the harness sweeps.
@@ -255,12 +288,87 @@ fn measure_memo(model: &Model, config: &PerfConfig) -> MemoPerf {
     }
 }
 
+fn measure_instrumentation(model: &Model, config: &PerfConfig) -> InstrPerf {
+    let platform = Platform::edge();
+    let unique = model.unique_layers();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let count = config.evals_per_workload.div_ceil(unique.len()).max(1);
+    let genomes: Vec<Genome> =
+        (0..count).map(|_| Genome::random(&mut rng, &unique, &platform, 2)).collect();
+
+    // No caches and no memo on either problem: the measurement isolates
+    // the metric hooks themselves, not the memo layers they count.
+    let off = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
+    let registry = MetricsRegistry::new();
+    let on = CoOptProblem::new(model.clone(), platform, Objective::Latency)
+        .with_eval_metrics(Arc::new(EvalMetrics::for_tenant(&registry, "bench")));
+
+    // Bit-identity gate first: an overhead number measured on diverging
+    // evaluations would be meaningless.
+    let checksum = |evaluations: &[digamma::DesignEvaluation]| {
+        evaluations.iter().fold(0u64, |acc, e| {
+            acc.wrapping_mul(31)
+                .wrapping_add(e.cost.to_bits())
+                .wrapping_add(e.latency_cycles.to_bits())
+                .wrapping_add(e.energy_pj.to_bits())
+        })
+    };
+    let off_sum = checksum(&off.evaluate_batch(&genomes, 1));
+    let on_sum = checksum(&on.evaluate_batch(&genomes, 1));
+
+    // The expected delta is ~1%, far below run-to-run machine drift,
+    // so the comparison is made *pairwise*: each iteration times an
+    // off pass and an on pass back-to-back (several batches each, so
+    // scheduler hiccups amortize) and contributes one on/off ratio.
+    // The pair order alternates every iteration — a machine that slows
+    // down across a pair would otherwise systematically tax whichever
+    // path runs second — and the overhead is the median of the ratios:
+    // a slow spell lands on both halves of a pair and cancels, and
+    // outlier pairs cannot decide the result the way they decide
+    // independent minima.
+    const BATCHES_PER_PASS: usize = 2;
+    let mut off_ns = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for i in 0..(config.repeats * 16).max(2) {
+        let pass = |problem: &CoOptProblem| {
+            let start = Instant::now();
+            for _ in 0..BATCHES_PER_PASS {
+                std::hint::black_box(problem.evaluate_batch(&genomes, 1));
+            }
+            start.elapsed().as_nanos() as f64 / BATCHES_PER_PASS as f64
+        };
+        let (off_pass, on_pass) = if i % 2 == 0 {
+            let off_pass = pass(&off);
+            (off_pass, pass(&on))
+        } else {
+            let on_pass = pass(&on);
+            (pass(&off), on_pass)
+        };
+        off_ns = off_ns.min(off_pass);
+        ratios.push(on_pass / off_pass);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+
+    let evals = genomes.len() * unique.len();
+    let metrics_off_evals_per_sec = evals as f64 / (off_ns / 1e9);
+    InstrPerf {
+        workload: model.name().to_owned(),
+        evals,
+        metrics_off_evals_per_sec,
+        metrics_on_evals_per_sec: metrics_off_evals_per_sec / ratio,
+        overhead_pct: (ratio - 1.0) * 100.0,
+        bit_identical: off_sum == on_sum,
+    }
+}
+
 /// Runs the full harness.
 pub fn run(config: &PerfConfig) -> PerfReport {
     let models = workloads();
     let eval = models.iter().map(|m| measure_eval(m, config)).collect();
     let memo = models.iter().map(|m| measure_memo(m, config)).collect();
-    PerfReport { config: config.clone(), eval, memo }
+    let instrumentation = models.iter().map(|m| measure_instrumentation(m, config)).collect();
+    PerfReport { config: config.clone(), eval, memo, instrumentation }
 }
 
 /// JSON string escaping (the only non-trivial JSON need this file has —
@@ -295,7 +403,7 @@ fn json_num(v: f64) -> String {
 pub fn render_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/1")));
+    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/2")));
     out.push_str(&format!("  \"mode\": {},\n", json_str(&report.config.mode)));
     out.push_str(&format!("  \"seed\": {},\n", report.config.seed));
     out.push_str("  \"eval\": [\n");
@@ -331,6 +439,24 @@ pub fn render_json(report: &PerfReport) -> String {
         out.push_str(&format!("\"cache_misses\": {}, ", m.cache_misses));
         out.push_str(&format!("\"dedup_skipped\": {}", m.dedup_skipped));
         out.push_str(if i + 1 < report.memo.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"instrumentation\": [\n");
+    for (i, p) in report.instrumentation.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&p.workload)));
+        out.push_str(&format!("\"evals\": {}, ", p.evals));
+        out.push_str(&format!(
+            "\"metrics_off_evals_per_sec\": {}, ",
+            json_num(p.metrics_off_evals_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"metrics_on_evals_per_sec\": {}, ",
+            json_num(p.metrics_on_evals_per_sec)
+        ));
+        out.push_str(&format!("\"overhead_pct\": {}, ", json_num(p.overhead_pct)));
+        out.push_str(&format!("\"bit_identical\": {}", p.bit_identical));
+        out.push_str(if i + 1 < report.instrumentation.len() { "},\n" } else { "}\n" });
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
@@ -399,6 +525,10 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         "\"speedup\"",
         "\"bit_identical\"",
         "\"warm_genome_hit_rate\"",
+        "\"instrumentation\"",
+        "\"metrics_off_evals_per_sec\"",
+        "\"metrics_on_evals_per_sec\"",
+        "\"overhead_pct\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -416,10 +546,16 @@ mod tests {
         let report = run(&PerfConfig::smoke());
         assert_eq!(report.eval.len(), 3);
         assert_eq!(report.memo.len(), 3);
+        assert_eq!(report.instrumentation.len(), 3);
         for e in &report.eval {
             assert!(e.bit_identical, "{}: scratch path diverged from baseline", e.workload);
             assert!(e.evals > 0);
             assert!(e.baseline_ns_per_eval > 0.0 && e.scratch_ns_per_eval > 0.0);
+        }
+        for p in &report.instrumentation {
+            assert!(p.bit_identical, "{}: metrics changed evaluation results", p.workload);
+            assert!(p.evals > 0);
+            assert!(p.metrics_off_evals_per_sec > 0.0 && p.metrics_on_evals_per_sec > 0.0);
         }
         for m in &report.memo {
             assert!(
@@ -447,6 +583,7 @@ mod tests {
         validate_json(&json).unwrap();
         assert!(validate_json(&json[..json.len() - 3]).is_err(), "truncation must fail");
         assert!(validate_json(&json.replace("\"eval\"", "\"val\"")).is_err());
+        assert!(validate_json(&json.replace("\"overhead_pct\"", "\"ovrhead_pct\"")).is_err());
         assert!(validate_json("{\"unterminated").is_err());
     }
 }

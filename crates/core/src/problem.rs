@@ -5,10 +5,88 @@ use digamma_costmodel::{
     CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform, StableHasher,
 };
 use digamma_encoding::Genome;
+use digamma_obs::{Counter, Histogram, MetricsRegistry, SampleTick, DEFAULT_LATENCY_BUCKETS};
 use digamma_workload::{LayerKind, Model, UniqueLayer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-evaluation latency is sampled 1-in-N rather than timed on every
+/// call: a scratch eval runs in ~450ns (see `BENCH_eval.json`), so two
+/// clock reads per eval would distort the very number being measured.
+/// 64 keeps the whole instrumented delta under the harness's 3%
+/// overhead budget while a smoke-sized job (≈100 evals) still lands a
+/// couple of observations.
+const EVAL_LATENCY_SAMPLE_EVERY: u64 = 64;
+
+/// Metric handles for the evaluation hot path, registered once per job
+/// (labelled by tenant) and shared by every clone of the problem.
+///
+/// All handles are pre-resolved atomics, so the instrumented path adds
+/// a handful of relaxed atomic ops per *batch* plus one relaxed
+/// `fetch_add` per distinct evaluation; wall-clock reads for the
+/// per-eval latency histogram are sampled (see
+/// [`EvalMetrics::for_tenant`]). A problem without attached metrics
+/// pays nothing beyond one branch per batch.
+#[derive(Debug)]
+pub struct EvalMetrics {
+    evals: Counter,
+    eval_seconds: Histogram,
+    batch_seconds: Histogram,
+    dedup_skipped: Counter,
+    memo_hits: Counter,
+    memo_misses: Counter,
+    sample: SampleTick,
+}
+
+impl EvalMetrics {
+    /// Registers (or re-resolves) the eval-path metric family for one
+    /// tenant: `digamma_evals_total`, `digamma_eval_seconds` (sampled
+    /// 1-in-64), `digamma_eval_batch_seconds`,
+    /// `digamma_eval_dedup_skipped_total`, and
+    /// `digamma_genome_memo_probes_total{result=...}`.
+    #[must_use]
+    pub fn for_tenant(registry: &MetricsRegistry, tenant: &str) -> EvalMetrics {
+        let t = [("tenant", tenant)];
+        EvalMetrics {
+            evals: registry.counter(
+                "digamma_evals_total",
+                "Distinct per-layer cost-model evaluations performed (after batch dedupe).",
+                &t,
+            ),
+            eval_seconds: registry.histogram(
+                "digamma_eval_seconds",
+                "Per-layer cost-model evaluation latency, sampled 1 in 64 evaluations \
+                 so the ~450ns hot path is not distorted by timing it.",
+                &t,
+                DEFAULT_LATENCY_BUCKETS,
+            ),
+            batch_seconds: registry.histogram(
+                "digamma_eval_batch_seconds",
+                "Wall time of whole evaluate_batch calls (one per GA generation).",
+                &t,
+                DEFAULT_LATENCY_BUCKETS,
+            ),
+            dedup_skipped: registry.counter(
+                "digamma_eval_dedup_skipped_total",
+                "Identical (layer, mapping) evaluations skipped by batch-local dedupe.",
+                &t,
+            ),
+            memo_hits: registry.counter(
+                "digamma_genome_memo_probes_total",
+                "Whole-genome memo probes by result.",
+                &[("tenant", tenant), ("result", "hit")],
+            ),
+            memo_misses: registry.counter(
+                "digamma_genome_memo_probes_total",
+                "Whole-genome memo probes by result.",
+                &[("tenant", tenant), ("result", "miss")],
+            ),
+            sample: SampleTick::new(EVAL_LATENCY_SAMPLE_EVERY),
+        }
+    }
+}
 
 /// Base cost assigned to infeasible designs (the paper's "negative
 /// fitness"); scaled by the constraint overshoot so the search still sees
@@ -110,6 +188,14 @@ pub struct CoOptProblem {
     /// batch-local dedupe map (shared across clones of this problem, so a
     /// server's per-job problem copies report one total).
     batch_dedup_skipped: Arc<AtomicU64>,
+    /// Wall-clock nanoseconds spent inside [`CoOptProblem::evaluate`] /
+    /// [`CoOptProblem::evaluate_batch`], shared across clones like the
+    /// dedupe counter — a job's timing breakdown reads one total even
+    /// when the search uses constrained problem copies.
+    eval_wall_ns: Arc<AtomicU64>,
+    /// Optional metric handles (tenant-labelled); attached by the
+    /// server when its registry is enabled.
+    eval_metrics: Option<Arc<EvalMetrics>>,
 }
 
 impl CoOptProblem {
@@ -132,6 +218,8 @@ impl CoOptProblem {
             genome_memo: None,
             genome_key_prefix,
             batch_dedup_skipped: Arc::new(AtomicU64::new(0)),
+            eval_wall_ns: Arc::new(AtomicU64::new(0)),
+            eval_metrics: None,
         }
     }
 
@@ -183,6 +271,26 @@ impl CoOptProblem {
     /// The attached genome memo, if any.
     pub fn genome_memo(&self) -> Option<&Arc<dyn GenomeMemo>> {
         self.genome_memo.as_ref()
+    }
+
+    /// Attaches tenant-labelled metric handles for the evaluation hot
+    /// path (see [`EvalMetrics`]). Shared by every clone of this
+    /// problem, like the cache and dedupe counter.
+    pub fn with_eval_metrics(mut self, metrics: Arc<EvalMetrics>) -> CoOptProblem {
+        self.eval_metrics = Some(metrics);
+        self
+    }
+
+    /// The attached eval metric handles, if any.
+    pub fn eval_metrics(&self) -> Option<&Arc<EvalMetrics>> {
+        self.eval_metrics.as_ref()
+    }
+
+    /// Total wall time spent inside [`CoOptProblem::evaluate`] and
+    /// [`CoOptProblem::evaluate_batch`] across all clones of this
+    /// problem — the "eval" slice of a job's timing breakdown.
+    pub fn eval_wall(&self) -> Duration {
+        Duration::from_nanos(self.eval_wall_ns.load(Ordering::Relaxed))
     }
 
     /// Sets the number of cluster levels genomes use (2 or 3).
@@ -257,12 +365,26 @@ impl CoOptProblem {
     /// Structurally invalid genomes (which repair should have prevented)
     /// are treated as maximally infeasible rather than panicking.
     pub fn evaluate(&self, genome: &Genome) -> DesignEvaluation {
+        let started = Instant::now();
+        let evaluation = self.evaluate_timed(genome);
+        self.eval_wall_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        evaluation
+    }
+
+    /// [`CoOptProblem::evaluate`] below the wall-clock accumulator.
+    fn evaluate_timed(&self, genome: &Genome) -> DesignEvaluation {
         let Some(memo) = &self.genome_memo else {
             return self.evaluate_unmemoized(genome);
         };
         let key = self.genome_key(genome);
         if let Some(hit) = memo.lookup(key) {
+            if let Some(m) = &self.eval_metrics {
+                m.memo_hits.inc();
+            }
             return (*hit).clone();
+        }
+        if let Some(m) = &self.eval_metrics {
+            m.memo_misses.inc();
         }
         let evaluation = self.evaluate_unmemoized(genome);
         memo.store(key, &Arc::new(evaluation.clone()));
@@ -308,6 +430,7 @@ impl CoOptProblem {
     /// genome, in order, for any `threads` value — evaluation is pure, so
     /// deduplication is semantics-preserving.
     pub fn evaluate_batch(&self, genomes: &[Genome], threads: usize) -> Vec<DesignEvaluation> {
+        let started = Instant::now();
         let mut out: Vec<Option<DesignEvaluation>> = genomes.iter().map(|_| None).collect();
 
         // Layer 0: the genome memo. Hits skip decoding entirely; only
@@ -330,6 +453,10 @@ impl CoOptProblem {
                 misses
             }
         };
+        if let (Some(m), true) = (&self.eval_metrics, self.genome_memo.is_some()) {
+            m.memo_hits.add((genomes.len() - misses.len()) as u64);
+            m.memo_misses.add(misses.len() as u64);
+        }
 
         // Decode every miss once (no genome clones: the constraint's
         // fan-outs thread straight into the decoder).
@@ -364,13 +491,30 @@ impl CoOptProblem {
             layout.push(per_genome);
         }
         self.batch_dedup_skipped.fetch_add(skipped, Ordering::Relaxed);
+        if let Some(m) = &self.eval_metrics {
+            m.dedup_skipped.add(skipped);
+            m.evals.add(work.len() as u64);
+        }
 
         // Layer 2: only distinct evaluations fan out to workers (and
         // probe the attached shared per-layer cache, when there is one).
-        let results: Vec<Result<Arc<CostReport>, EvalError>> =
-            crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
+        // With metrics attached, per-eval latency is observed on a
+        // 1-in-64 sample so the clock reads stay off the common path.
+        let results: Vec<Result<Arc<CostReport>, EvalError>> = match &self.eval_metrics {
+            None => crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
                 self.evaluate_layer(&self.unique[li].layer, mapping)
-            });
+            }),
+            Some(metrics) => crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
+                if metrics.sample.due() {
+                    let eval_started = Instant::now();
+                    let result = self.evaluate_layer(&self.unique[li].layer, mapping);
+                    metrics.eval_seconds.observe_duration(eval_started.elapsed());
+                    result
+                } else {
+                    self.evaluate_layer(&self.unique[li].layer, mapping)
+                }
+            }),
+        };
 
         for (mi, (&i, ((fanouts, mappings), per_genome))) in
             misses.iter().zip(decoded.iter().zip(&layout)).enumerate()
@@ -397,6 +541,11 @@ impl CoOptProblem {
             out[i] = Some(evaluation);
         }
 
+        let elapsed = started.elapsed();
+        self.eval_wall_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(m) = &self.eval_metrics {
+            m.batch_seconds.observe_duration(elapsed);
+        }
         out.into_iter().map(|e| e.expect("every genome evaluated")).collect()
     }
 
@@ -761,6 +910,36 @@ mod tests {
         for (u, m) in p.unique_layers().iter().zip(&mappings) {
             assert_ne!(base, p.evaluator().cache_key(&u.layer, m));
         }
+    }
+
+    #[test]
+    fn eval_metrics_do_not_change_results_and_wall_clock_accumulates() {
+        let registry = MetricsRegistry::new();
+        let metered =
+            problem().with_eval_metrics(Arc::new(EvalMetrics::for_tenant(&registry, "t")));
+        let plain = problem();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let genomes: Vec<Genome> = (0..4)
+            .map(|_| Genome::random(&mut rng, plain.unique_layers(), plain.platform(), 2))
+            .collect();
+        assert_eq!(
+            metered.evaluate_batch(&genomes, 2),
+            plain.evaluate_batch(&genomes, 2),
+            "attached metrics must not perturb evaluation results"
+        );
+        assert!(metered.eval_wall() > Duration::ZERO);
+        assert!(plain.eval_wall() > Duration::ZERO, "wall accumulates with or without metrics");
+
+        // Clones (as the server and Gamma's constrained copy make)
+        // share the accumulator and the handles.
+        let clone = metered.clone();
+        let before = metered.eval_wall();
+        clone.evaluate(&genomes[0]);
+        assert!(metered.eval_wall() > before, "clone must feed the shared eval-wall total");
+
+        let text = registry.render();
+        assert!(text.contains("digamma_evals_total{tenant=\"t\"}"), "{text}");
+        assert!(text.contains("digamma_eval_batch_seconds_count{tenant=\"t\"} 1"), "{text}");
     }
 
     #[test]

@@ -6,9 +6,17 @@
 //! digamma-netc [--token TOKEN] watch  <addr> <job-id>          # GET /jobs/{id}/events (streams)
 //! digamma-netc [--token TOKEN] cancel <addr> <job-id>          # POST /jobs/{id}/cancel
 //! digamma-netc [--token TOKEN] stats  <addr>                   # GET /stats
+//! digamma-netc [--token TOKEN] metrics <addr> [--raw]          # GET /metrics
 //! digamma-netc [--token TOKEN] shutdown <addr>                 # POST /shutdown
 //! digamma-netc smoke <manifest-file> [netd] [--tenants FILE]   # end-to-end self-test
 //! ```
+//!
+//! `metrics` pretty-prints the daemon's Prometheus exposition (counters
+//! and gauges as `name = value`, histograms summarized to
+//! count/sum/avg); `--raw` prints the exposition verbatim, byte for
+//! byte, for piping into Prometheus tooling. `status` appends a
+//! `timing:` line breaking a finished job's wall-clock into queue wait,
+//! evaluation, checkpoint writes, and everything else.
 //!
 //! `--token` sends `Authorization: Bearer TOKEN` with every request, for
 //! daemons running an authenticated tenant roster (`netd --tenants`).
@@ -29,11 +37,17 @@ use std::io::BufRead;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: digamma-netc [--token TOKEN] <submit|status|watch|cancel|stats|shutdown|smoke> ..."
+    "usage: digamma-netc [--token TOKEN] \
+     <submit|status|watch|cancel|stats|metrics|shutdown|smoke> ..."
         .to_owned()
 }
 
-fn run(args: &[String], token: Option<&str>, tenants_path: Option<&str>) -> Result<(), String> {
+fn run(
+    args: &[String],
+    token: Option<&str>,
+    tenants_path: Option<&str>,
+    raw: bool,
+) -> Result<(), String> {
     let command = args.first().map(String::as_str).ok_or_else(usage)?;
     let arg = |i: usize, what: &str| {
         args.get(i).map(String::as_str).ok_or_else(|| format!("{command} needs {what}"))
@@ -50,7 +64,11 @@ fn run(args: &[String], token: Option<&str>, tenants_path: Option<&str>) -> Resu
         "status" => {
             let addr = arg(1, "<addr>")?;
             let id = arg(2, "<job-id>")?;
-            print!("{}", client::get_as(addr, &format!("/jobs/{id}"), token).map_err(stringify)?);
+            let body = client::get_as(addr, &format!("/jobs/{id}"), token).map_err(stringify)?;
+            print!("{body}");
+            if let Some(timing) = timing_summary(&body) {
+                println!("{timing}");
+            }
             Ok(())
         }
         "watch" => {
@@ -78,6 +96,15 @@ fn run(args: &[String], token: Option<&str>, tenants_path: Option<&str>) -> Resu
             print!("{}", client::get_as(arg(1, "<addr>")?, "/stats", token).map_err(stringify)?);
             Ok(())
         }
+        "metrics" => {
+            let text = client::get_as(arg(1, "<addr>")?, "/metrics", token).map_err(stringify)?;
+            if raw {
+                print!("{text}");
+            } else {
+                print!("{}", pretty_metrics(&text)?);
+            }
+            Ok(())
+        }
         "shutdown" => {
             print!(
                 "{}",
@@ -92,6 +119,81 @@ fn run(args: &[String], token: Option<&str>, tenants_path: Option<&str>) -> Resu
 
 fn stringify(e: std::io::Error) -> String {
     e.to_string()
+}
+
+/// The `timing:` footer for a finished job's status body: the wire
+/// report's breakdown keys turned into one readable line. `None` until
+/// the job has a report (no timing keys yet).
+fn timing_summary(body: &str) -> Option<String> {
+    let ms = |key: &str| {
+        body.lines().find_map(|line| {
+            let (k, v) = line.split_once('=')?;
+            if k.trim() == key {
+                v.trim().parse::<f64>().ok()
+            } else {
+                None
+            }
+        })
+    };
+    let wall = ms("wall_ms")?;
+    let queue = ms("queue_wait_ms")?;
+    let eval = ms("eval_ms")?;
+    let checkpoint = ms("checkpoint_ms")?;
+    // Queue wait precedes the run; eval and checkpoint slice the run's
+    // wall-clock, the remainder is GA bookkeeping (selection,
+    // crossover, dedup).
+    let other = (wall - eval - checkpoint).max(0.0);
+    Some(format!(
+        "timing: queue {queue:.1} ms | eval {eval:.1} ms | checkpoint {checkpoint:.1} ms \
+         | other {other:.1} ms | run total {wall:.1} ms"
+    ))
+}
+
+/// Renders the exposition human-first: counters and gauges one per
+/// line, histogram `_count`/`_sum` pairs folded into count/sum/avg
+/// (bucket series elided).
+fn pretty_metrics(text: &str) -> Result<String, String> {
+    let samples =
+        digamma_obs::parse_text(text).map_err(|e| format!("bad /metrics exposition: {e}"))?;
+    let fmt_labels = |labels: &[(String, String)]| {
+        if labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+            format!("{{{}}}", pairs.join(","))
+        }
+    };
+    let mut out = String::new();
+    let mut hists: std::collections::BTreeMap<String, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for sample in &samples {
+        if sample.name.ends_with("_bucket") {
+            continue;
+        }
+        if let Some(base) = sample.name.strip_suffix("_count") {
+            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().0 =
+                Some(sample.value);
+        } else if let Some(base) = sample.name.strip_suffix("_sum") {
+            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().1 =
+                Some(sample.value);
+        } else {
+            out.push_str(&format!(
+                "{}{} = {}\n",
+                sample.name,
+                fmt_labels(&sample.labels),
+                sample.value
+            ));
+        }
+    }
+    for (series, (count, sum)) in &hists {
+        let (count, sum) = (count.unwrap_or(0.0), sum.unwrap_or(0.0));
+        let avg = if count > 0.0 { sum / count } else { 0.0 };
+        out.push_str(&format!("{series}: count={count} sum={sum:.6}s avg={avg:.9}s\n"));
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics: daemon runs with --no-metrics)\n");
+    }
+    Ok(out)
 }
 
 /// Locates the sibling `digamma-netd` binary (same target directory).
@@ -218,6 +320,24 @@ fn smoke(
         if roster.is_some() && !stats.contains("[tenant ") {
             return Err(format!("stats lack per-tenant sections:\n{stats}"));
         }
+        if !stats.contains("[process]") || !stats.contains("uptime_seconds") {
+            return Err(format!("stats lack the [process] section:\n{stats}"));
+        }
+        let exposition = client::get_as(&addr, "/metrics", token).map_err(stringify)?;
+        let samples = digamma_obs::parse_text(&exposition)
+            .map_err(|e| format!("/metrics is not valid exposition: {e}"))?;
+        let requests: f64 = samples
+            .iter()
+            .filter(|s| s.name == "digamma_http_requests_total")
+            .map(|s| s.value)
+            .sum();
+        if requests < 1.0 {
+            return Err(format!("digamma_http_requests_total missing or zero:\n{exposition}"));
+        }
+        println!(
+            "smoke: /metrics parses ({} samples, {requests} http requests counted)",
+            samples.len()
+        );
         Ok(())
     })();
 
@@ -248,12 +368,21 @@ fn extract_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, St
     Ok(value)
 }
 
+/// Removes every occurrence of a valueless `--switch`, reporting
+/// whether it appeared.
+fn extract_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != switch);
+    args.len() != before
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let result = (|| {
         let token = extract_flag(&mut args, "--token")?;
         let tenants = extract_flag(&mut args, "--tenants")?;
-        run(&args, token.as_deref(), tenants.as_deref())
+        let raw = extract_switch(&mut args, "--raw");
+        run(&args, token.as_deref(), tenants.as_deref(), raw)
     })();
     match result {
         Ok(()) => ExitCode::SUCCESS,

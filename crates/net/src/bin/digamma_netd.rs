@@ -4,7 +4,7 @@
 //! digamma-netd [--addr 127.0.0.1:7171] [--workers N] [--cache-capacity N]
 //!              [--genome-cache-capacity N] [--event-log-capacity N]
 //!              [--eviction fifo|lru] [--checkpoint-dir DIR]
-//!              [--tenants FILE]
+//!              [--tenants FILE] [--no-metrics]
 //! ```
 //!
 //! Binds a TCP listener (port 0 picks an ephemeral port; the resolved
@@ -80,6 +80,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--tenants" => {
                 tenants_path = Some(PathBuf::from(value("--tenants")?));
             }
+            // Turns the metrics registry off: instrumentation degrades
+            // to dead atomic ops and `GET /metrics` renders empty.
+            "--no-metrics" => config.metrics_enabled = false,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }

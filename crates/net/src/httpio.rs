@@ -188,12 +188,30 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_typed(writer, status, "text/plain; charset=utf-8", body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the Prometheus
+/// exposition on `/metrics` must declare its format version, every
+/// other endpoint stays plain text.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] from the transport.
+pub fn write_response_typed(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         connection
     )?;

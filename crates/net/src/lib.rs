@@ -53,6 +53,7 @@
 
 pub mod client;
 pub mod httpio;
+mod metrics;
 pub mod routes;
 
 mod server;

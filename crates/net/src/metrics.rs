@@ -1,0 +1,162 @@
+//! Per-request HTTP access metrics for the accept loop.
+//!
+//! [`MeteredWriter`] wraps a connection's write half, counting bytes
+//! out and sniffing the status code off the response head as it goes
+//! by; [`record_request`] turns one handled request into the
+//! `digamma_http_*` series. Label cardinality is bounded on purpose:
+//! endpoints normalize to their route template ([`endpoint_label`]),
+//! methods to the two the protocol uses, so a hostile client cannot
+//! mint unbounded series by spraying paths.
+
+use digamma_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use std::io::Write;
+use std::time::Duration;
+
+/// The route-template label for a request path: `/jobs/17/events`
+/// becomes `/jobs/{id}/events`, anything off the route table becomes
+/// `other` so unknown paths share one series.
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match segments.as_slice() {
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/{id}",
+        ["jobs", _, "events"] => "/jobs/{id}/events",
+        ["jobs", _, "cancel"] => "/jobs/{id}/cancel",
+        ["stats"] => "/stats",
+        ["metrics"] => "/metrics",
+        ["shutdown"] => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// The bounded method label: anything but the two methods the protocol
+/// speaks collapses to `other`.
+pub(crate) fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        _ => "other",
+    }
+}
+
+/// A write-half wrapper that counts bytes and remembers the status
+/// code from the `HTTP/1.1 NNN` response head (chunked streams and
+/// fixed responses both start that way).
+#[derive(Debug)]
+pub(crate) struct MeteredWriter<W: Write> {
+    inner: W,
+    bytes: u64,
+    head: Vec<u8>,
+}
+
+impl<W: Write> MeteredWriter<W> {
+    pub(crate) fn new(inner: W) -> MeteredWriter<W> {
+        MeteredWriter { inner, bytes: 0, head: Vec::with_capacity(12) }
+    }
+
+    /// Bytes written so far.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The status code sniffed off the response head, as its label
+    /// value ("200", ...); `"none"` when nothing parseable was written
+    /// (the handler answered nothing before the transport died).
+    pub(crate) fn status(&self) -> String {
+        let head = String::from_utf8_lossy(&self.head);
+        head.split_whitespace()
+            .nth(1)
+            .filter(|code| code.len() == 3 && code.bytes().all(|b| b.is_ascii_digit()))
+            .map_or_else(|| "none".to_owned(), str::to_owned)
+    }
+}
+
+impl<W: Write> Write for MeteredWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        if self.head.len() < 12 {
+            let take = (12 - self.head.len()).min(written);
+            self.head.extend_from_slice(&buf[..take]);
+        }
+        self.bytes += written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Size of the request as it arrived on the wire, reconstructed from
+/// the parsed pieces (request line + headers + body; framing CRLFs
+/// approximated). Close enough for a throughput meter without teeing
+/// the read half.
+pub(crate) fn request_bytes(request: &crate::httpio::Request) -> u64 {
+    let head = request.method.len() + request.target.len() + "HTTP/1.1".len() + 4;
+    let headers: usize = request.headers.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
+    (head + headers + 2 + request.body.len()) as u64
+}
+
+/// Feeds one handled request into the access-metric families.
+pub(crate) fn record_request(
+    metrics: &MetricsRegistry,
+    endpoint: &'static str,
+    method: &'static str,
+    status: &str,
+    elapsed: Duration,
+    bytes_in: u64,
+    bytes_out: u64,
+) {
+    metrics
+        .counter(
+            "digamma_http_requests_total",
+            "HTTP requests handled, by route template, method, and status.",
+            &[("endpoint", endpoint), ("method", method), ("status", status)],
+        )
+        .inc();
+    metrics
+        .histogram(
+            "digamma_http_request_seconds",
+            "Wall-clock time from parsed request to written response.",
+            &[("endpoint", endpoint)],
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        .observe_duration(elapsed);
+    metrics
+        .counter("digamma_http_bytes_in_total", "Request bytes received (reconstructed).", &[])
+        .add(bytes_in);
+    metrics.counter("digamma_http_bytes_out_total", "Response bytes written.", &[]).add(bytes_out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_normalize_ids_and_strangers() {
+        assert_eq!(endpoint_label("/jobs/17"), "/jobs/{id}");
+        assert_eq!(endpoint_label("/jobs/17/events"), "/jobs/{id}/events");
+        assert_eq!(endpoint_label("/metrics"), "/metrics");
+        assert_eq!(endpoint_label("/jobs/17/steal"), "other");
+        assert_eq!(endpoint_label("/../../etc/passwd"), "other");
+    }
+
+    #[test]
+    fn metered_writer_counts_bytes_and_sniffs_status() {
+        let mut wire = Vec::new();
+        let mut meter = MeteredWriter::new(&mut wire);
+        crate::httpio::write_response(&mut meter, 404, "no such job\n", true).unwrap();
+        assert_eq!(meter.status(), "404");
+        assert_eq!(meter.bytes(), wire.len() as u64);
+        assert!(wire.starts_with(b"HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn unwritten_or_garbage_heads_report_none() {
+        let meter = MeteredWriter::new(Vec::new());
+        assert_eq!(meter.status(), "none");
+        let mut meter = MeteredWriter::new(Vec::new());
+        meter.write_all(b"BANANAS ARE NOT HTTP").unwrap();
+        assert_eq!(meter.status(), "none");
+    }
+}

@@ -8,6 +8,7 @@
 //! | `GET /jobs/{id}/events`   | chunked stream: one line per GA generation, then `end status=...` (`?from=N` to skip) |
 //! | `POST /jobs/{id}/cancel`  | cooperative cancel at the next generation boundary |
 //! | `GET /stats`              | queue depth, worker utilization, cache counters, per-tenant usage |
+//! | `GET /metrics`            | Prometheus text exposition of every metric family |
 //! | `POST /shutdown`          | stop accepting, cancel running jobs (they snapshot), exit |
 //!
 //! Responses are `text/plain` in the workspace's `[section]` /
@@ -25,7 +26,7 @@
 //! Without tokens the service is open, exactly as before tenancy
 //! existed.
 
-use crate::httpio::{write_response, ChunkedWriter, Request};
+use crate::httpio::{write_response, write_response_typed, ChunkedWriter, Request};
 use digamma_server::textio::Section;
 use digamma_server::{JobId, JobRegistry, JobView, SubmitError};
 use std::io::Write;
@@ -184,6 +185,18 @@ pub fn handle(
             write_response(stream, 200, &render_stats(registry), keep)?;
             Ok(keep)
         }
+        ("GET", ["metrics"]) => {
+            // The exposition format's registered content type; Prometheus
+            // itself accepts plain text, but strict scrapers check.
+            write_response_typed(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &registry.render_metrics(),
+                keep,
+            )?;
+            Ok(keep)
+        }
         ("POST", ["shutdown"]) => {
             shutdown.set();
             write_response(stream, 202, "shutting down\n", false)?;
@@ -196,6 +209,7 @@ pub fn handle(
         | (_, ["jobs", _, "events"])
         | (_, ["jobs", _, "cancel"])
         | (_, ["stats"])
+        | (_, ["metrics"])
         | (_, ["shutdown"]) => {
             write_response(stream, 405, "method not allowed\n", keep)?;
             Ok(keep)
@@ -304,13 +318,20 @@ pub fn render_job_view(view: &JobView) -> String {
         s.push("genome_insertions", report.genome_insertions.to_string());
         s.push("dedup_skipped", report.dedup_skipped.to_string());
         s.push("wall_ms", format!("{:.1}", report.wall.as_secs_f64() * 1e3));
+        // The timing breakdown: where the job's wall-clock went.
+        // queue_wait precedes the run, so it is *not* a slice of
+        // wall_ms; eval and checkpoint are.
+        s.push("queue_wait_ms", format!("{:.1}", report.queue_wait.as_secs_f64() * 1e3));
+        s.push("eval_ms", format!("{:.1}", report.eval_wall.as_secs_f64() * 1e3));
+        s.push("checkpoint_ms", format!("{:.1}", report.checkpoint_wall.as_secs_f64() * 1e3));
         sections.push(s);
     }
     digamma_server::textio::render_sections(&sections)
 }
 
-/// Renders the `/stats` body: registry counters, one `[tenant <id>]`
-/// section per known tenant, plus (when caching is on) the shared
+/// Renders the `/stats` body: registry counters, a `[process]` section
+/// (start time, uptime, journal replay), one `[tenant <id>]` section
+/// per known tenant, plus (when caching is on) the shared
 /// fitness-cache counters.
 pub fn render_stats(registry: &JobRegistry) -> String {
     let stats = registry.stats();
@@ -322,7 +343,12 @@ pub fn render_stats(registry: &JobRegistry) -> String {
     s.push("running", stats.running.to_string());
     s.push("done", stats.done.to_string());
     s.push("cancelled", stats.cancelled.to_string());
-    let mut sections = vec![s];
+    let mut process = Section::new("process");
+    process.push("start_unix", stats.start_unix.to_string());
+    process.push("uptime_seconds", stats.uptime_seconds.to_string());
+    process.push("journal_replayed", stats.replayed_jobs.to_string());
+    process.push("workers", stats.workers.to_string());
+    let mut sections = vec![s, process];
     for tenant in &stats.tenants {
         let mut t = Section::new(format!("tenant {}", tenant.id));
         t.push("weight", tenant.weight.to_string());

@@ -12,11 +12,13 @@
 //! resumes them on the next start.
 
 use crate::httpio::Request;
+use crate::metrics::{endpoint_label, method_label, record_request, request_bytes, MeteredWriter};
 use crate::routes::{self, ShutdownFlag};
 use digamma_server::JobRegistry;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A bound-but-not-yet-serving network front-end.
 #[derive(Debug)]
@@ -150,7 +152,19 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
-        let keep = routes::handle(registry, &handle.flag, &request, &mut writer)?;
+        let started = Instant::now();
+        let mut meter = MeteredWriter::new(&mut writer);
+        let outcome = routes::handle(registry, &handle.flag, &request, &mut meter);
+        record_request(
+            registry.server().metrics(),
+            endpoint_label(request.path()),
+            method_label(&request.method),
+            &meter.status(),
+            started.elapsed(),
+            request_bytes(&request),
+            meter.bytes(),
+        );
+        let keep = outcome?;
         writer.flush()?;
         if handle.flag.is_set() {
             // Wake the blocked accept so serve() can wind down.

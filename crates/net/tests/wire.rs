@@ -176,8 +176,11 @@ fn protocol_errors_are_4xx_not_hangs() {
     // Wrong method on a known route.
     let err = client::post(&service.addr, "/stats", None).unwrap_err();
     assert!(err.to_string().contains("405"), "{err}");
+    // Wrong method on the scrape endpoint.
+    let err = client::post(&service.addr, "/metrics", None).unwrap_err();
+    assert!(err.to_string().contains("405"), "{err}");
     // Unknown paths — including unknown sub-resources of known routes.
-    let err = client::get(&service.addr, "/metrics").unwrap_err();
+    let err = client::get(&service.addr, "/telemetry").unwrap_err();
     assert!(err.to_string().contains("404"), "{err}");
     let err = client::get(&service.addr, "/jobs/1/bogus").unwrap_err();
     assert!(err.to_string().contains("404"), "{err}");

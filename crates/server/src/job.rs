@@ -212,6 +212,15 @@ pub struct JobReport {
     pub dedup_skipped: u64,
     /// Wall-clock the job spent searching.
     pub wall: Duration,
+    /// Wall-clock between submission and a worker claiming the job
+    /// ([`Duration::ZERO`] for directly-run jobs with no queue).
+    pub queue_wait: Duration,
+    /// Wall-clock spent inside the evaluation pipeline (decode → cost
+    /// model → aggregate, including memo probes) — the "eval" slice of
+    /// `wall`.
+    pub eval_wall: Duration,
+    /// Wall-clock spent writing checkpoint snapshots.
+    pub checkpoint_wall: Duration,
 }
 
 impl JobReport {

@@ -48,6 +48,7 @@ pub mod cachefile;
 mod job;
 mod journal;
 mod manifest;
+mod metrics;
 mod queue;
 mod registry;
 mod snapshot;

@@ -1,0 +1,194 @@
+//! Metering shims between the job's problem and the shared caches.
+//!
+//! [`MeteredEvalCache`] and [`MeteredGenomeMemo`] wrap the per-job
+//! cache views, feeding tenant-labelled probe counters and a sampled
+//! probe-latency histogram into the server's
+//! [`MetricsRegistry`](digamma_obs::MetricsRegistry) while delegating
+//! every lookup/store unchanged. Wrapping happens only when metrics
+//! are enabled, so a metrics-off server attaches the plain views and
+//! pays nothing.
+//!
+//! Probe *counts* are exact; probe *latency* is sampled 1-in-16 (like
+//! the per-eval latency histogram in `digamma`'s `EvalMetrics`): a
+//! sharded-map probe is tens of nanoseconds, so timing every one would
+//! cost more than the probe.
+
+use digamma::{DesignEvaluation, EvalCache, GenomeMemo};
+use digamma_costmodel::CostReport;
+use digamma_obs::{Counter, Histogram, MetricsRegistry, SampleTick, DEFAULT_LATENCY_BUCKETS};
+use std::sync::Arc;
+use std::time::Instant;
+
+const PROBE_LATENCY_SAMPLE_EVERY: u64 = 16;
+
+fn probe_seconds(registry: &MetricsRegistry, cache: &str) -> Histogram {
+    registry.histogram(
+        "digamma_cache_probe_seconds",
+        "Cache probe latency by cache layer, sampled 1 in 16 probes.",
+        &[("cache", cache)],
+        DEFAULT_LATENCY_BUCKETS,
+    )
+}
+
+/// A metering wrapper over a job's fitness-cache view.
+#[derive(Debug)]
+pub(crate) struct MeteredEvalCache {
+    inner: Arc<dyn EvalCache>,
+    hits: Counter,
+    misses: Counter,
+    probe_seconds: Histogram,
+    sample: SampleTick,
+}
+
+impl MeteredEvalCache {
+    /// Wraps `inner`, registering
+    /// `digamma_cache_probes_total{cache="fitness",result,tenant}` and
+    /// `digamma_cache_probe_seconds{cache="fitness"}`.
+    pub(crate) fn new(
+        registry: &MetricsRegistry,
+        inner: Arc<dyn EvalCache>,
+        tenant: &str,
+    ) -> MeteredEvalCache {
+        let probes = |result| {
+            registry.counter(
+                "digamma_cache_probes_total",
+                "Cache probes by cache layer, result, and tenant.",
+                &[("cache", "fitness"), ("result", result), ("tenant", tenant)],
+            )
+        };
+        MeteredEvalCache {
+            inner,
+            hits: probes("hit"),
+            misses: probes("miss"),
+            probe_seconds: probe_seconds(registry, "fitness"),
+            sample: SampleTick::new(PROBE_LATENCY_SAMPLE_EVERY),
+        }
+    }
+}
+
+impl EvalCache for MeteredEvalCache {
+    fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
+        let found = if self.sample.due() {
+            let started = Instant::now();
+            let found = self.inner.lookup(key);
+            self.probe_seconds.observe_duration(started.elapsed());
+            found
+        } else {
+            self.inner.lookup(key)
+        };
+        match found {
+            Some(report) => {
+                self.hits.inc();
+                Some(report)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: u64, report: &Arc<CostReport>) {
+        self.inner.store(key, report);
+    }
+}
+
+/// A metering wrapper over a job's genome-memo view. Probe *counts*
+/// for this layer come from `digamma`'s `EvalMetrics`
+/// (`digamma_genome_memo_probes_total`); this shim adds only the
+/// sampled probe latency so the two layers share one histogram family.
+#[derive(Debug)]
+pub(crate) struct MeteredGenomeMemo {
+    inner: Arc<dyn GenomeMemo>,
+    probe_seconds: Histogram,
+    sample: SampleTick,
+}
+
+impl MeteredGenomeMemo {
+    /// Wraps `inner`, registering
+    /// `digamma_cache_probe_seconds{cache="genome"}`.
+    pub(crate) fn new(registry: &MetricsRegistry, inner: Arc<dyn GenomeMemo>) -> MeteredGenomeMemo {
+        MeteredGenomeMemo {
+            inner,
+            probe_seconds: probe_seconds(registry, "genome"),
+            sample: SampleTick::new(PROBE_LATENCY_SAMPLE_EVERY),
+        }
+    }
+}
+
+impl GenomeMemo for MeteredGenomeMemo {
+    fn lookup(&self, key: u64) -> Option<Arc<DesignEvaluation>> {
+        if self.sample.due() {
+            let started = Instant::now();
+            let found = self.inner.lookup(key);
+            self.probe_seconds.observe_duration(started.elapsed());
+            found
+        } else {
+            self.inner.lookup(key)
+        }
+    }
+
+    fn store(&self, key: u64, evaluation: &Arc<DesignEvaluation>) {
+        self.inner.store(key, evaluation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digamma::{CoOptProblem, Objective};
+    use digamma_costmodel::Platform;
+    use digamma_encoding::Genome;
+    use digamma_workload::zoo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct MapCache(Mutex<HashMap<u64, Arc<CostReport>>>);
+
+    impl EvalCache for MapCache {
+        fn lookup(&self, key: u64) -> Option<Arc<CostReport>> {
+            self.0.lock().unwrap().get(&key).cloned()
+        }
+        fn store(&self, key: u64, report: &Arc<CostReport>) {
+            self.0.lock().unwrap().insert(key, Arc::clone(report));
+        }
+    }
+
+    #[test]
+    fn metered_cache_counts_hits_and_misses_and_delegates() {
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let genome = Genome::random(&mut rng, problem.unique_layers(), problem.platform(), 2);
+        let mappings = genome.decode(problem.unique_layers());
+        let report = Arc::new(
+            problem
+                .evaluator()
+                .evaluate(&problem.unique_layers()[0].layer, &mappings[0])
+                .expect("random repaired genome evaluates"),
+        );
+
+        let registry = MetricsRegistry::new();
+        let inner = Arc::new(MapCache::default());
+        let metered = MeteredEvalCache::new(&registry, Arc::clone(&inner) as _, "t");
+        assert!(metered.lookup(7).is_none());
+        metered.store(7, &report);
+        assert!(metered.lookup(7).is_some(), "store must delegate to the inner cache");
+        assert!(inner.lookup(7).is_some());
+        let text = registry.render();
+        assert!(
+            text.contains(
+                "digamma_cache_probes_total{cache=\"fitness\",result=\"hit\",tenant=\"t\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "digamma_cache_probes_total{cache=\"fitness\",result=\"miss\",tenant=\"t\"} 1"
+            ),
+            "{text}"
+        );
+    }
+}

@@ -19,17 +19,19 @@ use crate::cache::{
 };
 use crate::cachefile;
 use crate::job::{JobAlgorithm, JobReport, JobSpec};
+use crate::metrics::{MeteredEvalCache, MeteredGenomeMemo};
 use crate::snapshot::Snapshot;
 use digamma::{
-    run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, Gamma, GammaConfig,
-    SearchResult, SearchState, StepAction, StepObserver,
+    run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, EvalMetrics, Gamma,
+    GammaConfig, SearchResult, SearchState, StepAction, StepObserver,
 };
+use digamma_obs::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server-wide knobs.
 #[derive(Debug, Clone)]
@@ -53,6 +55,11 @@ pub struct ServerConfig {
     /// lines are retained for late subscribers; older lines are dropped
     /// (the stream reports the first retained sequence number).
     pub event_log_capacity: usize,
+    /// Whether the server's [`MetricsRegistry`] records anything. Off,
+    /// the registry hands out detached cells: instrumentation still
+    /// compiles and runs, but costs only a few dead atomic ops and
+    /// `/metrics` renders empty.
+    pub metrics_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +72,7 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             checkpoint_every: 8,
             event_log_capacity: 1024,
+            metrics_enabled: true,
         }
     }
 }
@@ -162,6 +170,11 @@ pub struct SearchServer {
     /// Serializes spills: concurrent finishing jobs must not interleave
     /// writes to the shared tmp file.
     spill_lock: Mutex<()>,
+    /// The server's metric store ([`MetricsRegistry::disabled`] when
+    /// `config.metrics_enabled` is off). Everything downstream — the
+    /// net front-end, the job registry, per-job eval metrics — records
+    /// into this one registry, so one render covers the whole stack.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl SearchServer {
@@ -180,6 +193,11 @@ impl SearchServer {
             (Some(dir), Some(_)) => Some(dir.join("fitness-memo.cache")),
             _ => None,
         };
+        let metrics = Arc::new(if config.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
         let server = SearchServer {
             config,
             cache,
@@ -187,9 +205,16 @@ impl SearchServer {
             cache_file,
             spilled_insertions: AtomicU64::new(0),
             spill_lock: Mutex::new(()),
+            metrics,
         };
         server.warm_start();
         server
+    }
+
+    /// The server's metric registry (shared with the registry and the
+    /// network front-end, so one `/metrics` render covers the stack).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Loads the spill file (if any) into the fresh cache.
@@ -238,7 +263,18 @@ impl SearchServer {
             return;
         }
         self.spilled_insertions.store(insertions, Ordering::Relaxed);
+        let spill_started = Instant::now();
         let _ = cachefile::write_cache_file(path, &cache.entries());
+        if self.metrics.enabled() {
+            self.metrics
+                .histogram(
+                    "digamma_cache_spill_seconds",
+                    "Wall time of fitness-memo disk spills (serialize + write).",
+                    &[],
+                    DEFAULT_LATENCY_BUCKETS,
+                )
+                .observe_duration(spill_started.elapsed());
+        }
     }
 
     /// The active configuration.
@@ -296,14 +332,36 @@ impl SearchServer {
             self.genome_memo.as_ref().map(|m| Arc::new(JobGenomeMemoView::new(Arc::clone(m))));
         let mut problem =
             CoOptProblem::new(spec.model.clone(), spec.platform.clone(), spec.objective);
-        if let Some(view) = &view {
-            problem = problem.with_cache(Arc::clone(view) as _);
-        }
-        if let Some(genome_view) = &genome_view {
-            problem = problem.with_genome_memo(Arc::clone(genome_view) as _);
+        // With metrics on, the cache views are wrapped in metering
+        // shims (tenant-labelled probe counters, sampled probe latency)
+        // and the eval hot path gets its handles; with metrics off the
+        // plain views attach directly and the hot path stays bare.
+        if self.metrics.enabled() {
+            if let Some(view) = &view {
+                problem = problem.with_cache(Arc::new(MeteredEvalCache::new(
+                    &self.metrics,
+                    Arc::clone(view) as _,
+                    &spec.tenant,
+                )) as _);
+            }
+            if let Some(genome_view) = &genome_view {
+                problem = problem.with_genome_memo(Arc::new(MeteredGenomeMemo::new(
+                    &self.metrics,
+                    Arc::clone(genome_view) as _,
+                )) as _);
+            }
+            problem = problem
+                .with_eval_metrics(Arc::new(EvalMetrics::for_tenant(&self.metrics, &spec.tenant)));
+        } else {
+            if let Some(view) = &view {
+                problem = problem.with_cache(Arc::clone(view) as _);
+            }
+            if let Some(genome_view) = &genome_view {
+                problem = problem.with_genome_memo(Arc::clone(genome_view) as _);
+            }
         }
 
-        let (result, generations, resumed_at, cancelled) = match spec.algorithm {
+        let outcome = match spec.algorithm {
             JobAlgorithm::DiGamma => {
                 let ga = DiGamma::new(DiGammaConfig {
                     population_size: spec.population_size,
@@ -330,9 +388,12 @@ impl SearchServer {
                 // Ask/tell baselines run to completion; cancellation is
                 // only honoured before they start.
                 if control.is_cancelled() {
-                    (SearchResult { best: None, history: Vec::new(), samples: 0 }, 0, None, true)
+                    GaOutcome::finished(
+                        SearchResult { best: None, history: Vec::new(), samples: 0 },
+                        true,
+                    )
                 } else {
-                    (run_algorithm(alg, &problem, spec.budget, spec.seed), 0, None, false)
+                    GaOutcome::finished(run_algorithm(alg, &problem, spec.budget, spec.seed), false)
                 }
             }
         };
@@ -344,11 +405,11 @@ impl SearchServer {
         JobReport {
             name: spec.name.clone(),
             algorithm: spec.algorithm.to_string(),
-            best: result.best,
-            samples: result.samples,
-            generations,
-            resumed_at,
-            cancelled,
+            best: outcome.result.best,
+            samples: outcome.result.samples,
+            generations: outcome.generations,
+            resumed_at: outcome.resumed_at,
+            cancelled: outcome.cancelled,
             cache_hits: view.as_ref().map_or(0, |v| v.hits()),
             cache_misses: view.as_ref().map_or(0, |v| v.misses()),
             cache_insertions: view.as_ref().map_or(0, |v| v.insertions()),
@@ -357,6 +418,9 @@ impl SearchServer {
             genome_insertions: genome_view.as_ref().map_or(0, |v| v.insertions()),
             dedup_skipped: problem.batch_dedup_skipped(),
             wall: started.elapsed(),
+            queue_wait: Duration::ZERO,
+            eval_wall: problem.eval_wall(),
+            checkpoint_wall: outcome.checkpoint_wall,
         }
     }
 
@@ -372,7 +436,7 @@ impl SearchServer {
         ga: &DiGamma,
         problem: &CoOptProblem,
         control: &JobControl,
-    ) -> (SearchResult, u64, Option<u64>, bool) {
+    ) -> GaOutcome {
         let path = self.checkpoint_path(spec);
         let fingerprint = spec.fingerprint();
         let mut resumed_at = None;
@@ -389,6 +453,7 @@ impl SearchServer {
             None => ga.init(problem, spec.budget),
         };
         let every = spec.checkpoint_every.unwrap_or(self.config.checkpoint_every).max(1);
+        let enabled = self.metrics.enabled();
         let mut observer = DriveObserver {
             server: self,
             path: path.as_deref(),
@@ -396,16 +461,41 @@ impl SearchServer {
             every,
             control,
             cancelled: false,
+            checkpoint_wall: Duration::ZERO,
+            checkpoint_seconds: enabled.then(|| {
+                self.metrics.histogram(
+                    "digamma_checkpoint_write_seconds",
+                    "Wall time of snapshot writes (capture + render + write-then-rename).",
+                    &[],
+                    DEFAULT_LATENCY_BUCKETS,
+                )
+            }),
+            generation_seconds: enabled.then(|| {
+                self.metrics.histogram(
+                    "digamma_generation_seconds",
+                    "Wall time between GA generation boundaries.",
+                    &[("tenant", &spec.tenant)],
+                    DEFAULT_LATENCY_BUCKETS,
+                )
+            }),
+            last_boundary: Instant::now(),
         };
         ga.run_observed(problem, &mut state, spec.budget, &mut observer);
         let cancelled = observer.cancelled;
+        let checkpoint_wall = observer.checkpoint_wall;
         if !cancelled {
             if let Some(p) = &path {
                 let _ = std::fs::remove_file(p);
             }
         }
         let generations = state.generation();
-        (state.into_result(), generations, resumed_at, cancelled)
+        GaOutcome {
+            result: state.into_result(),
+            generations,
+            resumed_at,
+            cancelled,
+            checkpoint_wall,
+        }
     }
 
     /// The snapshot file for a job, when checkpointing is on and the
@@ -429,10 +519,36 @@ impl SearchServer {
     }
 }
 
+/// What [`SearchServer::drive_ga`] (or a baseline run) produced, plus
+/// the timing the report breaks out.
+struct GaOutcome {
+    result: SearchResult,
+    generations: u64,
+    resumed_at: Option<u64>,
+    cancelled: bool,
+    checkpoint_wall: Duration,
+}
+
+impl GaOutcome {
+    /// A non-GA outcome: no generations, no resume, no checkpoints.
+    fn finished(result: SearchResult, cancelled: bool) -> GaOutcome {
+        GaOutcome {
+            result,
+            generations: 0,
+            resumed_at: None,
+            cancelled,
+            checkpoint_wall: Duration::ZERO,
+        }
+    }
+}
+
 /// The server's per-generation observer: streams progress, writes
 /// checkpoints at the configured cadence (spilling the fitness memo on
 /// the same beat), and honours cooperative cancellation (snapshotting
-/// before stopping so the partial search survives).
+/// before stopping so the partial search survives). It also keeps the
+/// job's checkpoint wall-clock total (for the report's timing
+/// breakdown) and, with metrics on, feeds the generation-boundary and
+/// checkpoint-write histograms.
 struct DriveObserver<'a> {
     server: &'a SearchServer,
     path: Option<&'a std::path::Path>,
@@ -440,11 +556,16 @@ struct DriveObserver<'a> {
     every: u64,
     control: &'a JobControl,
     cancelled: bool,
+    checkpoint_wall: Duration,
+    checkpoint_seconds: Option<Histogram>,
+    generation_seconds: Option<Histogram>,
+    last_boundary: Instant,
 }
 
 impl DriveObserver<'_> {
-    fn snapshot(&self, state: &SearchState) {
+    fn snapshot(&mut self, state: &SearchState) {
         let Some(p) = self.path else { return };
+        let write_started = Instant::now();
         let rendered = Snapshot::capture(self.fingerprint, state).render();
         // Write-then-rename: a kill mid-write must never destroy the
         // previous good snapshot or leave a truncated one in its place.
@@ -452,11 +573,19 @@ impl DriveObserver<'_> {
         if std::fs::write(&tmp, rendered).is_ok() {
             let _ = std::fs::rename(&tmp, p);
         }
+        let elapsed = write_started.elapsed();
+        self.checkpoint_wall += elapsed;
+        if let Some(h) = &self.checkpoint_seconds {
+            h.observe_duration(elapsed);
+        }
     }
 }
 
 impl StepObserver for DriveObserver<'_> {
     fn on_generation(&mut self, state: &SearchState, budget: usize) -> StepAction {
+        if let Some(h) = &self.generation_seconds {
+            h.observe_duration(self.last_boundary.elapsed());
+        }
         self.control.report(JobProgress {
             generation: state.generation(),
             samples: state.samples(),
@@ -473,6 +602,7 @@ impl StepObserver for DriveObserver<'_> {
             self.snapshot(state);
             self.server.spill_cache_at_cadence();
         }
+        self.last_boundary = Instant::now();
         StepAction::Continue
     }
 }

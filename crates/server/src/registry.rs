@@ -39,10 +39,11 @@ use crate::journal::Journal;
 use crate::queue::{JobControl, JobProgress, SearchServer, ServerConfig};
 use crate::tenant::{valid_tenant_id, TenantSet, TenantSpec};
 use crate::textio::TextError;
+use digamma_obs::DEFAULT_LATENCY_BUCKETS;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Identifies a job for the lifetime of the service (journal-stable
 /// across restarts).
@@ -130,6 +131,12 @@ pub struct JobView {
 /// Aggregate service counters for the `/stats` endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RegistryStats {
+    /// Seconds since the Unix epoch when the registry started.
+    pub start_unix: u64,
+    /// Whole seconds the registry has been serving.
+    pub uptime_seconds: u64,
+    /// Unfinished jobs resubmitted from the journal at start.
+    pub replayed_jobs: usize,
     /// Worker threads serving the registry.
     pub workers: usize,
     /// Workers currently running a job.
@@ -190,6 +197,12 @@ struct JobEntry {
     spec: JobSpec,
     status: JobStatus,
     control: Arc<JobControl>,
+    /// When the job entered its tenant's queue; [`claim_next`] turns
+    /// the elapsed time into `queue_wait` at claim.
+    queued_at: Instant,
+    /// How long the job sat queued before a worker claimed it (zero
+    /// until claimed; stamped into the report when the job finishes).
+    queue_wait: Duration,
     /// Set by [`JobRegistry::cancel`]; distinguishes a user's cancel
     /// (terminal — journaled as finished) from a shutdown's cooperative
     /// stop (not journaled, so the job resumes on the next start).
@@ -360,6 +373,7 @@ fn claim_next(state: &mut RegState, total_workers: usize) -> Option<(JobId, JobS
             let id = sched.queue.pop_front().expect("admittable head exists");
             let entry = state.jobs.get_mut(&id).expect("queued jobs are registered");
             entry.status = JobStatus::Running;
+            entry.queue_wait = entry.queued_at.elapsed();
             state.running_threads += entry.spec.threads;
             return Some((id, entry.spec.clone()));
         }
@@ -392,6 +406,12 @@ struct Inner {
     tenants: TenantSet,
     state: Mutex<RegState>,
     cond: Condvar,
+    /// When the registry started (uptime reference).
+    started: Instant,
+    /// Unix seconds at start, for `digamma_process_start_time_seconds`.
+    start_unix: u64,
+    /// Unfinished jobs the journal replay resubmitted at start.
+    replayed: usize,
 }
 
 /// The runtime job service. See the module docs.
@@ -459,7 +479,21 @@ impl JobRegistry {
             tenants,
             state: Mutex::new(RegState { next_id, ..RegState::default() }),
             cond: Condvar::new(),
+            started: Instant::now(),
+            start_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |since| since.as_secs()),
+            replayed: replayed.len(),
         });
+        inner
+            .server
+            .metrics()
+            .counter(
+                "digamma_journal_replayed_jobs_total",
+                "Unfinished jobs resubmitted from the journal at start.",
+                &[],
+            )
+            .add(replayed.len() as u64);
         {
             // Controls carry a progress closure capturing `inner`, so
             // replayed jobs enqueue only after `inner` exists.
@@ -758,6 +792,9 @@ impl JobRegistry {
     pub fn stats(&self) -> RegistryStats {
         let state = self.inner.state.lock().expect("registry poisoned");
         let mut stats = RegistryStats {
+            start_unix: self.inner.start_unix,
+            uptime_seconds: self.inner.started.elapsed().as_secs(),
+            replayed_jobs: self.inner.replayed,
             workers: self.inner.workers,
             busy_workers: state.busy_workers,
             running_threads: state.running_threads,
@@ -814,6 +851,74 @@ impl JobRegistry {
         stats
     }
 
+    /// Renders the full Prometheus text exposition for `/metrics`:
+    /// refreshes the scrape-time gauges (uptime, queue depth, worker
+    /// occupancy, cache residency) and then renders every family the
+    /// running jobs have fed. Returns the empty string when the server
+    /// was started with metrics disabled.
+    pub fn render_metrics(&self) -> String {
+        let metrics = self.inner.server.metrics();
+        if metrics.enabled() {
+            let stats = self.stats();
+            let config = self.inner.server.config();
+            metrics
+                .gauge(
+                    "digamma_process_start_time_seconds",
+                    "Unix time the registry started, in seconds.",
+                    &[],
+                )
+                .set(self.inner.start_unix as f64);
+            metrics
+                .gauge("digamma_process_uptime_seconds", "Seconds since the registry started.", &[])
+                .set(self.inner.started.elapsed().as_secs_f64());
+            let workers = self.inner.workers.to_string();
+            let eviction = config.eviction.to_string();
+            let checkpoint_dir = config
+                .checkpoint_dir
+                .as_deref()
+                .map_or_else(String::new, |dir| dir.display().to_string());
+            metrics
+                .gauge(
+                    "digamma_process_info",
+                    "Constant 1; the labels carry the service configuration.",
+                    &[
+                        ("checkpoint_dir", &checkpoint_dir),
+                        ("eviction", &eviction),
+                        ("workers", &workers),
+                    ],
+                )
+                .set(1.0);
+            metrics
+                .gauge("digamma_jobs_queued", "Jobs waiting in tenant queues.", &[])
+                .set(stats.queued as f64);
+            metrics
+                .gauge("digamma_jobs_running", "Jobs currently searching.", &[])
+                .set(stats.running as f64);
+            metrics
+                .gauge("digamma_workers", "Worker threads serving the registry.", &[])
+                .set(stats.workers as f64);
+            metrics
+                .gauge("digamma_workers_busy", "Workers currently running a job.", &[])
+                .set(stats.busy_workers as f64);
+            let residency = [
+                ("fitness", self.inner.server.cache_stats()),
+                ("genome", self.inner.server.genome_memo_stats()),
+            ];
+            for (cache, cache_stats) in residency {
+                if let Some(cache_stats) = cache_stats {
+                    metrics
+                        .gauge(
+                            "digamma_cache_entries",
+                            "Entries resident in the shared caches, by cache layer.",
+                            &[("cache", cache)],
+                        )
+                        .set(cache_stats.entries as f64);
+                }
+            }
+        }
+        metrics.render()
+    }
+
     /// Stops accepting work and shuts the workers down. Running jobs are
     /// cancelled cooperatively (they snapshot and will resume on the
     /// next start when a journal is attached); queued jobs stay queued
@@ -867,6 +972,8 @@ impl JobEntry {
             spec,
             status: JobStatus::Queued,
             control,
+            queued_at: Instant::now(),
+            queue_wait: Duration::ZERO,
             user_cancelled: false,
             progress: None,
             events: VecDeque::new(),
@@ -914,6 +1021,13 @@ impl JobEntry {
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
+    let metrics = inner.server.metrics();
+    let claim_seconds = metrics.histogram(
+        "digamma_scheduler_claim_seconds",
+        "Latency of one claim_next scheduling decision (lock held).",
+        &[],
+        DEFAULT_LATENCY_BUCKETS,
+    );
     loop {
         // Claim the next job the scheduler picks, or exit on shutdown.
         let (id, spec) = {
@@ -922,7 +1036,10 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if state.shutdown {
                     return;
                 }
-                if let Some(claimed) = claim_next(&mut state, inner.workers) {
+                let scan_started = Instant::now();
+                let claimed = claim_next(&mut state, inner.workers);
+                claim_seconds.observe_duration(scan_started.elapsed());
+                if let Some(claimed) = claimed {
                     break claimed;
                 }
                 state = inner.cond.wait(state).expect("registry poisoned");
@@ -936,7 +1053,9 @@ fn worker_loop(inner: &Arc<Inner>) {
             let state = inner.state.lock().expect("registry poisoned");
             Arc::clone(&state.jobs[&id].control)
         };
-        let report = inner.server.run_job_controlled(&spec, &control);
+        let run_started = Instant::now();
+        let mut report = inner.server.run_job_controlled(&spec, &control);
+        let run_wall = run_started.elapsed();
 
         let mut state = inner.state.lock().expect("registry poisoned");
         let status = if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
@@ -958,7 +1077,10 @@ fn worker_loop(inner: &Arc<Inner>) {
             usage.genome_misses += report.genome_misses;
             usage.genome_insertions += report.genome_insertions;
         }
+        let mut queue_wait = Duration::ZERO;
         if let Some(entry) = state.jobs.get_mut(&id) {
+            queue_wait = entry.queue_wait;
+            report.queue_wait = queue_wait;
             entry.status = status;
             entry.push_event(format!("end status={status}"), capacity);
             entry.events_done = true;
@@ -974,6 +1096,30 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         }
         drop(state);
+        let tenant_label: &[(&'static str, &str)] = &[("tenant", &spec.tenant)];
+        metrics
+            .histogram(
+                "digamma_job_queue_wait_seconds",
+                "Time jobs waited in their tenant queue before a worker claimed them.",
+                tenant_label,
+                DEFAULT_LATENCY_BUCKETS,
+            )
+            .observe_duration(queue_wait);
+        metrics
+            .histogram(
+                "digamma_job_run_seconds",
+                "Wall-clock time a worker spent running a job end to end.",
+                tenant_label,
+                DEFAULT_LATENCY_BUCKETS,
+            )
+            .observe_duration(run_wall);
+        metrics
+            .counter(
+                "digamma_jobs_completed_total",
+                "Jobs finished, by tenant and terminal status.",
+                &[("status", &status.to_string()), ("tenant", &spec.tenant)],
+            )
+            .inc();
         inner.cond.notify_all();
     }
 }
@@ -1349,6 +1495,58 @@ mod tests {
     }
 
     #[test]
+    fn metrics_exposition_covers_lifecycle_scheduler_and_process() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 2, ..ServerConfig::default() }, None)
+                .unwrap();
+        let id = registry.submit(spec("observed", 96)).unwrap();
+        wait_done(&registry, id);
+        let text = registry.render_metrics();
+        let samples = digamma_obs::parse_text(&text).expect("exposition must parse");
+        let completed = samples
+            .iter()
+            .find(|s| {
+                s.name == "digamma_jobs_completed_total"
+                    && s.label("tenant") == Some("default")
+                    && s.label("status") == Some("done")
+            })
+            .expect("completed counter is exported per tenant and status");
+        assert!(completed.value >= 1.0);
+        for series in [
+            "digamma_scheduler_claim_seconds_count",
+            "digamma_job_queue_wait_seconds_count{tenant=\"default\"}",
+            "digamma_job_run_seconds_count{tenant=\"default\"}",
+            "digamma_journal_replayed_jobs_total 0",
+            "digamma_process_uptime_seconds",
+            "digamma_process_start_time_seconds",
+            "digamma_process_info{",
+            "digamma_jobs_queued 0",
+            "digamma_workers 2",
+            "digamma_cache_entries{cache=\"fitness\"}",
+            "digamma_evals_total{tenant=\"default\"}",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+        let stats = registry.stats();
+        assert!(stats.start_unix > 0);
+        assert_eq!(stats.replayed_jobs, 0);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn disabled_metrics_render_an_empty_exposition() {
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, metrics_enabled: false, ..ServerConfig::default() },
+            None,
+        )
+        .unwrap();
+        let id = registry.submit(spec("dark", 64)).unwrap();
+        wait_done(&registry, id);
+        assert_eq!(registry.render_metrics(), "", "disabled registry must stay silent");
+        registry.shutdown();
+    }
+
+    #[test]
     fn journal_replay_resubmits_unfinished_jobs() {
         let dir = std::env::temp_dir().join(format!("digamma-reg-journal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1386,6 +1584,11 @@ mod tests {
         )
         .unwrap();
         let view = reborn.job(id).expect("replayed under the same id");
+        assert_eq!(reborn.stats().replayed_jobs, 1, "replay count reaches /stats");
+        assert!(
+            reborn.render_metrics().contains("digamma_journal_replayed_jobs_total 1"),
+            "replay count reaches /metrics"
+        );
         assert_eq!(view.name, "revenant");
         assert_eq!(view.spec.tenant, "default", "v1-era jobs replay as the default tenant");
         // Replayed budgets still count against the tenant's meter.
