@@ -24,16 +24,21 @@
 //!   promise that the eval hot path stays allocation-free and within a
 //!   few percent of the uninstrumented speed, again behind a
 //!   bit-identity checksum gate.
+//! * **tracing** — the same paired measurement for the span tracer
+//!   ([`digamma::EvalTrace`]): evaluation throughput with no tracer vs
+//!   with sampled eval spans recording into a live [`Tracer`], guarding
+//!   the tracing layer's promise that sampled spans stay within a few
+//!   percent and change no results.
 //!
 //! `--mode smoke` shrinks the budgets so CI can assert the file is
 //! produced and well-formed in seconds; recorded numbers come from
 //! `--mode full` on a release build (see the README's Performance
 //! section).
 
-use digamma::{CoOptProblem, EvalMetrics, Objective};
+use digamma::{CoOptProblem, EvalMetrics, EvalTrace, Objective};
 use digamma_costmodel::{EvalScratch, Evaluator, Mapping, Platform};
 use digamma_encoding::Genome;
-use digamma_obs::MetricsRegistry;
+use digamma_obs::{MetricsRegistry, SpanContext, Tracer};
 use digamma_server::{JobAlgorithm, JobReport, JobSpec, SearchServer, ServerConfig};
 use digamma_workload::{zoo, Layer, Model, UniqueLayer};
 use rand::rngs::SmallRng;
@@ -153,6 +158,28 @@ pub struct InstrPerf {
     pub bit_identical: bool,
 }
 
+/// Tracing overhead for one workload: the same seeded
+/// `evaluate_batch` calls with no tracer vs with an [`EvalTrace`]
+/// recording sampled spans into a live [`Tracer`]. The tracing layer's
+/// contract mirrors the metrics one: a few percent at most, results
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct TracePerf {
+    /// Workload name.
+    pub workload: String,
+    /// Per-layer evaluations per timed batch (before dedupe).
+    pub evals: usize,
+    /// Throughput with no tracer attached.
+    pub trace_off_evals_per_sec: f64,
+    /// Throughput with sampled eval spans recording.
+    pub trace_on_evals_per_sec: f64,
+    /// `(off - on) / off`, as a percentage — positive means the traced
+    /// path is slower.
+    pub overhead_pct: f64,
+    /// Whether both paths produced bit-identical evaluation checksums.
+    pub bit_identical: bool,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -164,6 +191,8 @@ pub struct PerfReport {
     pub memo: Vec<MemoPerf>,
     /// Metrics-on vs metrics-off evaluation throughput per workload.
     pub instrumentation: Vec<InstrPerf>,
+    /// Tracing-on vs tracing-off evaluation throughput per workload.
+    pub tracing: Vec<TracePerf>,
 }
 
 /// The three fixed workloads the harness sweeps.
@@ -362,13 +391,81 @@ fn measure_instrumentation(model: &Model, config: &PerfConfig) -> InstrPerf {
     }
 }
 
+/// The tracing twin of [`measure_instrumentation`]: identical pairing
+/// and median-of-ratios scheme, but the "on" problem records sampled
+/// eval spans into a live tracer instead of bumping metrics.
+fn measure_tracing(model: &Model, config: &PerfConfig) -> TracePerf {
+    let platform = Platform::edge();
+    let unique = model.unique_layers();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let count = config.evals_per_workload.div_ceil(unique.len()).max(1);
+    let genomes: Vec<Genome> =
+        (0..count).map(|_| Genome::random(&mut rng, &unique, &platform, 2)).collect();
+
+    let off = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
+    let tracer = Tracer::new();
+    let on = CoOptProblem::new(model.clone(), platform, Objective::Latency)
+        .with_eval_trace(Arc::new(EvalTrace::new(tracer, SpanContext::generate(), 1)));
+
+    let checksum = |evaluations: &[digamma::DesignEvaluation]| {
+        evaluations.iter().fold(0u64, |acc, e| {
+            acc.wrapping_mul(31)
+                .wrapping_add(e.cost.to_bits())
+                .wrapping_add(e.latency_cycles.to_bits())
+                .wrapping_add(e.energy_pj.to_bits())
+        })
+    };
+    let off_sum = checksum(&off.evaluate_batch(&genomes, 1));
+    let on_sum = checksum(&on.evaluate_batch(&genomes, 1));
+
+    // Same pairing rationale as measure_instrumentation: the expected
+    // delta is small, so each iteration times both paths back-to-back
+    // (order alternating) and the overhead is the median of the
+    // per-pair ratios.
+    const BATCHES_PER_PASS: usize = 2;
+    let mut off_ns = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for i in 0..(config.repeats * 16).max(2) {
+        let pass = |problem: &CoOptProblem| {
+            let start = Instant::now();
+            for _ in 0..BATCHES_PER_PASS {
+                std::hint::black_box(problem.evaluate_batch(&genomes, 1));
+            }
+            start.elapsed().as_nanos() as f64 / BATCHES_PER_PASS as f64
+        };
+        let (off_pass, on_pass) = if i % 2 == 0 {
+            let off_pass = pass(&off);
+            (off_pass, pass(&on))
+        } else {
+            let on_pass = pass(&on);
+            (pass(&off), on_pass)
+        };
+        off_ns = off_ns.min(off_pass);
+        ratios.push(on_pass / off_pass);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+
+    let evals = genomes.len() * unique.len();
+    let trace_off_evals_per_sec = evals as f64 / (off_ns / 1e9);
+    TracePerf {
+        workload: model.name().to_owned(),
+        evals,
+        trace_off_evals_per_sec,
+        trace_on_evals_per_sec: trace_off_evals_per_sec / ratio,
+        overhead_pct: (ratio - 1.0) * 100.0,
+        bit_identical: off_sum == on_sum,
+    }
+}
+
 /// Runs the full harness.
 pub fn run(config: &PerfConfig) -> PerfReport {
     let models = workloads();
     let eval = models.iter().map(|m| measure_eval(m, config)).collect();
     let memo = models.iter().map(|m| measure_memo(m, config)).collect();
     let instrumentation = models.iter().map(|m| measure_instrumentation(m, config)).collect();
-    PerfReport { config: config.clone(), eval, memo, instrumentation }
+    let tracing = models.iter().map(|m| measure_tracing(m, config)).collect();
+    PerfReport { config: config.clone(), eval, memo, instrumentation, tracing }
 }
 
 /// JSON string escaping (the only non-trivial JSON need this file has —
@@ -403,7 +500,7 @@ fn json_num(v: f64) -> String {
 pub fn render_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/2")));
+    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/3")));
     out.push_str(&format!("  \"mode\": {},\n", json_str(&report.config.mode)));
     out.push_str(&format!("  \"seed\": {},\n", report.config.seed));
     out.push_str("  \"eval\": [\n");
@@ -457,6 +554,24 @@ pub fn render_json(report: &PerfReport) -> String {
         out.push_str(&format!("\"overhead_pct\": {}, ", json_num(p.overhead_pct)));
         out.push_str(&format!("\"bit_identical\": {}", p.bit_identical));
         out.push_str(if i + 1 < report.instrumentation.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"tracing\": [\n");
+    for (i, t) in report.tracing.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&t.workload)));
+        out.push_str(&format!("\"evals\": {}, ", t.evals));
+        out.push_str(&format!(
+            "\"trace_off_evals_per_sec\": {}, ",
+            json_num(t.trace_off_evals_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"trace_on_evals_per_sec\": {}, ",
+            json_num(t.trace_on_evals_per_sec)
+        ));
+        out.push_str(&format!("\"overhead_pct\": {}, ", json_num(t.overhead_pct)));
+        out.push_str(&format!("\"bit_identical\": {}", t.bit_identical));
+        out.push_str(if i + 1 < report.tracing.len() { "},\n" } else { "}\n" });
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
@@ -529,6 +644,9 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         "\"metrics_off_evals_per_sec\"",
         "\"metrics_on_evals_per_sec\"",
         "\"overhead_pct\"",
+        "\"tracing\"",
+        "\"trace_off_evals_per_sec\"",
+        "\"trace_on_evals_per_sec\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -547,6 +665,7 @@ mod tests {
         assert_eq!(report.eval.len(), 3);
         assert_eq!(report.memo.len(), 3);
         assert_eq!(report.instrumentation.len(), 3);
+        assert_eq!(report.tracing.len(), 3);
         for e in &report.eval {
             assert!(e.bit_identical, "{}: scratch path diverged from baseline", e.workload);
             assert!(e.evals > 0);
@@ -556,6 +675,11 @@ mod tests {
             assert!(p.bit_identical, "{}: metrics changed evaluation results", p.workload);
             assert!(p.evals > 0);
             assert!(p.metrics_off_evals_per_sec > 0.0 && p.metrics_on_evals_per_sec > 0.0);
+        }
+        for t in &report.tracing {
+            assert!(t.bit_identical, "{}: tracing changed evaluation results", t.workload);
+            assert!(t.evals > 0);
+            assert!(t.trace_off_evals_per_sec > 0.0 && t.trace_on_evals_per_sec > 0.0);
         }
         for m in &report.memo {
             assert!(
@@ -584,6 +708,7 @@ mod tests {
         assert!(validate_json(&json[..json.len() - 3]).is_err(), "truncation must fail");
         assert!(validate_json(&json.replace("\"eval\"", "\"val\"")).is_err());
         assert!(validate_json(&json.replace("\"overhead_pct\"", "\"ovrhead_pct\"")).is_err());
+        assert!(validate_json(&json.replace("\"trace_on_evals_per_sec\"", "\"trace_on\"")).is_err());
         assert!(validate_json("{\"unterminated").is_err());
     }
 }

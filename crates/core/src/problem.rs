@@ -5,7 +5,10 @@ use digamma_costmodel::{
     CostReport, EvalError, Evaluator, HwConfig, Mapping, Platform, StableHasher,
 };
 use digamma_encoding::Genome;
-use digamma_obs::{Counter, Histogram, MetricsRegistry, SampleTick, DEFAULT_LATENCY_BUCKETS};
+use digamma_obs::{
+    Counter, Histogram, MetricsRegistry, SampleTick, SpanContext, SpanRecord, Tracer,
+    DEFAULT_LATENCY_BUCKETS,
+};
 use digamma_workload::{LayerKind, Model, UniqueLayer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +88,65 @@ impl EvalMetrics {
             ),
             sample: SampleTick::new(EVAL_LATENCY_SAMPLE_EVERY),
         }
+    }
+}
+
+/// Span handles for the evaluation hot path, attached by the server
+/// when tracing is enabled for a job. The same sampling discipline as
+/// [`EvalMetrics`]: individual eval spans are recorded 1-in-64 (the
+/// ~450ns hot path must not be dominated by clock reads and span
+/// bookkeeping), while whole-batch spans — one per GA generation — are
+/// recorded every call. All spans nest under the job's run span and
+/// carry its job id, so they land in the job's Perfetto lane.
+#[derive(Debug)]
+pub struct EvalTrace {
+    tracer: Tracer,
+    parent: SpanContext,
+    job: u64,
+    sample: SampleTick,
+}
+
+impl EvalTrace {
+    /// Builds span handles parented under `parent` (a job's run span)
+    /// and tagged with `job`.
+    #[must_use]
+    pub fn new(tracer: Tracer, parent: SpanContext, job: u64) -> EvalTrace {
+        EvalTrace { tracer, parent, job, sample: SampleTick::new(EVAL_LATENCY_SAMPLE_EVERY) }
+    }
+
+    /// Records one sampled per-layer eval span, back-dated by its
+    /// measured duration.
+    fn record_eval(&self, layer: usize, elapsed: Duration) {
+        let dur_ns = elapsed.as_nanos() as u64;
+        self.tracer.record(SpanRecord {
+            trace: self.parent.trace,
+            span: self.tracer.span_id(),
+            parent: Some(self.parent.span),
+            name: "eval.layer",
+            job: Some(self.job),
+            start_ns: self.tracer.now_ns().saturating_sub(dur_ns),
+            dur_ns,
+            attrs: vec![("layer", layer.to_string())],
+        });
+    }
+
+    /// Records one whole-batch eval span (one per GA generation),
+    /// back-dated by its measured duration.
+    fn record_batch(&self, genomes: usize, distinct_evals: usize, elapsed: Duration) {
+        let dur_ns = elapsed.as_nanos() as u64;
+        self.tracer.record(SpanRecord {
+            trace: self.parent.trace,
+            span: self.tracer.span_id(),
+            parent: Some(self.parent.span),
+            name: "eval.batch",
+            job: Some(self.job),
+            start_ns: self.tracer.now_ns().saturating_sub(dur_ns),
+            dur_ns,
+            attrs: vec![
+                ("genomes", genomes.to_string()),
+                ("distinct_evals", distinct_evals.to_string()),
+            ],
+        });
     }
 }
 
@@ -196,6 +258,9 @@ pub struct CoOptProblem {
     /// Optional metric handles (tenant-labelled); attached by the
     /// server when its registry is enabled.
     eval_metrics: Option<Arc<EvalMetrics>>,
+    /// Optional span handles parented under the job's run span;
+    /// attached by the server when tracing is enabled.
+    eval_trace: Option<Arc<EvalTrace>>,
 }
 
 impl CoOptProblem {
@@ -220,6 +285,7 @@ impl CoOptProblem {
             batch_dedup_skipped: Arc::new(AtomicU64::new(0)),
             eval_wall_ns: Arc::new(AtomicU64::new(0)),
             eval_metrics: None,
+            eval_trace: None,
         }
     }
 
@@ -284,6 +350,19 @@ impl CoOptProblem {
     /// The attached eval metric handles, if any.
     pub fn eval_metrics(&self) -> Option<&Arc<EvalMetrics>> {
         self.eval_metrics.as_ref()
+    }
+
+    /// Attaches span handles for the evaluation hot path (see
+    /// [`EvalTrace`]). Shared by every clone of this problem, like the
+    /// cache and metric handles.
+    pub fn with_eval_trace(mut self, trace: Arc<EvalTrace>) -> CoOptProblem {
+        self.eval_trace = Some(trace);
+        self
+    }
+
+    /// The attached eval span handles, if any.
+    pub fn eval_trace(&self) -> Option<&Arc<EvalTrace>> {
+        self.eval_trace.as_ref()
     }
 
     /// Total wall time spent inside [`CoOptProblem::evaluate`] and
@@ -498,23 +577,39 @@ impl CoOptProblem {
 
         // Layer 2: only distinct evaluations fan out to workers (and
         // probe the attached shared per-layer cache, when there is one).
-        // With metrics attached, per-eval latency is observed on a
-        // 1-in-64 sample so the clock reads stay off the common path.
-        let results: Vec<Result<Arc<CostReport>, EvalError>> = match &self.eval_metrics {
-            None => crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
-                self.evaluate_layer(&self.unique[li].layer, mapping)
-            }),
-            Some(metrics) => crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
-                if metrics.sample.due() {
-                    let eval_started = Instant::now();
-                    let result = self.evaluate_layer(&self.unique[li].layer, mapping);
-                    metrics.eval_seconds.observe_duration(eval_started.elapsed());
-                    result
-                } else {
+        // With metrics or tracing attached, per-eval latency is observed
+        // on independent 1-in-64 samples so the clock reads stay off the
+        // common path; fully uninstrumented problems take the bare arm.
+        let results: Vec<Result<Arc<CostReport>, EvalError>> =
+            match (&self.eval_metrics, &self.eval_trace) {
+                (None, None) => crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
                     self.evaluate_layer(&self.unique[li].layer, mapping)
+                }),
+                (metrics, trace) => {
+                    crate::parallel::parallel_map(&work, threads, |&(li, mapping)| {
+                        let sample_metrics = metrics.as_ref().is_some_and(|m| m.sample.due());
+                        let sample_trace = trace.as_ref().is_some_and(|t| t.sample.due());
+                        if sample_metrics || sample_trace {
+                            let eval_started = Instant::now();
+                            let result = self.evaluate_layer(&self.unique[li].layer, mapping);
+                            let elapsed = eval_started.elapsed();
+                            if sample_metrics {
+                                if let Some(m) = metrics {
+                                    m.eval_seconds.observe_duration(elapsed);
+                                }
+                            }
+                            if sample_trace {
+                                if let Some(t) = trace {
+                                    t.record_eval(li, elapsed);
+                                }
+                            }
+                            result
+                        } else {
+                            self.evaluate_layer(&self.unique[li].layer, mapping)
+                        }
+                    })
                 }
-            }),
-        };
+            };
 
         for (mi, (&i, ((fanouts, mappings), per_genome))) in
             misses.iter().zip(decoded.iter().zip(&layout)).enumerate()
@@ -545,6 +640,9 @@ impl CoOptProblem {
         self.eval_wall_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         if let Some(m) = &self.eval_metrics {
             m.batch_seconds.observe_duration(elapsed);
+        }
+        if let Some(t) = &self.eval_trace {
+            t.record_batch(genomes.len(), work.len(), elapsed);
         }
         out.into_iter().map(|e| e.expect("every genome evaluated")).collect()
     }
@@ -940,6 +1038,36 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("digamma_evals_total{tenant=\"t\"}"), "{text}");
         assert!(text.contains("digamma_eval_batch_seconds_count{tenant=\"t\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn eval_trace_does_not_change_results_and_records_batch_spans() {
+        let tracer = Tracer::new();
+        let root = {
+            let span = tracer.start_root("job.run");
+            span.context().expect("enabled tracer yields contexts")
+        };
+        let traced = problem().with_eval_trace(Arc::new(EvalTrace::new(tracer.clone(), root, 9)));
+        let plain = problem();
+        let mut rng = SmallRng::seed_from_u64(33);
+        let genomes: Vec<Genome> = (0..4)
+            .map(|_| Genome::random(&mut rng, plain.unique_layers(), plain.platform(), 2))
+            .collect();
+        assert_eq!(
+            traced.evaluate_batch(&genomes, 2),
+            plain.evaluate_batch(&genomes, 2),
+            "attached tracing must not perturb evaluation results"
+        );
+        let spans = tracer.spans_for(root.trace);
+        let batch = spans.iter().find(|s| s.name == "eval.batch").expect("one batch span");
+        assert_eq!(batch.parent, Some(root.span), "eval spans nest under the run span");
+        assert_eq!(batch.job, Some(9));
+        assert!(batch.attrs.iter().any(|(k, v)| *k == "genomes" && v == "4"), "{:?}", batch.attrs);
+        // Any sampled per-eval spans also nest under the run span.
+        for span in spans.iter().filter(|s| s.name == "eval.layer") {
+            assert_eq!(span.parent, Some(root.span));
+            assert_eq!(span.job, Some(9));
+        }
     }
 
     #[test]

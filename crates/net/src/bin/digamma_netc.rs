@@ -7,16 +7,25 @@
 //! digamma-netc [--token TOKEN] cancel <addr> <job-id>          # POST /jobs/{id}/cancel
 //! digamma-netc [--token TOKEN] stats  <addr>                   # GET /stats
 //! digamma-netc [--token TOKEN] metrics <addr> [--raw]          # GET /metrics
+//! digamma-netc [--token TOKEN] trace <addr> <job-id> [-o FILE] # GET /trace/{id}
 //! digamma-netc [--token TOKEN] shutdown <addr>                 # POST /shutdown
 //! digamma-netc smoke <manifest-file> [netd] [--tenants FILE]   # end-to-end self-test
 //! ```
 //!
 //! `metrics` pretty-prints the daemon's Prometheus exposition (counters
 //! and gauges as `name = value`, histograms summarized to
-//! count/sum/avg); `--raw` prints the exposition verbatim, byte for
-//! byte, for piping into Prometheus tooling. `status` appends a
-//! `timing:` line breaking a finished job's wall-clock into queue wait,
+//! count/sum/avg plus p50/p95/p99 estimated from the bucket
+//! boundaries); `--raw` prints the exposition verbatim, byte for byte,
+//! for piping into Prometheus tooling. `status` appends a `timing:`
+//! line breaking a finished job's wall-clock into queue wait,
 //! evaluation, checkpoint writes, and everything else.
+//!
+//! `trace` fetches a job's span timeline as Chrome trace-event JSON —
+//! write it to a file with `-o` and load it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Every invocation
+//! of `digamma-netc` mints a W3C `traceparent` and sends it with each
+//! request, so the daemon's job-lifecycle spans nest under a trace id
+//! the client printed at submit time.
 //!
 //! `--token` sends `Authorization: Bearer TOKEN` with every request, for
 //! daemons running an authenticated tenant roster (`netd --tenants`).
@@ -32,13 +41,14 @@
 //! per-tenant usage.
 
 use digamma_net::client;
+use digamma_obs::SpanContext;
 use digamma_server::TenantSet;
 use std::io::BufRead;
 use std::process::ExitCode;
 
 fn usage() -> String {
     "usage: digamma-netc [--token TOKEN] \
-     <submit|status|watch|cancel|stats|metrics|shutdown|smoke> ..."
+     <submit|status|watch|cancel|stats|metrics|trace|shutdown|smoke> ..."
         .to_owned()
 }
 
@@ -47,6 +57,7 @@ fn run(
     token: Option<&str>,
     tenants_path: Option<&str>,
     raw: bool,
+    out_path: Option<&str>,
 ) -> Result<(), String> {
     let command = args.first().map(String::as_str).ok_or_else(usage)?;
     let arg = |i: usize, what: &str| {
@@ -105,6 +116,26 @@ fn run(
             }
             Ok(())
         }
+        "trace" => {
+            let addr = arg(1, "<addr>")?;
+            let id = arg(2, "<job-id>")?;
+            let body = client::get_as(addr, &format!("/trace/{id}"), token).map_err(stringify)?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let events = digamma_obs::parse_chrome_trace(&body)
+                        .map(|events| events.len())
+                        .unwrap_or(0);
+                    println!(
+                        "wrote {} bytes ({events} trace event(s)) to {path} — \
+                         load it in https://ui.perfetto.dev or chrome://tracing",
+                        body.len()
+                    );
+                }
+                None => print!("{body}"),
+            }
+            Ok(())
+        }
         "shutdown" => {
             print!(
                 "{}",
@@ -150,8 +181,8 @@ fn timing_summary(body: &str) -> Option<String> {
 }
 
 /// Renders the exposition human-first: counters and gauges one per
-/// line, histogram `_count`/`_sum` pairs folded into count/sum/avg
-/// (bucket series elided).
+/// line, histogram `_count`/`_sum` pairs folded into count/sum/avg plus
+/// p50/p95/p99 estimated from the cumulative bucket counts.
 fn pretty_metrics(text: &str) -> Result<String, String> {
     let samples =
         digamma_obs::parse_text(text).map_err(|e| format!("bad /metrics exposition: {e}"))?;
@@ -164,17 +195,31 @@ fn pretty_metrics(text: &str) -> Result<String, String> {
         }
     };
     let mut out = String::new();
-    let mut hists: std::collections::BTreeMap<String, (Option<f64>, Option<f64>)> =
-        std::collections::BTreeMap::new();
+    #[derive(Default)]
+    struct Hist {
+        count: Option<f64>,
+        sum: Option<f64>,
+        buckets: Vec<(f64, f64)>,
+    }
+    let mut hists: std::collections::BTreeMap<String, Hist> = std::collections::BTreeMap::new();
     for sample in &samples {
-        if sample.name.ends_with("_bucket") {
-            continue;
-        }
-        if let Some(base) = sample.name.strip_suffix("_count") {
-            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().0 =
+        if let Some(base) = sample.name.strip_suffix("_bucket") {
+            let le = sample.labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.as_str());
+            let Some(le) = le else { continue };
+            let bound =
+                if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::INFINITY) };
+            let rest: Vec<(String, String)> =
+                sample.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            hists
+                .entry(format!("{base}{}", fmt_labels(&rest)))
+                .or_default()
+                .buckets
+                .push((bound, sample.value));
+        } else if let Some(base) = sample.name.strip_suffix("_count") {
+            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().count =
                 Some(sample.value);
         } else if let Some(base) = sample.name.strip_suffix("_sum") {
-            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().1 =
+            hists.entry(format!("{base}{}", fmt_labels(&sample.labels))).or_default().sum =
                 Some(sample.value);
         } else {
             out.push_str(&format!(
@@ -185,15 +230,51 @@ fn pretty_metrics(text: &str) -> Result<String, String> {
             ));
         }
     }
-    for (series, (count, sum)) in &hists {
-        let (count, sum) = (count.unwrap_or(0.0), sum.unwrap_or(0.0));
+    for (series, hist) in &hists {
+        let (count, sum) = (hist.count.unwrap_or(0.0), hist.sum.unwrap_or(0.0));
         let avg = if count > 0.0 { sum / count } else { 0.0 };
-        out.push_str(&format!("{series}: count={count} sum={sum:.6}s avg={avg:.9}s\n"));
+        out.push_str(&format!("{series}: count={count} sum={sum:.6}s avg={avg:.9}s"));
+        if count > 0.0 {
+            let mut buckets = hist.buckets.clone();
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                if let Some(value) = bucket_quantile(&buckets, q) {
+                    out.push_str(&format!(" {label}≈{value:.6}s"));
+                }
+            }
+        }
+        out.push('\n');
     }
     if out.is_empty() {
         out.push_str("(no metrics: daemon runs with --no-metrics)\n");
     }
     Ok(out)
+}
+
+/// Estimates the `q`-quantile from cumulative histogram buckets
+/// (`(upper_bound, cumulative_count)`, sorted by bound) by linear
+/// interpolation inside the bucket the target rank lands in — the same
+/// estimate Prometheus's `histogram_quantile` makes. Observations in
+/// the `+Inf` bucket clamp to the last finite bound (the true value is
+/// unknowable from buckets alone). `None` when the histogram is empty.
+fn bucket_quantile(buckets: &[(f64, f64)], q: f64) -> Option<f64> {
+    let total = buckets.last().map(|&(_, cum)| cum).filter(|&cum| cum > 0.0)?;
+    let target = q * total;
+    let mut previous = (0.0f64, 0.0f64);
+    for &(bound, cum) in buckets {
+        if cum >= target {
+            if bound.is_infinite() {
+                // Off the end of the finite buckets: report the last
+                // finite bound rather than inventing a value.
+                return Some(previous.0);
+            }
+            let in_bucket = cum - previous.1;
+            let fraction = if in_bucket > 0.0 { (target - previous.1) / in_bucket } else { 1.0 };
+            return Some(previous.0 + fraction * (bound - previous.0));
+        }
+        previous = (bound, cum);
+    }
+    Some(previous.0)
 }
 
 /// Locates the sibling `digamma-netd` binary (same target directory).
@@ -338,6 +419,22 @@ fn smoke(
             "smoke: /metrics parses ({} samples, {requests} http requests counted)",
             samples.len()
         );
+        // The trace surface: the job's lifecycle spans must export as
+        // well-formed Chrome trace JSON nesting under one trace id.
+        let trace =
+            client::get_as(&addr, &format!("/trace/{}", ids[0]), token).map_err(stringify)?;
+        let events = digamma_obs::parse_chrome_trace(&trace)
+            .map_err(|e| format!("/trace/{} is not valid trace JSON: {e}", ids[0]))?;
+        let complete = events.iter().filter(|e| e.ph == "X").count();
+        if complete == 0 {
+            return Err(format!("/trace/{} has no complete spans:\n{trace}", ids[0]));
+        }
+        for name in ["job.queued", "job.claim", "job.run"] {
+            if !events.iter().any(|e| e.name == name) {
+                return Err(format!("/trace/{} lacks a {name} span:\n{trace}", ids[0]));
+            }
+        }
+        println!("smoke: /trace/{} parses ({complete} complete span(s))", ids[0]);
         Ok(())
     })();
 
@@ -378,11 +475,17 @@ fn extract_switch(args: &mut Vec<String>, switch: &str) -> bool {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // One span context per invocation: every request this process sends
+    // carries the same W3C traceparent, so daemon-side request spans —
+    // and the lifecycle of any job submitted here — share one trace id
+    // the user can fetch later with `trace <addr> <job-id>`.
+    client::set_default_traceparent(Some(SpanContext::generate().traceparent()));
     let result = (|| {
         let token = extract_flag(&mut args, "--token")?;
         let tenants = extract_flag(&mut args, "--tenants")?;
+        let out = extract_flag(&mut args, "-o")?;
         let raw = extract_switch(&mut args, "--raw");
-        run(&args, token.as_deref(), tenants.as_deref(), raw)
+        run(&args, token.as_deref(), tenants.as_deref(), raw, out.as_deref())
     })();
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -4,7 +4,8 @@
 //! digamma-netd [--addr 127.0.0.1:7171] [--workers N] [--cache-capacity N]
 //!              [--genome-cache-capacity N] [--event-log-capacity N]
 //!              [--eviction fifo|lru] [--checkpoint-dir DIR]
-//!              [--tenants FILE] [--no-metrics]
+//!              [--tenants FILE] [--no-metrics] [--no-trace]
+//!              [--log-level debug|info|warn|error]
 //! ```
 //!
 //! Binds a TCP listener (port 0 picks an ephemeral port; the resolved
@@ -26,6 +27,7 @@
 //! carry `Authorization: Bearer <token>`.
 
 use digamma_net::NetServer;
+use digamma_obs::{log, LogLevel};
 use digamma_server::{EvictionPolicy, JobRegistry, ServerConfig, TenantSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,6 +85,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             // Turns the metrics registry off: instrumentation degrades
             // to dead atomic ops and `GET /metrics` renders empty.
             "--no-metrics" => config.metrics_enabled = false,
+            // Turns the span tracer off: spans become no-ops and the
+            // `/trace` endpoints answer 404.
+            "--no-trace" => config.trace_enabled = false,
+            "--log-level" => {
+                let raw = value("--log-level")?;
+                let level = LogLevel::parse(raw).ok_or_else(|| {
+                    format!("--log-level must be debug, info, warn, or error, got {raw:?}")
+                })?;
+                log::global().set_level(level);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -122,17 +134,31 @@ fn run() -> Result<(), String> {
     let server = NetServer::bind(&options.addr, registry)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    // The parseable handshake line tools and tests key on.
+    // The parseable handshake line tools and tests key on — stays a
+    // bare stdout println, never routed through the structured logger.
     println!("digamma-netd listening on {addr}");
+    let logger = log::global();
     if tenant_count > 0 {
         let auth = if authenticated { "bearer tokens required" } else { "no tokens configured" };
-        println!("digamma-netd: serving {tenant_count} tenant(s), {auth}");
+        logger.log(
+            LogLevel::Info,
+            "netd",
+            None,
+            &format!("serving {tenant_count} tenant(s)"),
+            &[("auth", auth.to_owned())],
+        );
     }
     if replayed > 0 {
-        println!("digamma-netd: resuming {replayed} journaled job(s)");
+        logger.log(
+            LogLevel::Info,
+            "netd",
+            None,
+            &format!("resuming {replayed} journaled job(s)"),
+            &[],
+        );
     }
     server.serve().map_err(|e| format!("serve failed: {e}"))?;
-    println!("digamma-netd: shutdown complete");
+    logger.log(LogLevel::Info, "netd", None, "shutdown complete", &[]);
     Ok(())
 }
 
@@ -140,7 +166,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("digamma-netd: {message}");
+            log::global().log(LogLevel::Error, "netd", None, &message, &[]);
             ExitCode::FAILURE
         }
     }

@@ -12,6 +12,26 @@
 use crate::httpio::{read_chunk, Response};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
+
+/// The process-wide default `traceparent` header value, injected into
+/// every request this client issues (W3C trace-context propagation).
+static DEFAULT_TRACEPARENT: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets (or clears, with `None`) the `traceparent` header sent with
+/// every subsequent request from this process. `digamma-netc` mints one
+/// span context per invocation so the daemon's job-lifecycle spans nest
+/// under a trace id the client already knows.
+pub fn set_default_traceparent(value: Option<String>) {
+    *DEFAULT_TRACEPARENT.lock().expect("traceparent lock") = value;
+}
+
+fn traceparent_header() -> String {
+    match DEFAULT_TRACEPARENT.lock().expect("traceparent lock").as_deref() {
+        Some(value) => format!("traceparent: {value}\r\n"),
+        None => String::new(),
+    }
+}
 
 /// Issues one request and returns the parsed response (body fully read,
 /// chunked transfer reassembled).
@@ -43,9 +63,10 @@ pub fn request_as(
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
     let auth = bearer_header(token);
+    let traceparent = traceparent_header();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}{traceparent}Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()?;
@@ -145,9 +166,10 @@ pub fn stream_events_as(
 ) -> std::io::Result<Vec<String>> {
     let mut stream = TcpStream::connect(addr)?;
     let auth = bearer_header(token);
+    let traceparent = traceparent_header();
     write!(
         stream,
-        "GET /jobs/{id}/events?from={from} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\n\r\n"
+        "GET /jobs/{id}/events?from={from} HTTP/1.1\r\nHost: {addr}\r\n{auth}{traceparent}Connection: close\r\n\r\n"
     )?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);

@@ -24,6 +24,8 @@ pub(crate) fn endpoint_label(path: &str) -> &'static str {
         ["jobs", _, "cancel"] => "/jobs/{id}/cancel",
         ["stats"] => "/stats",
         ["metrics"] => "/metrics",
+        ["trace"] => "/trace",
+        ["trace", _] => "/trace/{id}",
         ["shutdown"] => "/shutdown",
         _ => "other",
     }
@@ -137,6 +139,8 @@ mod tests {
         assert_eq!(endpoint_label("/jobs/17"), "/jobs/{id}");
         assert_eq!(endpoint_label("/jobs/17/events"), "/jobs/{id}/events");
         assert_eq!(endpoint_label("/metrics"), "/metrics");
+        assert_eq!(endpoint_label("/trace"), "/trace");
+        assert_eq!(endpoint_label("/trace/17"), "/trace/{id}");
         assert_eq!(endpoint_label("/jobs/17/steal"), "other");
         assert_eq!(endpoint_label("/../../etc/passwd"), "other");
     }

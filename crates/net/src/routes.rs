@@ -9,6 +9,8 @@
 //! | `POST /jobs/{id}/cancel`  | cooperative cancel at the next generation boundary |
 //! | `GET /stats`              | queue depth, worker utilization, cache counters, per-tenant usage |
 //! | `GET /metrics`            | Prometheus text exposition of every metric family |
+//! | `GET /trace`              | recent spans across all traces, as Chrome trace-event JSON |
+//! | `GET /trace/{id}`         | one job's full span timeline (Perfetto/chrome://tracing loadable) |
 //! | `POST /shutdown`          | stop accepting, cancel running jobs (they snapshot), exit |
 //!
 //! Responses are `text/plain` in the workspace's `[section]` /
@@ -27,6 +29,7 @@
 //! existed.
 
 use crate::httpio::{write_response, write_response_typed, ChunkedWriter, Request};
+use digamma_obs::{render_chrome_trace, SpanContext};
 use digamma_server::textio::Section;
 use digamma_server::{JobId, JobRegistry, JobView, SubmitError};
 use std::io::Write;
@@ -72,6 +75,7 @@ pub fn handle(
     shutdown: &ShutdownFlag,
     request: &Request,
     stream: &mut impl Write,
+    ctx: Option<SpanContext>,
 ) -> std::io::Result<bool> {
     let keep = request.keep_alive();
     // Authenticate first: once any tenant has a token, *every* endpoint
@@ -94,7 +98,7 @@ pub fn handle(
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => {
             let body = String::from_utf8_lossy(&request.body);
-            match registry.submit_manifest_as(&body, identity.as_deref()) {
+            match registry.submit_manifest_traced(&body, identity.as_deref(), ctx) {
                 Ok(ids) => {
                     let sections: Vec<Section> = ids
                         .iter()
@@ -104,6 +108,9 @@ pub fn handle(
                             s.push("id", id.to_string());
                             s.push("name", view.name);
                             s.push("tenant", view.spec.tenant);
+                            if let Some(trace) = registry.trace_of(id) {
+                                s.push("trace", trace.to_string());
+                            }
                             s
                         })
                         .collect();
@@ -197,6 +204,40 @@ pub fn handle(
             )?;
             Ok(keep)
         }
+        ("GET", ["trace"]) => {
+            let tracer = registry.tracer();
+            if !tracer.enabled() {
+                write_response(stream, 404, "tracing is disabled (--no-trace)\n", keep)?;
+                return Ok(keep);
+            }
+            let limit = request.query("limit").and_then(|v| v.parse().ok()).unwrap_or(512);
+            let body = render_chrome_trace(&tracer.recent(limit));
+            write_response_typed(stream, 200, "application/json", &body, keep)?;
+            Ok(keep)
+        }
+        ("GET", ["trace", id]) => {
+            let tracer = registry.tracer();
+            if !tracer.enabled() {
+                write_response(stream, 404, "tracing is disabled (--no-trace)\n", keep)?;
+                return Ok(keep);
+            }
+            let Some(id) = parse_id(id).filter(|&id| registry.job(id).is_some()) else {
+                write_response(stream, 404, "no such job\n", keep)?;
+                return Ok(keep);
+            };
+            let Some(trace) = registry.trace_of(id) else {
+                write_response(
+                    stream,
+                    404,
+                    &format!("no trace recorded for job {id} yet\n"),
+                    keep,
+                )?;
+                return Ok(keep);
+            };
+            let body = render_chrome_trace(&tracer.spans_for(trace));
+            write_response_typed(stream, 200, "application/json", &body, keep)?;
+            Ok(keep)
+        }
         ("POST", ["shutdown"]) => {
             shutdown.set();
             write_response(stream, 202, "shutting down\n", false)?;
@@ -210,6 +251,8 @@ pub fn handle(
         | (_, ["jobs", _, "cancel"])
         | (_, ["stats"])
         | (_, ["metrics"])
+        | (_, ["trace"])
+        | (_, ["trace", _])
         | (_, ["shutdown"]) => {
             write_response(stream, 405, "method not allowed\n", keep)?;
             Ok(keep)

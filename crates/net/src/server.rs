@@ -14,6 +14,7 @@
 use crate::httpio::Request;
 use crate::metrics::{endpoint_label, method_label, record_request, request_bytes, MeteredWriter};
 use crate::routes::{self, ShutdownFlag};
+use digamma_obs::{log, LogLevel, SpanContext};
 use digamma_server::JobRegistry;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -94,6 +95,11 @@ impl NetServer {
     /// a row (the registry has already been shut down cleanly).
     pub fn serve(self) -> std::io::Result<()> {
         let handle = self.shutdown_handle()?;
+        let accept_failures = self.registry.server().metrics().counter(
+            "digamma_http_accept_failures_total",
+            "TCP accept failures absorbed by the listener's retry loop.",
+            &[],
+        );
         let mut consecutive_failures = 0u32;
         let outcome = loop {
             match self.listener.accept() {
@@ -116,7 +122,17 @@ impl NetServer {
                     if consecutive_failures >= 100 {
                         break Err(e);
                     }
-                    eprintln!("digamma-net: accept failed ({e}); retrying");
+                    accept_failures.inc();
+                    log::global().log(
+                        LogLevel::Warn,
+                        "net",
+                        None,
+                        "accept failed; retrying",
+                        &[
+                            ("err", e.to_string()),
+                            ("consecutive", consecutive_failures.to_string()),
+                        ],
+                    );
                     std::thread::sleep(std::time::Duration::from_millis(20));
                 }
             }
@@ -153,8 +169,23 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         let started = Instant::now();
+        // One server span per request, adopting the client's W3C
+        // `traceparent` when it sends one (so a client-minted trace id
+        // follows the request into the job lifecycle) and rooting a
+        // fresh trace otherwise. Inert when tracing is off.
+        let tracer = registry.tracer();
+        let mut span = match request.header("traceparent").and_then(SpanContext::parse_traceparent)
+        {
+            Some(parent) => tracer.start_child("http.request", parent),
+            None => tracer.start_root("http.request"),
+        };
+        span.set_attr("method", request.method.clone());
+        span.set_attr("path", request.path().to_owned());
+        let ctx = span.context();
         let mut meter = MeteredWriter::new(&mut writer);
-        let outcome = routes::handle(registry, &handle.flag, &request, &mut meter);
+        let outcome = routes::handle(registry, &handle.flag, &request, &mut meter, ctx);
+        span.set_attr("status", meter.status());
+        drop(span);
         record_request(
             registry.server().metrics(),
             endpoint_label(request.path()),

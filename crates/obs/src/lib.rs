@@ -14,8 +14,23 @@
 //! The crate also ships [`parse_text`], a parser for the exposition
 //! format, so clients (`digamma-netc metrics`) and wire tests can
 //! round-trip a scrape without guessing at the grammar.
+//!
+//! Two sibling modules complete the observability story: [`mod@trace`]
+//! records per-request/per-job span timelines (W3C `traceparent`
+//! propagation, Chrome trace-event export for Perfetto), and
+//! [`mod@log`] is the structured leveled logger that stamps those
+//! trace/span ids onto every line.
 
 #![warn(missing_docs)]
+
+pub mod log;
+pub mod trace;
+
+pub use log::{format_line, LogLevel, Logger};
+pub use trace::{
+    parse_chrome_trace, render_chrome_trace, ChromeEvent, Span, SpanContext, SpanId, SpanRecord,
+    TraceId, Tracer,
+};
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -832,6 +847,60 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"), "{text}");
         assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("lat_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn histogram_value_exactly_on_a_bound_lands_in_that_bucket() {
+        // Prometheus buckets are upper-inclusive: observe(b) counts in
+        // le="b", not the next one up.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("edge_seconds", "edges", &[], &[0.1, 1.0, 10.0]);
+        h.observe(0.1);
+        h.observe(1.0);
+        let text = reg.render();
+        assert!(text.contains("edge_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("edge_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("edge_seconds_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("edge_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn histogram_above_last_finite_bucket_counts_only_in_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("tail_seconds", "tails", &[], &[0.1, 1.0]);
+        h.observe(1.000_000_1);
+        h.observe(f64::MAX);
+        let text = reg.render();
+        assert!(text.contains("tail_seconds_bucket{le=\"0.1\"} 0"), "{text}");
+        assert!(text.contains("tail_seconds_bucket{le=\"1\"} 0"), "{text}");
+        assert!(text.contains("tail_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("tail_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn histogram_rendered_buckets_are_cumulative_up_to_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("cum_seconds", "cum", &[], &[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.05, 0.05, 0.5, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        let samples = parse_text(&reg.render()).expect("parse");
+        let mut buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| s.name == "cum_seconds_bucket")
+            .map(|s| {
+                let le = s.label("le").expect("le label");
+                let bound =
+                    if le == "+Inf" { f64::INFINITY } else { le.parse().expect("finite bound") };
+                (bound, s.value)
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let counts: Vec<f64> = buckets.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![1.0, 3.0, 4.0, 7.0], "cumulative counts must never decrease");
+        assert_eq!(buckets.last().expect("inf bucket").0, f64::INFINITY);
+        let count = samples.iter().find(|s| s.name == "cum_seconds_count").expect("count");
+        assert_eq!(count.value, 7.0, "+Inf bucket must equal _count");
     }
 
     #[test]

@@ -22,10 +22,12 @@ use crate::job::{JobAlgorithm, JobReport, JobSpec};
 use crate::metrics::{MeteredEvalCache, MeteredGenomeMemo};
 use crate::snapshot::Snapshot;
 use digamma::{
-    run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, EvalMetrics, Gamma,
-    GammaConfig, SearchResult, SearchState, StepAction, StepObserver,
+    run_algorithm, scoped_workers, CoOptProblem, DiGamma, DiGammaConfig, EvalMetrics, EvalTrace,
+    Gamma, GammaConfig, SearchResult, SearchState, StepAction, StepObserver,
 };
-use digamma_obs::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use digamma_obs::{
+    Histogram, MetricsRegistry, SpanContext, SpanRecord, Tracer, DEFAULT_LATENCY_BUCKETS,
+};
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
@@ -60,6 +62,10 @@ pub struct ServerConfig {
     /// compiles and runs, but costs only a few dead atomic ops and
     /// `/metrics` renders empty.
     pub metrics_enabled: bool,
+    /// Whether the server's [`Tracer`] records spans. Off, the tracer
+    /// is [`Tracer::disabled`]: span guards are inert, nothing is
+    /// retained, and `/trace` endpoints report tracing as unavailable.
+    pub trace_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             checkpoint_every: 8,
             event_log_capacity: 1024,
             metrics_enabled: true,
+            trace_enabled: true,
         }
     }
 }
@@ -109,6 +116,10 @@ impl JobProgress {
 pub struct JobControl {
     cancel: AtomicBool,
     progress: Option<Box<dyn Fn(JobProgress) + Send + Sync>>,
+    /// The job's identity inside the span store: its id plus the claim
+    /// span its run should nest under. Stamped by the registry's worker
+    /// at claim time, read by [`SearchServer::run_job_controlled`].
+    trace: Mutex<Option<(u64, SpanContext)>>,
 }
 
 impl JobControl {
@@ -135,6 +146,17 @@ impl JobControl {
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the job id and parent span context the run should trace
+    /// under (normally the claim span recorded by the registry worker).
+    pub fn set_trace(&self, job: u64, parent: SpanContext) {
+        *self.trace.lock().expect("trace slot poisoned") = Some((job, parent));
+    }
+
+    /// The stamped job id and parent span context, if any.
+    pub fn trace(&self) -> Option<(u64, SpanContext)> {
+        *self.trace.lock().expect("trace slot poisoned")
     }
 
     fn report(&self, progress: JobProgress) {
@@ -175,6 +197,11 @@ pub struct SearchServer {
     /// net front-end, the job registry, per-job eval metrics — records
     /// into this one registry, so one render covers the whole stack.
     metrics: Arc<MetricsRegistry>,
+    /// The server's span store ([`Tracer::disabled`] when
+    /// `config.trace_enabled` is off). Request spans, job-lifecycle
+    /// spans, and sampled eval spans all record here, so one trace id
+    /// walks a request end to end.
+    tracer: Tracer,
 }
 
 impl SearchServer {
@@ -198,6 +225,7 @@ impl SearchServer {
         } else {
             MetricsRegistry::disabled()
         });
+        let tracer = if config.trace_enabled { Tracer::new() } else { Tracer::disabled() };
         let server = SearchServer {
             config,
             cache,
@@ -206,6 +234,7 @@ impl SearchServer {
             spilled_insertions: AtomicU64::new(0),
             spill_lock: Mutex::new(()),
             metrics,
+            tracer,
         };
         server.warm_start();
         server
@@ -215,6 +244,13 @@ impl SearchServer {
     /// network front-end, so one `/metrics` render covers the stack).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The server's span store (disabled when `trace_enabled` is off).
+    /// Shared with the registry and the network front-end, so request
+    /// and job spans land in one store.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Loads the spill file (if any) into the fresh cache.
@@ -250,17 +286,19 @@ impl SearchServer {
     /// [`SearchServer::SPILL_CADENCE_MIN_INSERTIONS`] new entries
     /// accumulated, bounding how often a long search pays the
     /// serialize-everything cost mid-run.
-    fn spill_cache_at_cadence(&self) {
-        self.spill_cache(SearchServer::SPILL_CADENCE_MIN_INSERTIONS);
+    fn spill_cache_at_cadence(&self) -> bool {
+        self.spill_cache(SearchServer::SPILL_CADENCE_MIN_INSERTIONS)
     }
 
-    fn spill_cache(&self, min_new_insertions: u64) {
-        let (Some(path), Some(cache)) = (&self.cache_file, &self.cache) else { return };
+    /// Returns whether a spill actually happened (so callers can trace
+    /// only real writes, not clean-exit no-ops).
+    fn spill_cache(&self, min_new_insertions: u64) -> bool {
+        let (Some(path), Some(cache)) = (&self.cache_file, &self.cache) else { return false };
         let _guard = self.spill_lock.lock().expect("spill lock poisoned");
         let insertions = cache.stats().insertions;
         let since_last = insertions.saturating_sub(self.spilled_insertions.load(Ordering::Relaxed));
         if since_last < min_new_insertions.max(1) {
-            return;
+            return false;
         }
         self.spilled_insertions.store(insertions, Ordering::Relaxed);
         let spill_started = Instant::now();
@@ -275,6 +313,7 @@ impl SearchServer {
                 )
                 .observe_duration(spill_started.elapsed());
         }
+        true
     }
 
     /// The active configuration.
@@ -361,6 +400,28 @@ impl SearchServer {
             }
         }
 
+        // With tracing on and a claim span stamped on the control, the
+        // whole run nests under it: one `job.run` span covering the
+        // search, `job.generation`/`job.checkpoint`/`cache.spill`
+        // children from the observer, and sampled eval spans from the
+        // problem's `EvalTrace` — all tagged with the job id so they
+        // share a Perfetto lane.
+        let mut run_span = control.trace().map(|(job, parent)| {
+            let mut span = self.tracer.start_child("job.run", parent);
+            span.set_job(job);
+            span.set_attr("name", spec.name.clone());
+            span.set_attr("algorithm", spec.algorithm.to_string());
+            span
+        });
+        let run_trace = match (run_span.as_ref().and_then(|s| s.context()), control.trace()) {
+            (Some(ctx), Some((job, _))) => Some((job, ctx)),
+            _ => None,
+        };
+        if let Some((job, ctx)) = run_trace {
+            problem =
+                problem.with_eval_trace(Arc::new(EvalTrace::new(self.tracer.clone(), ctx, job)));
+        }
+
         let outcome = match spec.algorithm {
             JobAlgorithm::DiGamma => {
                 let ga = DiGamma::new(DiGammaConfig {
@@ -369,7 +430,7 @@ impl SearchServer {
                     threads: spec.threads,
                     ..Default::default()
                 });
-                self.drive_ga(spec, &ga, &problem, control)
+                self.drive_ga(spec, &ga, &problem, control, run_trace)
             }
             JobAlgorithm::Gamma(preset) => {
                 let hw = preset.build(&spec.platform, problem.evaluator().area_model());
@@ -382,7 +443,7 @@ impl SearchServer {
                 // The constrained clone shares `problem`'s dedupe
                 // counter, so the report below reads it transparently.
                 let (constrained, ga) = gamma.searcher(&problem, &hw);
-                self.drive_ga(spec, &ga, &constrained, control)
+                self.drive_ga(spec, &ga, &constrained, control, run_trace)
             }
             JobAlgorithm::Baseline(alg) => {
                 // Ask/tell baselines run to completion; cancellation is
@@ -401,6 +462,15 @@ impl SearchServer {
         // The job just memoized its work; persist it so a restart keeps
         // it (cheap no-op when nothing new was inserted).
         self.spill_cache_if_dirty();
+
+        if let Some(span) = &mut run_span {
+            span.set_attr("generations", outcome.generations.to_string());
+            span.set_attr("samples", outcome.result.samples.to_string());
+            if outcome.cancelled {
+                span.set_attr("cancelled", "true");
+            }
+        }
+        drop(run_span);
 
         JobReport {
             name: spec.name.clone(),
@@ -436,6 +506,7 @@ impl SearchServer {
         ga: &DiGamma,
         problem: &CoOptProblem,
         control: &JobControl,
+        run_trace: Option<(u64, SpanContext)>,
     ) -> GaOutcome {
         let path = self.checkpoint_path(spec);
         let fingerprint = spec.fingerprint();
@@ -479,6 +550,8 @@ impl SearchServer {
                 )
             }),
             last_boundary: Instant::now(),
+            run_trace,
+            last_boundary_ns: self.tracer.now_ns(),
         };
         ga.run_observed(problem, &mut state, spec.budget, &mut observer);
         let cancelled = observer.cancelled;
@@ -560,9 +633,51 @@ struct DriveObserver<'a> {
     checkpoint_seconds: Option<Histogram>,
     generation_seconds: Option<Histogram>,
     last_boundary: Instant,
+    /// The job id and run span the lifecycle spans nest under, when
+    /// tracing is on for this job.
+    run_trace: Option<(u64, SpanContext)>,
+    /// Tracer-clock reading at the last generation boundary — the start
+    /// of the next `job.generation` span.
+    last_boundary_ns: u64,
 }
 
 impl DriveObserver<'_> {
+    /// Records one completed lifecycle span under the run span,
+    /// back-dated by its measured duration.
+    fn record_span(
+        &self,
+        name: &'static str,
+        elapsed: Duration,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let Some((job, parent)) = self.run_trace else { return };
+        let tracer = self.server.tracer();
+        let dur_ns = elapsed.as_nanos() as u64;
+        tracer.record(SpanRecord {
+            trace: parent.trace,
+            span: tracer.span_id(),
+            parent: Some(parent.span),
+            name,
+            job: Some(job),
+            start_ns: tracer.now_ns().saturating_sub(dur_ns),
+            dur_ns,
+            attrs,
+        });
+    }
+
+    /// Spills the fitness memo, tracing the write when one happens.
+    fn spill(&self, at_cadence: bool) {
+        let spill_started = Instant::now();
+        let spilled = if at_cadence {
+            self.server.spill_cache_at_cadence()
+        } else {
+            self.server.spill_cache(1)
+        };
+        if spilled {
+            self.record_span("cache.spill", spill_started.elapsed(), Vec::new());
+        }
+    }
+
     fn snapshot(&mut self, state: &SearchState) {
         let Some(p) = self.path else { return };
         let write_started = Instant::now();
@@ -578,6 +693,7 @@ impl DriveObserver<'_> {
         if let Some(h) = &self.checkpoint_seconds {
             h.observe_duration(elapsed);
         }
+        self.record_span("job.checkpoint", elapsed, vec![("gen", state.generation().to_string())]);
     }
 }
 
@@ -585,6 +701,23 @@ impl StepObserver for DriveObserver<'_> {
     fn on_generation(&mut self, state: &SearchState, budget: usize) -> StepAction {
         if let Some(h) = &self.generation_seconds {
             h.observe_duration(self.last_boundary.elapsed());
+        }
+        if let Some((job, parent)) = self.run_trace {
+            let tracer = self.server.tracer();
+            let now_ns = tracer.now_ns();
+            tracer.record(SpanRecord {
+                trace: parent.trace,
+                span: tracer.span_id(),
+                parent: Some(parent.span),
+                name: "job.generation",
+                job: Some(job),
+                start_ns: self.last_boundary_ns,
+                dur_ns: now_ns.saturating_sub(self.last_boundary_ns),
+                attrs: vec![
+                    ("gen", state.generation().to_string()),
+                    ("samples", state.samples().to_string()),
+                ],
+            });
         }
         self.control.report(JobProgress {
             generation: state.generation(),
@@ -594,15 +727,16 @@ impl StepObserver for DriveObserver<'_> {
         });
         if self.control.is_cancelled() {
             self.snapshot(state);
-            self.server.spill_cache_if_dirty();
+            self.spill(false);
             self.cancelled = true;
             return StepAction::Stop;
         }
         if state.generation().is_multiple_of(self.every) {
             self.snapshot(state);
-            self.server.spill_cache_at_cadence();
+            self.spill(true);
         }
         self.last_boundary = Instant::now();
+        self.last_boundary_ns = self.server.tracer().now_ns();
         StepAction::Continue
     }
 }

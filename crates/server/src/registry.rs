@@ -39,7 +39,7 @@ use crate::journal::Journal;
 use crate::queue::{JobControl, JobProgress, SearchServer, ServerConfig};
 use crate::tenant::{valid_tenant_id, TenantSet, TenantSpec};
 use crate::textio::TextError;
-use digamma_obs::DEFAULT_LATENCY_BUCKETS;
+use digamma_obs::{SpanContext, SpanRecord, TraceId, Tracer, DEFAULT_LATENCY_BUCKETS};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -217,6 +217,14 @@ struct JobEntry {
     events_base: usize,
     events_done: bool,
     report: Option<JobReport>,
+    /// The span context the job's lifecycle spans nest under. Stamped
+    /// from the submitting request at submit; a job submitted without
+    /// one (journal replay, library use) gets a fresh root trace at
+    /// claim so `/trace/{id}` always resolves.
+    trace: Option<SpanContext>,
+    /// Tracer-clock reading when the job entered its queue — the start
+    /// of its `job.queued` span.
+    queued_ns: u64,
 }
 
 /// Lifetime usage counters for one tenant (fed from finished jobs'
@@ -504,8 +512,9 @@ impl JobRegistry {
                 state.tenants.insert(tspec.id.clone(), TenantSched::new(tspec.clone()));
                 state.rotation.push(tspec.id.clone());
             }
+            let queued_ns = inner.server.tracer().now_ns();
             for (id, spec) in replayed {
-                let entry = JobEntry::new(spec, make_control(&inner, id));
+                let entry = JobEntry::new(spec, make_control(&inner, id), None, queued_ns);
                 state.enqueue(id, entry);
             }
         }
@@ -557,7 +566,23 @@ impl JobRegistry {
     /// # Errors
     ///
     /// See [`JobRegistry::submit`]; on error, nothing was accepted.
-    pub fn submit_all(&self, mut specs: Vec<JobSpec>) -> Result<Vec<JobId>, SubmitError> {
+    pub fn submit_all(&self, specs: Vec<JobSpec>) -> Result<Vec<JobId>, SubmitError> {
+        self.submit_all_traced(specs, None)
+    }
+
+    /// [`JobRegistry::submit_all`] with the submitting request's span
+    /// context attached: every accepted job's lifecycle spans nest
+    /// under it, so `/trace/{id}` walks from the HTTP request through
+    /// queue wait, claim, run, and generations in one timeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRegistry::submit`]; on error, nothing was accepted.
+    pub fn submit_all_traced(
+        &self,
+        mut specs: Vec<JobSpec>,
+        trace: Option<SpanContext>,
+    ) -> Result<Vec<JobId>, SubmitError> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
@@ -646,8 +671,9 @@ impl JobRegistry {
                 .map_err(|e| SubmitError::Invalid(format!("journal append failed: {e}")))?;
         }
         state.next_id += specs.len() as JobId;
+        let queued_ns = self.inner.server.tracer().now_ns();
         for (&id, spec) in ids.iter().zip(specs) {
-            let entry = JobEntry::new(spec, make_control(&self.inner, id));
+            let entry = JobEntry::new(spec, make_control(&self.inner, id), trace, queued_ns);
             state.enqueue(id, entry);
         }
         drop(state);
@@ -681,6 +707,22 @@ impl JobRegistry {
         text: &str,
         tenant: Option<&str>,
     ) -> Result<Vec<JobId>, SubmitError> {
+        self.submit_manifest_traced(text, tenant, None)
+    }
+
+    /// [`JobRegistry::submit_manifest_as`] with the submitting
+    /// request's span context attached (see
+    /// [`JobRegistry::submit_all_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRegistry::submit_manifest`].
+    pub fn submit_manifest_traced(
+        &self,
+        text: &str,
+        tenant: Option<&str>,
+        trace: Option<SpanContext>,
+    ) -> Result<Vec<JobId>, SubmitError> {
         let manifest = crate::manifest::parse_manifest_full(text)?;
         if manifest.server != crate::manifest::ServerOverrides::default() {
             return Err(SubmitError::Invalid(
@@ -695,7 +737,22 @@ impl JobRegistry {
                 job.tenant = tenant.to_owned();
             }
         }
-        self.submit_all(jobs)
+        self.submit_all_traced(jobs, trace)
+    }
+
+    /// The trace id of a job's lifecycle spans, once one exists: set at
+    /// submit when the request carried a span context, or at claim for
+    /// jobs submitted without one. `None` for unknown jobs or jobs not
+    /// yet claimed under a tracing-off server.
+    pub fn trace_of(&self, id: JobId) -> Option<TraceId> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        state.jobs.get(&id).and_then(|e| e.trace).map(|ctx| ctx.trace)
+    }
+
+    /// The span store shared across the stack (disabled when the
+    /// server's `trace_enabled` is off).
+    pub fn tracer(&self) -> &Tracer {
+        self.inner.server.tracer()
     }
 
     /// Snapshots one job.
@@ -967,7 +1024,12 @@ fn make_control(inner: &Arc<Inner>, id: JobId) -> Arc<JobControl> {
 }
 
 impl JobEntry {
-    fn new(spec: JobSpec, control: Arc<JobControl>) -> JobEntry {
+    fn new(
+        spec: JobSpec,
+        control: Arc<JobControl>,
+        trace: Option<SpanContext>,
+        queued_ns: u64,
+    ) -> JobEntry {
         JobEntry {
             spec,
             status: JobStatus::Queued,
@@ -980,6 +1042,8 @@ impl JobEntry {
             events_base: 0,
             events_done: false,
             report: None,
+            trace,
+            queued_ns,
         }
     }
 
@@ -1050,8 +1114,47 @@ fn worker_loop(inner: &Arc<Inner>) {
         inner.cond.notify_all();
 
         let control = {
-            let state = inner.state.lock().expect("registry poisoned");
-            Arc::clone(&state.jobs[&id].control)
+            let mut state = inner.state.lock().expect("registry poisoned");
+            let entry = state.jobs.get_mut(&id).expect("claimed jobs are registered");
+            let tracer = inner.server.tracer();
+            if tracer.enabled() {
+                // Adopt the submitting request's trace; a job without
+                // one (journal replay, untraced submit) roots a fresh
+                // trace here so `/trace/{id}` always resolves. The
+                // queued span is back-dated to cover the whole wait,
+                // and the claim span it parents is what the run nests
+                // under: queued → claim → run → generation.
+                let (trace, parent) = match entry.trace {
+                    Some(ctx) => (ctx.trace, Some(ctx.span)),
+                    None => (tracer.trace_id(), None),
+                };
+                let claim_started_ns = tracer.now_ns();
+                let queued = SpanRecord {
+                    trace,
+                    span: tracer.span_id(),
+                    parent,
+                    name: "job.queued",
+                    job: Some(id),
+                    start_ns: entry.queued_ns,
+                    dur_ns: claim_started_ns.saturating_sub(entry.queued_ns),
+                    attrs: vec![("tenant", spec.tenant.clone())],
+                };
+                let claim = SpanRecord {
+                    trace,
+                    span: tracer.span_id(),
+                    parent: Some(queued.span),
+                    name: "job.claim",
+                    job: Some(id),
+                    start_ns: claim_started_ns,
+                    dur_ns: tracer.now_ns().saturating_sub(claim_started_ns),
+                    attrs: Vec::new(),
+                };
+                entry.trace = Some(SpanContext { trace, span: queued.span });
+                entry.control.set_trace(id, SpanContext { trace, span: claim.span });
+                tracer.record(queued);
+                tracer.record(claim);
+            }
+            Arc::clone(&entry.control)
         };
         let run_started = Instant::now();
         let mut report = inner.server.run_job_controlled(&spec, &control);
@@ -1155,6 +1258,78 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn traced_submit_nests_queued_claim_run_generation_under_the_request() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 1, ..ServerConfig::default() }, None)
+                .unwrap();
+        let tracer = registry.tracer().clone();
+        assert!(tracer.enabled(), "tracing defaults on");
+        let request = tracer.start_root("http.request");
+        let request_ctx = request.context().expect("root context");
+        let id =
+            registry.submit_all_traced(vec![spec("traced", 96)], Some(request_ctx)).unwrap()[0];
+        assert_eq!(
+            registry.trace_of(id),
+            Some(request_ctx.trace),
+            "the job adopts the request's trace id at submit"
+        );
+        wait_done(&registry, id);
+        request.end();
+        let spans = tracer.spans_for(request_ctx.trace);
+        let find = |name: &str| {
+            spans.iter().find(|s| s.name == name).unwrap_or_else(|| {
+                panic!(
+                    "{name} span missing: {:?}",
+                    spans.iter().map(|s| s.name).collect::<Vec<_>>()
+                )
+            })
+        };
+        let queued = find("job.queued");
+        let claim = find("job.claim");
+        let run = find("job.run");
+        let generation = find("job.generation");
+        assert_eq!(queued.parent, Some(request_ctx.span));
+        assert_eq!(claim.parent, Some(queued.span));
+        assert_eq!(run.parent, Some(claim.span));
+        assert_eq!(generation.parent, Some(run.span));
+        for span in [queued, claim, run, generation] {
+            assert_eq!(span.trace, request_ctx.trace);
+            assert_eq!(span.job, Some(id), "lifecycle spans carry the job id");
+        }
+        registry.shutdown();
+    }
+
+    #[test]
+    fn untraced_submit_roots_a_fresh_trace_at_claim() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 1, ..ServerConfig::default() }, None)
+                .unwrap();
+        let id = registry.submit(spec("plain", 96)).unwrap();
+        wait_done(&registry, id);
+        let trace = registry.trace_of(id).expect("claimed jobs always have a trace");
+        let spans = registry.tracer().spans_for(trace);
+        let queued = spans.iter().find(|s| s.name == "job.queued").expect("queued span");
+        assert_eq!(queued.parent, None, "no request to nest under: queued is the root");
+        assert!(spans.iter().any(|s| s.name == "job.run"));
+        registry.shutdown();
+    }
+
+    #[test]
+    fn trace_disabled_records_nothing_and_resolves_no_ids() {
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, trace_enabled: false, ..ServerConfig::default() },
+            None,
+        )
+        .unwrap();
+        let id = registry.submit(spec("untraced", 96)).unwrap();
+        wait_done(&registry, id);
+        assert!(!registry.tracer().enabled());
+        assert_eq!(registry.trace_of(id), None);
+        assert!(registry.tracer().recent(100).is_empty());
+        registry.shutdown();
     }
 
     #[test]
@@ -1442,7 +1617,7 @@ mod tests {
                 let id = next;
                 next += 1;
                 state.tenants.get_mut(tid).unwrap().queue.push_back(id);
-                state.jobs.insert(id, JobEntry::new(s, Arc::new(JobControl::new())));
+                state.jobs.insert(id, JobEntry::new(s, Arc::new(JobControl::new()), None, 0));
             }
         }
         // Claim 8 with a roomy pool, releasing each claim's threads so
@@ -1472,8 +1647,8 @@ mod tests {
         wide.threads = 2;
         let mut narrow = spec("narrow", 64);
         narrow.tenant = "capped".to_owned();
-        state.jobs.insert(1, JobEntry::new(wide, Arc::new(JobControl::new())));
-        state.jobs.insert(2, JobEntry::new(narrow, Arc::new(JobControl::new())));
+        state.jobs.insert(1, JobEntry::new(wide, Arc::new(JobControl::new()), None, 0));
+        state.jobs.insert(2, JobEntry::new(narrow, Arc::new(JobControl::new()), None, 0));
         let sched = state.tenants.get_mut("capped").unwrap();
         sched.queue.push_back(1);
         sched.queue.push_back(2);
