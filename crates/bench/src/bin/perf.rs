@@ -53,6 +53,18 @@ fn main() -> ExitCode {
         );
     }
 
+    for f in &report.fault_injection {
+        println!(
+            "fault {:<8} {:>6} evals | faults off {:>11.0} evals/s | disarmed {:>11.0} evals/s | overhead {:>6.2}% | bit-identical: {}",
+            f.workload,
+            f.evals,
+            f.faults_off_evals_per_sec,
+            f.faults_on_evals_per_sec,
+            f.overhead_pct,
+            f.bit_identical
+        );
+    }
+
     let json = render_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("perf: cannot write {out}: {e}");
@@ -75,6 +87,10 @@ fn main() -> ExitCode {
     }
     if report.instrumentation.iter().any(|p| !p.bit_identical) {
         eprintln!("perf: attaching metrics changed evaluation results — numbers are void");
+        return ExitCode::FAILURE;
+    }
+    if report.fault_injection.iter().any(|f| !f.bit_identical) {
+        eprintln!("perf: a disarmed failpoint set changed evaluation results — numbers are void");
         return ExitCode::FAILURE;
     }
     println!("perf: wrote {out}");

@@ -29,6 +29,12 @@
 //!   with sampled eval spans recording into a live [`Tracer`], guarding
 //!   the tracing layer's promise that sampled spans stay within a few
 //!   percent and change no results.
+//! * **fault_injection** — the same paired measurement for the
+//!   failpoint framework ([`digamma_obs::FailSet`]): evaluation
+//!   throughput with no failpoint set vs with a set attached but
+//!   *disarmed*, guarding the chaos layer's promise that every
+//!   production `evaluate_batch` call pays at most one relaxed atomic
+//!   load (≈1% budget) for the ability to inject faults at all.
 //!
 //! `--mode smoke` shrinks the budgets so CI can assert the file is
 //! produced and well-formed in seconds; recorded numbers come from
@@ -38,7 +44,7 @@
 use digamma::{CoOptProblem, EvalMetrics, EvalTrace, Objective};
 use digamma_costmodel::{EvalScratch, Evaluator, Mapping, Platform};
 use digamma_encoding::Genome;
-use digamma_obs::{MetricsRegistry, SpanContext, Tracer};
+use digamma_obs::{FailSet, MetricsRegistry, SpanContext, Tracer};
 use digamma_server::{JobAlgorithm, JobReport, JobSpec, SearchServer, ServerConfig};
 use digamma_workload::{zoo, Layer, Model, UniqueLayer};
 use rand::rngs::SmallRng;
@@ -180,6 +186,29 @@ pub struct TracePerf {
     pub bit_identical: bool,
 }
 
+/// Failpoint overhead for one workload: the same seeded
+/// `evaluate_batch` calls with no [`FailSet`] attached vs with an
+/// attached-but-disarmed set (the production shape of a binary built
+/// with chaos support but no `--failpoints` flag). The contract is the
+/// strictest of the observability trio: a disarmed hit is one relaxed
+/// atomic load, so the overhead must stay ≈1%.
+#[derive(Debug, Clone)]
+pub struct FaultPerf {
+    /// Workload name.
+    pub workload: String,
+    /// Per-layer evaluations per timed batch (before dedupe).
+    pub evals: usize,
+    /// Throughput with no failpoint set attached.
+    pub faults_off_evals_per_sec: f64,
+    /// Throughput with a disarmed [`FailSet`] attached.
+    pub faults_on_evals_per_sec: f64,
+    /// `(off - on) / off`, as a percentage — positive means the
+    /// fault-capable path is slower.
+    pub overhead_pct: f64,
+    /// Whether both paths produced bit-identical evaluation checksums.
+    pub bit_identical: bool,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -193,6 +222,8 @@ pub struct PerfReport {
     pub instrumentation: Vec<InstrPerf>,
     /// Tracing-on vs tracing-off evaluation throughput per workload.
     pub tracing: Vec<TracePerf>,
+    /// Disarmed-failpoints vs no-failpoints throughput per workload.
+    pub fault_injection: Vec<FaultPerf>,
 }
 
 /// The three fixed workloads the harness sweeps.
@@ -458,6 +489,76 @@ fn measure_tracing(model: &Model, config: &PerfConfig) -> TracePerf {
     }
 }
 
+/// The failpoint twin of [`measure_instrumentation`]: identical pairing
+/// and median-of-ratios scheme, but the "on" problem carries a disarmed
+/// [`FailSet`] — the shape every production search has once the binary
+/// supports `--failpoints` at all.
+fn measure_faults(model: &Model, config: &PerfConfig) -> FaultPerf {
+    let platform = Platform::edge();
+    let unique = model.unique_layers();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let count = config.evals_per_workload.div_ceil(unique.len()).max(1);
+    let genomes: Vec<Genome> =
+        (0..count).map(|_| Genome::random(&mut rng, &unique, &platform, 2)).collect();
+
+    let off = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
+    // Attached and *disarmed*: the set exists, no `worker.eval` action is
+    // configured, so every batch pays exactly the advertised relaxed
+    // atomic load and nothing fires.
+    let on = CoOptProblem::new(model.clone(), platform, Objective::Latency)
+        .with_eval_faults(Arc::new(FailSet::new()));
+
+    let checksum = |evaluations: &[digamma::DesignEvaluation]| {
+        evaluations.iter().fold(0u64, |acc, e| {
+            acc.wrapping_mul(31)
+                .wrapping_add(e.cost.to_bits())
+                .wrapping_add(e.latency_cycles.to_bits())
+                .wrapping_add(e.energy_pj.to_bits())
+        })
+    };
+    let off_sum = checksum(&off.evaluate_batch(&genomes, 1));
+    let on_sum = checksum(&on.evaluate_batch(&genomes, 1));
+
+    // Same pairing rationale as measure_instrumentation: the expected
+    // delta is far below machine drift, so each iteration times both
+    // paths back-to-back (order alternating) and the overhead is the
+    // median of the per-pair ratios.
+    const BATCHES_PER_PASS: usize = 2;
+    let mut off_ns = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for i in 0..(config.repeats * 16).max(2) {
+        let pass = |problem: &CoOptProblem| {
+            let start = Instant::now();
+            for _ in 0..BATCHES_PER_PASS {
+                std::hint::black_box(problem.evaluate_batch(&genomes, 1));
+            }
+            start.elapsed().as_nanos() as f64 / BATCHES_PER_PASS as f64
+        };
+        let (off_pass, on_pass) = if i % 2 == 0 {
+            let off_pass = pass(&off);
+            (off_pass, pass(&on))
+        } else {
+            let on_pass = pass(&on);
+            (pass(&off), on_pass)
+        };
+        off_ns = off_ns.min(off_pass);
+        ratios.push(on_pass / off_pass);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+
+    let evals = genomes.len() * unique.len();
+    let faults_off_evals_per_sec = evals as f64 / (off_ns / 1e9);
+    FaultPerf {
+        workload: model.name().to_owned(),
+        evals,
+        faults_off_evals_per_sec,
+        faults_on_evals_per_sec: faults_off_evals_per_sec / ratio,
+        overhead_pct: (ratio - 1.0) * 100.0,
+        bit_identical: off_sum == on_sum,
+    }
+}
+
 /// Runs the full harness.
 pub fn run(config: &PerfConfig) -> PerfReport {
     let models = workloads();
@@ -465,7 +566,8 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     let memo = models.iter().map(|m| measure_memo(m, config)).collect();
     let instrumentation = models.iter().map(|m| measure_instrumentation(m, config)).collect();
     let tracing = models.iter().map(|m| measure_tracing(m, config)).collect();
-    PerfReport { config: config.clone(), eval, memo, instrumentation, tracing }
+    let fault_injection = models.iter().map(|m| measure_faults(m, config)).collect();
+    PerfReport { config: config.clone(), eval, memo, instrumentation, tracing, fault_injection }
 }
 
 /// JSON string escaping (the only non-trivial JSON need this file has —
@@ -500,7 +602,7 @@ fn json_num(v: f64) -> String {
 pub fn render_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/3")));
+    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/4")));
     out.push_str(&format!("  \"mode\": {},\n", json_str(&report.config.mode)));
     out.push_str(&format!("  \"seed\": {},\n", report.config.seed));
     out.push_str("  \"eval\": [\n");
@@ -572,6 +674,24 @@ pub fn render_json(report: &PerfReport) -> String {
         out.push_str(&format!("\"overhead_pct\": {}, ", json_num(t.overhead_pct)));
         out.push_str(&format!("\"bit_identical\": {}", t.bit_identical));
         out.push_str(if i + 1 < report.tracing.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fault_injection\": [\n");
+    for (i, f) in report.fault_injection.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&f.workload)));
+        out.push_str(&format!("\"evals\": {}, ", f.evals));
+        out.push_str(&format!(
+            "\"faults_off_evals_per_sec\": {}, ",
+            json_num(f.faults_off_evals_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"faults_on_evals_per_sec\": {}, ",
+            json_num(f.faults_on_evals_per_sec)
+        ));
+        out.push_str(&format!("\"overhead_pct\": {}, ", json_num(f.overhead_pct)));
+        out.push_str(&format!("\"bit_identical\": {}", f.bit_identical));
+        out.push_str(if i + 1 < report.fault_injection.len() { "},\n" } else { "}\n" });
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
@@ -647,6 +767,9 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         "\"tracing\"",
         "\"trace_off_evals_per_sec\"",
         "\"trace_on_evals_per_sec\"",
+        "\"fault_injection\"",
+        "\"faults_off_evals_per_sec\"",
+        "\"faults_on_evals_per_sec\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -666,6 +789,7 @@ mod tests {
         assert_eq!(report.memo.len(), 3);
         assert_eq!(report.instrumentation.len(), 3);
         assert_eq!(report.tracing.len(), 3);
+        assert_eq!(report.fault_injection.len(), 3);
         for e in &report.eval {
             assert!(e.bit_identical, "{}: scratch path diverged from baseline", e.workload);
             assert!(e.evals > 0);
@@ -680,6 +804,11 @@ mod tests {
             assert!(t.bit_identical, "{}: tracing changed evaluation results", t.workload);
             assert!(t.evals > 0);
             assert!(t.trace_off_evals_per_sec > 0.0 && t.trace_on_evals_per_sec > 0.0);
+        }
+        for f in &report.fault_injection {
+            assert!(f.bit_identical, "{}: a disarmed FailSet changed results", f.workload);
+            assert!(f.evals > 0);
+            assert!(f.faults_off_evals_per_sec > 0.0 && f.faults_on_evals_per_sec > 0.0);
         }
         for m in &report.memo {
             assert!(
@@ -709,6 +838,7 @@ mod tests {
         assert!(validate_json(&json.replace("\"eval\"", "\"val\"")).is_err());
         assert!(validate_json(&json.replace("\"overhead_pct\"", "\"ovrhead_pct\"")).is_err());
         assert!(validate_json(&json.replace("\"trace_on_evals_per_sec\"", "\"trace_on\"")).is_err());
+        assert!(validate_json(&json.replace("\"fault_injection\"", "\"faults\"")).is_err());
         assert!(validate_json("{\"unterminated").is_err());
     }
 }

@@ -6,8 +6,8 @@ use digamma_costmodel::{
 };
 use digamma_encoding::Genome;
 use digamma_obs::{
-    Counter, Histogram, MetricsRegistry, SampleTick, SpanContext, SpanRecord, Tracer,
-    DEFAULT_LATENCY_BUCKETS,
+    Counter, FailAction, FailSet, Histogram, MetricsRegistry, SampleTick, SpanContext, SpanRecord,
+    Tracer, DEFAULT_LATENCY_BUCKETS,
 };
 use digamma_workload::{LayerKind, Model, UniqueLayer};
 use std::collections::HashMap;
@@ -261,6 +261,10 @@ pub struct CoOptProblem {
     /// Optional span handles parented under the job's run span;
     /// attached by the server when tracing is enabled.
     eval_trace: Option<Arc<EvalTrace>>,
+    /// Optional failpoint set, consulted once per batch (the
+    /// `worker.eval` point); attached by the server so a chaos run can
+    /// panic a search mid-generation.
+    eval_faults: Option<Arc<FailSet>>,
 }
 
 impl CoOptProblem {
@@ -286,6 +290,7 @@ impl CoOptProblem {
             eval_wall_ns: Arc::new(AtomicU64::new(0)),
             eval_metrics: None,
             eval_trace: None,
+            eval_faults: None,
         }
     }
 
@@ -363,6 +368,22 @@ impl CoOptProblem {
     /// The attached eval span handles, if any.
     pub fn eval_trace(&self) -> Option<&Arc<EvalTrace>> {
         self.eval_trace.as_ref()
+    }
+
+    /// Attaches a failpoint set to the evaluation hot path: every
+    /// [`CoOptProblem::evaluate_batch`] call hits the `worker.eval`
+    /// point, and a [`FailAction::Panic`] firing panics the batch —
+    /// the injected "worker dies mid-generation" fault the registry
+    /// must catch. Disarmed, the hit costs one relaxed atomic load per
+    /// batch; detached, one branch.
+    pub fn with_eval_faults(mut self, faults: Arc<FailSet>) -> CoOptProblem {
+        self.eval_faults = Some(faults);
+        self
+    }
+
+    /// The attached failpoint set, if any.
+    pub fn eval_faults(&self) -> Option<&Arc<FailSet>> {
+        self.eval_faults.as_ref()
     }
 
     /// Total wall time spent inside [`CoOptProblem::evaluate`] and
@@ -509,6 +530,11 @@ impl CoOptProblem {
     /// genome, in order, for any `threads` value — evaluation is pure, so
     /// deduplication is semantics-preserving.
     pub fn evaluate_batch(&self, genomes: &[Genome], threads: usize) -> Vec<DesignEvaluation> {
+        if let Some(faults) = &self.eval_faults {
+            if faults.fired("worker.eval") == Some(FailAction::Panic) {
+                panic!("injected panic at failpoint \"worker.eval\"");
+            }
+        }
         let started = Instant::now();
         let mut out: Vec<Option<DesignEvaluation>> = genomes.iter().map(|_| None).collect();
 

@@ -30,6 +30,13 @@
 //! `--token` sends `Authorization: Bearer TOKEN` with every request, for
 //! daemons running an authenticated tenant roster (`netd --tenants`).
 //!
+//! `submit` mints a per-invocation `Idempotency-Key` and retries with
+//! exponential backoff on transport failures and `503`s — a retried
+//! submit returns the originally-accepted job ids instead of enqueueing
+//! duplicates. `watch` reconnects from its last seen sequence number
+//! when the stream drops before the terminal `end status=` line,
+//! printing a `#` comment at every discontinuity.
+//!
 //! `smoke` is the CI path: it spawns the sibling `digamma-netd` binary
 //! on an ephemeral port with a temporary checkpoint dir, submits the
 //! manifest over a real socket, streams every job's events to
@@ -68,7 +75,13 @@ fn run(
             let addr = arg(1, "<addr>")?;
             let manifest = std::fs::read_to_string(arg(2, "<manifest-file>")?)
                 .map_err(|e| format!("cannot read manifest: {e}"))?;
-            let body = client::post_as(addr, "/jobs", Some(&manifest), token).map_err(stringify)?;
+            // One idempotency key per invocation (a fresh trace context
+            // is a cheap 128-bit random id): the retries below can only
+            // ever return the originally-accepted job ids, never
+            // enqueue duplicates — even when a fault ate the response.
+            let key = format!("netc-{}", SpanContext::generate().traceparent());
+            let body = client::submit_keyed(addr, &manifest, token, &key, Default::default())
+                .map_err(stringify)?;
             print!("{body}");
             Ok(())
         }
@@ -86,12 +99,7 @@ fn run(
             let addr = arg(1, "<addr>")?;
             let id: u64 =
                 arg(2, "<job-id>")?.parse().map_err(|_| "job id must be a number".to_owned())?;
-            client::stream_events_as(addr, id, 0, token, |line| {
-                println!("{line}");
-                true
-            })
-            .map_err(stringify)?;
-            Ok(())
+            watch(addr, id, token)
         }
         "cancel" => {
             let addr = arg(1, "<addr>")?;
@@ -150,6 +158,62 @@ fn run(
 
 fn stringify(e: std::io::Error) -> String {
     e.to_string()
+}
+
+/// How many consecutive failed watch reconnect attempts give up.
+const WATCH_MAX_RECONNECTS: u32 = 10;
+
+/// Streams a job's events to stdout, *reconnecting* from the last seen
+/// cursor when the connection drops before the terminal `end status=`
+/// line — a watcher survives daemon restarts and injected connection
+/// loss. Server-side `#` gap comments pass through verbatim; local
+/// reconnects announce themselves the same way, so the output stays a
+/// valid event stream with every discontinuity marked.
+fn watch(addr: &str, id: u64, token: Option<&str>) -> Result<(), String> {
+    let policy = client::RetryPolicy::default();
+    let mut cursor: usize = 0;
+    let mut failures = 0u32;
+    loop {
+        let mut terminal = false;
+        let seen_at_start = cursor;
+        let result = client::stream_events_as(addr, id, cursor, token, |line| {
+            println!("{line}");
+            // Track the server-side sequence so a reconnect resumes
+            // where this stream left off: ordinary event lines advance
+            // the cursor, and the server's gap comments name the
+            // sequence they resume at.
+            if let Some(rest) = line.split("resuming at seq ").nth(1) {
+                if let Ok(seq) = rest.trim().parse() {
+                    cursor = seq;
+                }
+            } else if !line.starts_with('#') {
+                cursor += 1;
+            }
+            if line.starts_with("end status=") {
+                terminal = true;
+            }
+            true
+        });
+        if terminal {
+            return Ok(());
+        }
+        if cursor > seen_at_start {
+            failures = 0;
+        }
+        failures += 1;
+        if failures > WATCH_MAX_RECONNECTS {
+            return match result {
+                Ok(_) => Err(format!("stream for job {id} kept closing without a terminal event")),
+                Err(e) => Err(format!("cannot stream job {id}: {e}")),
+            };
+        }
+        let reason = match &result {
+            Ok(_) => "connection closed before the terminal event".to_owned(),
+            Err(e) => e.to_string(),
+        };
+        println!("# watch: reconnecting from seq {cursor} (attempt {failures}): {reason}");
+        std::thread::sleep(policy.delay(failures - 1));
+    }
 }
 
 /// The `timing:` footer for a finished job's status body: the wire

@@ -6,6 +6,8 @@
 //!              [--eviction fifo|lru] [--checkpoint-dir DIR]
 //!              [--tenants FILE] [--no-metrics] [--no-trace]
 //!              [--log-level debug|info|warn|error]
+//!              [--shed-queue-depth N] [--drain-deadline-ms N]
+//!              [--io-timeout-ms N] [--failpoints SPEC]
 //! ```
 //!
 //! Binds a TCP listener (port 0 picks an ephemeral port; the resolved
@@ -25,24 +27,67 @@
 //! tenants by weighted round-robin, quotas reject over-limit submits
 //! with 429, and — once any tenant defines a token — every request must
 //! carry `Authorization: Bearer <token>`.
+//!
+//! # Failure hardening
+//!
+//! `--shed-queue-depth N` caps the total queued jobs: submits past the
+//! watermark are shed with `503` + `Retry-After` instead of growing the
+//! backlog unboundedly. `--io-timeout-ms` sets the per-connection socket
+//! deadlines (slow clients get `408`). On SIGTERM the daemon *drains*:
+//! it stops accepting new jobs, lets queued and running work finish (or
+//! snapshot) within `--drain-deadline-ms`, then exits — the
+//! kubernetes-style graceful rollout, where SIGKILL remains the
+//! crash-recovery path exercised by the restart tests.
+//!
+//! `--failpoints SPEC` arms deterministic fault injection (grammar in
+//! `digamma_obs::fail`), e.g.
+//! `--failpoints 'journal.append=err,nth:3;sock.write=drop,p:0.05,seed:7'`.
+//! Disarmed failpoints cost one relaxed atomic load; never ship an
+//! armed spec to a service you like.
 
 use digamma_net::NetServer;
 use digamma_obs::{log, LogLevel};
 use digamma_server::{EvictionPolicy, JobRegistry, ServerConfig, TenantSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Flipped by the SIGTERM handler; a monitor thread turns it into a
+/// graceful drain. Signal handlers may only do async-signal-safe work,
+/// which a relaxed store is and a condvar drain is not.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_sigterm` for SIGTERM (15) via libc's `signal` — the
+/// container has no signal-handling crate, and this one handler does
+/// not justify hand-rolling `sigaction` bindings.
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
 
 struct Options {
     addr: String,
     config: ServerConfig,
     tenants_path: Option<PathBuf>,
+    io_timeout: Option<Duration>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = "127.0.0.1:7171".to_owned();
     let mut config = ServerConfig::default();
     let mut tenants_path = None;
+    let mut io_timeout = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -95,13 +140,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 })?;
                 log::global().set_level(level);
             }
+            "--shed-queue-depth" => {
+                config.shed_queue_depth = value("--shed-queue-depth")?
+                    .parse()
+                    .map_err(|_| "--shed-queue-depth needs an integer (0 disables)".to_owned())?;
+            }
+            "--drain-deadline-ms" => {
+                let ms: u64 = value("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--drain-deadline-ms needs a positive integer".to_owned())?;
+                config.drain_deadline = Duration::from_millis(ms);
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = value("--io-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--io-timeout-ms needs a positive integer".to_owned())?;
+                io_timeout = Some(Duration::from_millis(ms));
+            }
+            "--failpoints" => {
+                let spec = value("--failpoints")?;
+                config.faults.configure(spec).map_err(|e| format!("bad --failpoints spec: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if config.workers == 0 {
         return Err("--workers must be at least 1".to_owned());
     }
-    Ok(Options { addr, config, tenants_path })
+    Ok(Options { addr, config, tenants_path, io_timeout })
 }
 
 fn run() -> Result<(), String> {
@@ -126,13 +192,17 @@ fn run() -> Result<(), String> {
     };
     let tenant_count = tenants.len();
     let authenticated = tenants.requires_auth();
+    let drain_deadline = options.config.drain_deadline;
     let registry = Arc::new(
         JobRegistry::start_with_tenants(options.config, journal, tenants)
             .map_err(|e| format!("cannot start registry: {e}"))?,
     );
     let replayed = registry.stats().queued;
-    let server = NetServer::bind(&options.addr, registry)
+    let mut server = NetServer::bind(&options.addr, Arc::clone(&registry))
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    if let Some(timeout) = options.io_timeout {
+        server.set_io_timeouts(timeout, timeout);
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // The parseable handshake line tools and tests key on — stays a
     // bare stdout println, never routed through the structured logger.
@@ -157,6 +227,27 @@ fn run() -> Result<(), String> {
             &[],
         );
     }
+    // SIGTERM → graceful drain: stop admitting (submits answer 503),
+    // let queued and running jobs finish or snapshot within the drain
+    // deadline, then stop the accept loop. SIGKILL stays the hard-crash
+    // path — journal and snapshots carry the state to the next life.
+    install_sigterm_handler();
+    let shutdown = server.shutdown_handle().map_err(|e| e.to_string())?;
+    let drain_registry = Arc::clone(&registry);
+    std::thread::spawn(move || {
+        while !SIGTERM_RECEIVED.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        log::global().log(
+            LogLevel::Info,
+            "netd",
+            None,
+            "SIGTERM received; draining",
+            &[("deadline_ms", drain_deadline.as_millis().to_string())],
+        );
+        drain_registry.drain(drain_deadline);
+        shutdown.shutdown();
+    });
     server.serve().map_err(|e| format!("serve failed: {e}"))?;
     logger.log(LogLevel::Info, "netd", None, "shutdown complete", &[]);
     Ok(())

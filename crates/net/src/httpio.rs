@@ -160,6 +160,19 @@ fn bad_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
+/// Whether a [`Request::read_from`] error was an oversized declared
+/// body — the one `InvalidData` case that merits `413` over `400`.
+pub fn is_body_too_large(error: &io::Error) -> bool {
+    error.kind() == io::ErrorKind::InvalidData
+        && error.to_string().contains("request body too large")
+}
+
+/// Whether an error is a socket deadline expiry. Blocking-socket
+/// timeouts surface as `WouldBlock` on Unix and `TimedOut` on Windows.
+pub fn is_timeout(error: &io::Error) -> bool {
+    matches!(error.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// The reason phrase for the status codes this service emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -170,9 +183,12 @@ pub fn reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -205,16 +221,37 @@ pub fn write_response_typed(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_extra(writer, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response_typed`] plus arbitrary extra headers — how `503`
+/// responses carry `Retry-After` so well-behaved clients back off.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] from the transport.
+pub fn write_response_extra(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
         connection
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
@@ -419,7 +456,29 @@ mod tests {
         assert!(parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
         assert!(parse("GET / HTTP/1.1\r\n").is_err(), "EOF inside headers");
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        assert!(parse(&huge).is_err(), "oversized body declared");
+        let error = parse(&huge).unwrap_err();
+        assert!(is_body_too_large(&error), "oversized body declared: {error}");
+        assert!(!is_body_too_large(&parse("BANANAS\r\n\r\n").unwrap_err()));
+    }
+
+    #[test]
+    fn extra_headers_ride_the_response_head() {
+        let mut wire = Vec::new();
+        write_response_extra(
+            &mut wire,
+            503,
+            "text/plain; charset=utf-8",
+            "draining\n",
+            false,
+            &[("Retry-After", "1")],
+        )
+        .unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let mut response = Response::read_head(&mut reader).unwrap();
+        response.read_body(&mut reader).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(response.body, "draining\n");
     }
 
     #[test]

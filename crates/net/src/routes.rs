@@ -27,8 +27,19 @@
 //! Quota rejections surface as 429 so clients can back off and retry.
 //! Without tokens the service is open, exactly as before tenancy
 //! existed.
+//!
+//! # Overload and retries
+//!
+//! When the registry is draining or its queue is at the shed watermark,
+//! `POST /jobs` answers `503` with `Retry-After: 1`. A submit may carry
+//! an `Idempotency-Key` header (1..=128 visible characters): the first
+//! accepted submit under a key journals the key with its job ids, and
+//! any retry of the same key — in this process's life or after a
+//! restart — returns the original ids instead of enqueueing duplicates.
 
-use crate::httpio::{write_response, write_response_typed, ChunkedWriter, Request};
+use crate::httpio::{
+    write_response, write_response_extra, write_response_typed, ChunkedWriter, Request,
+};
 use digamma_obs::{render_chrome_trace, SpanContext};
 use digamma_server::textio::Section;
 use digamma_server::{JobId, JobRegistry, JobView, SubmitError};
@@ -98,7 +109,25 @@ pub fn handle(
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => {
             let body = String::from_utf8_lossy(&request.body);
-            match registry.submit_manifest_traced(&body, identity.as_deref(), ctx) {
+            let idempotency_key = match request.header("idempotency-key") {
+                Some(key) => {
+                    if key.is_empty()
+                        || key.len() > 128
+                        || key.chars().any(|c| c.is_whitespace() || c.is_control())
+                    {
+                        write_response(
+                            stream,
+                            400,
+                            "bad Idempotency-Key: must be 1..=128 visible characters\n",
+                            keep,
+                        )?;
+                        return Ok(keep);
+                    }
+                    Some(key)
+                }
+                None => None,
+            };
+            match registry.submit_manifest_keyed(&body, identity.as_deref(), ctx, idempotency_key) {
                 Ok(ids) => {
                     let sections: Vec<Section> = ids
                         .iter()
@@ -125,6 +154,18 @@ pub fn handle(
                 }
                 Err(SubmitError::QuotaExceeded(msg)) => {
                     write_response(stream, 429, &format!("{msg}\n"), keep)?;
+                }
+                Err(SubmitError::Unavailable(msg)) => {
+                    // Load shed or drain: explicitly retryable, so carry
+                    // Retry-After for clients that honor it.
+                    write_response_extra(
+                        stream,
+                        503,
+                        "text/plain; charset=utf-8",
+                        &format!("{msg}\n"),
+                        keep,
+                        &[("Retry-After", "1")],
+                    )?;
                 }
             }
             Ok(keep)
@@ -386,6 +427,7 @@ pub fn render_stats(registry: &JobRegistry) -> String {
     s.push("running", stats.running.to_string());
     s.push("done", stats.done.to_string());
     s.push("cancelled", stats.cancelled.to_string());
+    s.push("failed", stats.failed.to_string());
     let mut process = Section::new("process");
     process.push("start_unix", stats.start_unix.to_string());
     process.push("uptime_seconds", stats.uptime_seconds.to_string());
@@ -399,6 +441,7 @@ pub fn render_stats(registry: &JobRegistry) -> String {
         t.push("running", tenant.running.to_string());
         t.push("done", tenant.done.to_string());
         t.push("cancelled", tenant.cancelled.to_string());
+        t.push("failed", tenant.failed.to_string());
         t.push("evals_submitted", tenant.evals_submitted.to_string());
         t.push("evals_consumed", tenant.evals_consumed.to_string());
         t.push("cache_hits", tenant.cache_hits.to_string());

@@ -14,12 +14,17 @@
 use crate::httpio::Request;
 use crate::metrics::{endpoint_label, method_label, record_request, request_bytes, MeteredWriter};
 use crate::routes::{self, ShutdownFlag};
-use digamma_obs::{log, LogLevel, SpanContext};
+use digamma_obs::{log, FailAction, LogLevel, SpanContext};
 use digamma_server::JobRegistry;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default per-direction socket deadline. Generous enough for any real
+/// client, short enough that a slow-loris connection cannot pin its
+/// thread forever.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A bound-but-not-yet-serving network front-end.
 #[derive(Debug)]
@@ -27,6 +32,8 @@ pub struct NetServer {
     listener: TcpListener,
     registry: Arc<JobRegistry>,
     shutdown: ShutdownFlag,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
 /// A handle that can stop a [`NetServer::serve`] loop from any thread.
@@ -53,7 +60,21 @@ impl NetServer {
     /// Returns [`std::io::Error`] when the address cannot be bound.
     pub fn bind(addr: &str, registry: Arc<JobRegistry>) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
-        Ok(NetServer { listener, registry, shutdown: ShutdownFlag::new() })
+        Ok(NetServer {
+            listener,
+            registry,
+            shutdown: ShutdownFlag::new(),
+            read_timeout: DEFAULT_IO_TIMEOUT,
+            write_timeout: DEFAULT_IO_TIMEOUT,
+        })
+    }
+
+    /// Overrides the per-connection socket deadlines. A read that stalls
+    /// past its deadline is answered `408 Request Timeout`; a write that
+    /// stalls past its deadline closes the connection.
+    pub fn set_io_timeouts(&mut self, read: Duration, write: Duration) {
+        self.read_timeout = read.max(Duration::from_millis(1));
+        self.write_timeout = write.max(Duration::from_millis(1));
     }
 
     /// The bound address (the real port, after ephemeral binding).
@@ -108,6 +129,23 @@ impl NetServer {
                     if self.shutdown.is_set() {
                         break Ok(());
                     }
+                    if self.registry.server().faults().fired("sock.accept")
+                        == Some(FailAction::Drop)
+                    {
+                        // Injected connection loss at the door: the
+                        // client sees a reset and must retry.
+                        drop(stream);
+                        continue;
+                    }
+                    if stream
+                        .set_read_timeout(Some(self.read_timeout))
+                        .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
+                        .is_err()
+                    {
+                        // A connection we cannot deadline is a connection
+                        // we refuse to serve.
+                        continue;
+                    }
                     let registry = Arc::clone(&self.registry);
                     let handle = handle.clone();
                     std::thread::spawn(move || {
@@ -151,12 +189,33 @@ fn serve_connection(
     handle: &ShutdownHandle,
     stream: TcpStream,
 ) -> std::io::Result<()> {
+    let faults = Arc::clone(registry.server().faults());
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
+        if faults.fired("sock.read") == Some(FailAction::Drop) {
+            // Injected connection loss mid-read: close without a word,
+            // exactly like a yanked network cable.
+            return Ok(());
+        }
         let request = match Request::read_from(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
+            Err(e) if crate::httpio::is_timeout(&e) => {
+                // Slow-loris (or an idle keep-alive peer past its
+                // deadline): best-effort 408, then close.
+                let _ = crate::httpio::write_response(
+                    &mut writer,
+                    408,
+                    "request read deadline exceeded\n",
+                    false,
+                );
+                return Ok(());
+            }
+            Err(e) if crate::httpio::is_body_too_large(&e) => {
+                let _ = crate::httpio::write_response(&mut writer, 413, &format!("{e}\n"), false);
+                return Ok(());
+            }
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 let _ = crate::httpio::write_response(
                     &mut writer,
@@ -168,6 +227,14 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
+        if faults.fired("sock.write") == Some(FailAction::Drop) {
+            // Injected connection loss after the request was read but
+            // before the response: the request is still *processed* (the
+            // write below fails instead), so the client cannot tell
+            // whether its submit landed — precisely the torn-response
+            // case idempotency keys exist for.
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
         let started = Instant::now();
         // One server span per request, adopting the client's W3C
         // `traceparent` when it sends one (so a client-minted trace id

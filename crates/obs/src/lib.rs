@@ -23,9 +23,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fail;
 pub mod log;
 pub mod trace;
 
+pub use fail::{FailAction, FailSet};
 pub use log::{format_line, LogLevel, Logger};
 pub use trace::{
     parse_chrome_trace, render_chrome_trace, ChromeEvent, Span, SpanContext, SpanId, SpanRecord,

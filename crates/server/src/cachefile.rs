@@ -40,6 +40,8 @@ use digamma_costmodel::latency::{Bottleneck, LatencyBreakdown};
 use digamma_costmodel::{
     analysis::LinkTraffic, cachekey::KEY_VERSION, BufferRequirement, CostReport, HwConfig,
 };
+use digamma_obs::{FailAction, FailSet};
+use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -227,16 +229,61 @@ pub fn parse_cache_file(text: &str) -> Result<(Vec<(u64, CostReport)>, CacheLoad
     Ok((entries, load))
 }
 
-/// Atomically writes the spill file (write-then-rename, so a kill
-/// mid-write never destroys the previous good spill).
+/// Writes `bytes` to `tmp`, fsyncs, then atomically renames onto
+/// `path` — the durability discipline every spill and snapshot shares.
+/// The rename only ever promotes fully durable bytes, so a kill or
+/// power cut at any instant leaves either the old file or the new one,
+/// never a truncated hybrid. The named failpoint injects storage
+/// faults: `short` tears the tmp write (the old file survives untouched
+/// since the rename never runs), `err`/`enospc` fail it outright.
 ///
 /// # Errors
 ///
-/// Returns [`std::io::Error`] when the directory is unwritable.
-pub fn write_cache_file(path: &Path, entries: &[(u64, Arc<CostReport>)]) -> std::io::Result<()> {
+/// Returns [`std::io::Error`] from the write, sync, or rename; on any
+/// error the previous `path` contents are intact.
+pub(crate) fn persist_atomic(
+    tmp: &Path,
+    path: &Path,
+    bytes: &[u8],
+    faults: &FailSet,
+    point: &str,
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(tmp)?;
+    match faults.fired(point) {
+        Some(FailAction::Short) => {
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = file.sync_all();
+            return Err(std::io::Error::other(format!(
+                "injected torn write at failpoint {point:?}"
+            )));
+        }
+        Some(action) => {
+            if let Some(e) = action.to_io_error(point) {
+                return Err(e);
+            }
+        }
+        None => {}
+    }
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(tmp, path)
+}
+
+/// Atomically writes the spill file (write + fsync + rename via
+/// [`persist_atomic`]; the `cache.spill` failpoint injects faults).
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] when the directory is unwritable; the
+/// previous spill file, if any, survives every failure.
+pub fn write_cache_file(
+    path: &Path,
+    entries: &[(u64, Arc<CostReport>)],
+    faults: &FailSet,
+) -> std::io::Result<()> {
     let tmp = path.with_extension("cache.tmp");
-    std::fs::write(&tmp, render_cache_file(entries))?;
-    std::fs::rename(&tmp, path)
+    persist_atomic(&tmp, path, render_cache_file(entries).as_bytes(), faults, "cache.spill")
 }
 
 /// Best-effort load: a missing, unreadable, or corrupt file is a cold
@@ -397,10 +444,37 @@ mod tests {
         assert_eq!(read_cache_file(&path).0.len(), 0);
         // Real file round-trips through disk.
         let entries = sample_entries();
-        write_cache_file(&path, &entries).unwrap();
+        write_cache_file(&path, &entries, &FailSet::new()).unwrap();
         let (back, load) = read_cache_file(&path);
         assert_eq!(load.loaded, entries.len());
         assert_eq!(back.len(), entries.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_storage_faults_never_clobber_the_previous_spill() {
+        let dir =
+            std::env::temp_dir().join(format!("digamma-cachefile-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fitness-memo.cache");
+        let entries = sample_entries();
+        write_cache_file(&path, &entries, &FailSet::new()).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        let faults = FailSet::new();
+        faults.configure("cache.spill=enospc,once").unwrap();
+        let err = write_cache_file(&path, &entries, &faults).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "ENOSPC must surface as the real errno");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good, "old spill intact");
+
+        faults.configure("cache.spill=short,once").unwrap();
+        assert!(write_cache_file(&path, &entries, &faults).is_err(), "torn write reports");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good, "torn tmp never promoted");
+
+        // Disarmed again, the write goes through.
+        faults.clear();
+        write_cache_file(&path, &entries, &faults).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

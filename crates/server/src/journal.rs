@@ -13,9 +13,10 @@
 //!
 //! ```text
 //! [journal]
-//! version = 2                   # format version (see JOURNAL_VERSION)
+//! version = 3                   # format version (see JOURNAL_VERSION)
 //!
 //! [submitted]
+//! crc = 4b6e9a21cc03fd10        # since version 3: FNV-1a of the record
 //! id = 3
 //! name = ncf-edge
 //! tenant = alpha                # since version 2
@@ -23,38 +24,91 @@
 //! ...                           # the full [job] key set
 //!
 //! [finished]
+//! crc = 90211c5fe0aa7b34
 //! id = 3
-//! status = done                 # done | cancelled
+//! status = done                 # done | cancelled | failed
 //! ```
 //!
 //! Version 1 journals (written before tenancy) carry neither the
 //! `[journal]` header nor `tenant` keys; they replay cleanly, every job
-//! defaulting to the `"default"` tenant. A journal declaring a version
-//! *newer* than [`JOURNAL_VERSION`] refuses to replay — silently
-//! dropping records a future format considers essential would be worse
-//! than failing the start.
+//! defaulting to the `"default"` tenant. Version 2 records (no `crc`)
+//! replay unverified. A journal declaring a version *newer* than
+//! [`JOURNAL_VERSION`] refuses to replay — silently dropping records a
+//! future format considers essential would be worse than failing the
+//! start.
 //!
 //! Appends are small and section-atomic in practice, but a kill can
 //! still truncate the tail mid-write — so replay parses leniently,
 //! dropping an unparsable trailing record instead of refusing to start.
+//! The sharper hazard is a *torn-then-overwritten* tail: a partial
+//! record with no trailing newline glues onto the next append's header
+//! line, producing a block that still parses but carries another
+//! record's keys. The per-record `crc` (FNV-1a 64 over the record
+//! rendered without its `crc` line, the same hash family as `cachekey`)
+//! catches exactly that — mismatching records are skipped and counted
+//! in [`JournalReplay::corrupt`], never replayed as garbage.
+//!
+//! Failure domains are injectable: the `journal.append` failpoint tears
+//! or fails an append, `journal.replay` fails the read-back (see
+//! [`digamma_obs::fail`]).
 
 use crate::job::JobSpec;
 use crate::manifest::{parse_job_section, render_job};
 use crate::registry::{JobId, JobStatus};
 use crate::textio::{self, Section};
+use digamma_obs::{FailAction, FailSet};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The journal format version this build writes. Bumped to 2 when jobs
-/// gained `tenant` tags; version-1 files (no `[journal]` header) still
-/// replay, defaulting every job's tenant.
-pub const JOURNAL_VERSION: u64 = 2;
+/// gained `tenant` tags, to 3 when records gained `crc` checksums;
+/// version-1 files (no `[journal]` header) still replay, defaulting
+/// every job's tenant, and version-2 records replay without
+/// verification.
+pub const JOURNAL_VERSION: u64 = 3;
+
+/// FNV-1a 64 — the same stable hash family the cache keys use.
+fn fnv64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3))
+}
+
+/// The checksum of a record: FNV-1a 64 over the section rendered
+/// *without* its `crc` entry, as 16 hex digits. Entry order matters and
+/// is preserved by both [`Section::render`] and the parser, so append
+/// and replay agree on the hashed bytes.
+fn record_crc(section: &Section) -> String {
+    let mut clean = Section::new(section.name.clone());
+    for (key, value) in &section.entries {
+        if key != "crc" {
+            clean.entries.push((key.clone(), value.clone()));
+        }
+    }
+    format!("{:016x}", fnv64(clean.render().as_bytes()))
+}
+
+/// Prepends the `crc` entry to a freshly built record. The checksum
+/// goes *first* so a torn tail (which loses the record's end, not its
+/// start) always retains the declared checksum that will convict it.
+fn seal(section: Section) -> Section {
+    let crc = record_crc(&section);
+    let mut sealed = Section::new(section.name.clone());
+    sealed.push("crc", crc);
+    sealed.entries.extend(section.entries);
+    sealed
+}
 
 /// An append-only job journal at a fixed path.
 #[derive(Debug, Clone)]
 pub struct Journal {
     path: PathBuf,
+    /// The failpoint set the `journal.append`/`journal.replay` sites
+    /// consult (an inactive default unless built via
+    /// [`Journal::with_faults`]).
+    faults: Arc<FailSet>,
 }
 
 /// What replaying a journal recovers.
@@ -67,12 +121,27 @@ pub struct JournalReplay {
     pub finished: Vec<(JobId, JobStatus)>,
     /// The next fresh id (one past the largest seen).
     pub next_id: JobId,
+    /// Records whose declared `crc` did not match their content —
+    /// detected damage, skipped rather than replayed.
+    pub corrupt: u64,
+    /// Idempotency keys journaled with keyed submissions, as
+    /// `(scope, key, ids)` — replayed into the registry's dedupe map so
+    /// a client retrying a submit across a daemon restart still gets
+    /// the original job ids instead of duplicates.
+    pub idempotency: Vec<(String, String, Vec<JobId>)>,
 }
 
 impl Journal {
     /// A journal at `path` (created on first append).
     pub fn new(path: impl Into<PathBuf>) -> Journal {
-        Journal { path: path.into() }
+        Journal::with_faults(path, Arc::new(FailSet::new()))
+    }
+
+    /// A journal whose append/replay failpoints consult `faults` (the
+    /// server's shared set, so one `--failpoints` spec covers every
+    /// domain).
+    pub fn with_faults(path: impl Into<PathBuf>, faults: Arc<FailSet>) -> Journal {
+        Journal { path: path.into(), faults }
     }
 
     /// The journal's path.
@@ -98,6 +167,25 @@ impl Journal {
     ///
     /// Returns [`std::io::Error`] when the append fails.
     pub fn append_submitted_all(&self, batch: &[(JobId, &JobSpec)]) -> std::io::Result<()> {
+        self.append_submitted_keyed(batch, None)
+    }
+
+    /// Like [`Journal::append_submitted_all`], but when the submission
+    /// carried an idempotency key, a `[idempotency]` record binding
+    /// `(scope, key)` to the batch's ids lands in the *same* filesystem
+    /// append — so dedupe state survives a restart exactly when the jobs
+    /// it guards do. A torn append drops the key along with the batch,
+    /// which is safe: the client never saw a response, so its retry
+    /// re-submitting from scratch is the correct outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the append fails.
+    pub fn append_submitted_keyed(
+        &self,
+        batch: &[(JobId, &JobSpec)],
+        idempotency: Option<(&str, &str)>,
+    ) -> std::io::Result<()> {
         let mut buffer = String::new();
         for (id, spec) in batch {
             let mut section = Section::new("submitted");
@@ -105,13 +193,22 @@ impl Journal {
             for (key, value) in render_job(spec).entries {
                 section.push(key, value);
             }
-            buffer.push_str(&section.render());
+            buffer.push_str(&seal(section).render());
+            buffer.push('\n');
+        }
+        if let Some((scope, key)) = idempotency {
+            let ids: Vec<String> = batch.iter().map(|(id, _)| id.to_string()).collect();
+            let mut section = Section::new("idempotency");
+            section.push("key", key);
+            section.push("tenant", scope);
+            section.push("ids", ids.join(" "));
+            buffer.push_str(&seal(section).render());
             buffer.push('\n');
         }
         self.append_raw(&buffer)
     }
 
-    /// Records a terminal transition (`Done` or `Cancelled`).
+    /// Records a terminal transition (`Done`, `Cancelled`, or `Failed`).
     ///
     /// # Errors
     ///
@@ -120,7 +217,7 @@ impl Journal {
         let mut section = Section::new("finished");
         section.push("id", id.to_string());
         section.push("status", status.to_string());
-        self.append(&section)
+        self.append(&seal(section))
     }
 
     fn append(&self, section: &Section) -> std::io::Result<()> {
@@ -137,6 +234,19 @@ impl Journal {
             header.push("version", JOURNAL_VERSION.to_string());
             file.write_all(format!("{}\n", header.render()).as_bytes())?;
         }
+        // Injectable storage faults: `short` leaves a torn tail on disk
+        // (and reports the failure, as a crash mid-write would by
+        // vanishing); `err`/`enospc` fail before writing anything.
+        if let Some(action) = self.faults.fired("journal.append") {
+            if action == FailAction::Short {
+                file.write_all(&text.as_bytes()[..text.len() / 2])?;
+                let _ = file.flush();
+                return Err(std::io::Error::other("injected torn write at journal.append"));
+            }
+            if let Some(e) = action.to_io_error("journal.append") {
+                return Err(e);
+            }
+        }
         file.write_all(text.as_bytes())
     }
 
@@ -150,6 +260,11 @@ impl Journal {
     /// Returns [`std::io::Error`] only for real I/O failures (permission
     /// problems, not absence).
     pub fn replay(&self) -> std::io::Result<JournalReplay> {
+        if let Some(e) =
+            self.faults.fired("journal.replay").and_then(|a| a.to_io_error("journal.replay"))
+        {
+            return Err(e);
+        }
         let text = match std::fs::read_to_string(&self.path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -158,7 +273,10 @@ impl Journal {
         let mut pending: BTreeMap<JobId, JobSpec> = BTreeMap::new();
         let mut finished = Vec::new();
         let mut next_id: JobId = 1;
-        for section in lenient_sections(&text) {
+        let (sections, dropped) = lenient_sections(&text);
+        let mut corrupt = dropped;
+        let mut idempotency = Vec::new();
+        for section in sections {
             if section.name == "journal" {
                 // Version 1 files have no header at all; anything newer
                 // than this build refuses to replay rather than silently
@@ -174,6 +292,27 @@ impl Journal {
                             JOURNAL_VERSION
                         ),
                     ));
+                }
+                continue;
+            }
+            // A declared checksum that does not match the content is a
+            // torn-then-overwritten record (or bit rot): skip it rather
+            // than replay garbage. Pre-v3 records carry no `crc` and
+            // replay unverified, as they always did.
+            if section.get("crc").is_some_and(|declared| declared != record_crc(&section)) {
+                corrupt += 1;
+                continue;
+            }
+            // Idempotency records have no `id` of their own — they bind
+            // a `(scope, key)` pair to the ids of the batch they were
+            // appended with.
+            if section.name == "idempotency" {
+                if let (Some(key), Some(scope)) = (section.get("key"), section.get("tenant")) {
+                    let ids: Vec<JobId> = section
+                        .get("ids")
+                        .map(|v| v.split_whitespace().filter_map(|t| t.parse().ok()).collect())
+                        .unwrap_or_default();
+                    idempotency.push((scope.to_owned(), key.to_owned(), ids));
                 }
                 continue;
             }
@@ -196,7 +335,13 @@ impl Journal {
                 _ => {}
             }
         }
-        Ok(JournalReplay { pending: pending.into_iter().collect(), finished, next_id })
+        Ok(JournalReplay {
+            pending: pending.into_iter().collect(),
+            finished,
+            next_id,
+            corrupt,
+            idempotency,
+        })
     }
 }
 
@@ -204,14 +349,17 @@ fn parse_status(s: &str) -> Option<JobStatus> {
     match s {
         "done" => Some(JobStatus::Done),
         "cancelled" => Some(JobStatus::Cancelled),
+        "failed" => Some(JobStatus::Failed),
         _ => None,
     }
 }
 
-/// Splits a journal into parsable sections, silently dropping blocks the
-/// strict parser rejects (a truncated tail after a kill, or garbage
-/// before the first header).
-fn lenient_sections(text: &str) -> Vec<Section> {
+/// Splits a journal into parsable sections, dropping blocks the strict
+/// parser rejects (a truncated tail after a kill, a mangled header,
+/// garbage before the first record). Returns the surviving sections and
+/// the count of dropped non-blank blocks, so structural damage shows up
+/// in the replay's `corrupt` tally just like a checksum mismatch does.
+fn lenient_sections(text: &str) -> (Vec<Section>, u64) {
     let mut blocks: Vec<String> = Vec::new();
     for line in text.lines() {
         if line.trim_start().starts_with('[') || blocks.is_empty() {
@@ -221,7 +369,19 @@ fn lenient_sections(text: &str) -> Vec<Section> {
         block.push_str(line);
         block.push('\n');
     }
-    blocks.iter().filter_map(|block| textio::parse_sections(block).ok()).flatten().collect()
+    let mut sections = Vec::new();
+    let mut dropped = 0u64;
+    for block in &blocks {
+        match textio::parse_sections(block) {
+            Ok(parsed) => sections.extend(parsed),
+            Err(_) => {
+                if !block.trim().is_empty() {
+                    dropped += 1;
+                }
+            }
+        }
+    }
+    (sections, dropped)
 }
 
 #[cfg(test)]
@@ -297,9 +457,127 @@ mod tests {
         journal.append_submitted(1, &spec("a")).unwrap();
         journal.append_finished(1, JobStatus::Done).unwrap();
         let text = std::fs::read_to_string(journal.path()).unwrap();
-        assert!(text.starts_with("[journal]\nversion = 2\n"), "{text}");
+        assert!(text.starts_with("[journal]\nversion = 3\n"), "{text}");
         assert_eq!(text.matches("[journal]").count(), 1, "header appends exactly once");
         assert!(journal.replay().is_ok());
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn every_record_is_sealed_with_a_matching_crc() {
+        let journal = temp_journal("crc");
+        journal.append_submitted(1, &spec("sealed")).unwrap();
+        journal.append_finished(1, JobStatus::Failed).unwrap();
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        assert_eq!(text.matches("crc = ").count(), 2, "{text}");
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.corrupt, 0);
+        assert_eq!(replay.finished, vec![(1, JobStatus::Failed)]);
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn bit_flipped_records_are_skipped_and_counted() {
+        let journal = temp_journal("flip");
+        journal.append_submitted(1, &spec("clean")).unwrap();
+        journal.append_submitted(2, &spec("damaged")).unwrap();
+        // Flip one byte of record 2's content (its name), leaving it a
+        // perfectly well-formed section.
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        let flipped = text.replace("name = damaged", "name = damagez");
+        assert_ne!(text, flipped);
+        std::fs::write(journal.path(), flipped).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.corrupt, 1, "the damaged record must be convicted");
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.pending[0].1.name, "clean");
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn torn_then_overwritten_records_are_convicted_not_merged() {
+        let journal = temp_journal("torn-overwrite");
+        journal.append_submitted(1, &spec("alive")).unwrap();
+        // A torn append: the record loses its tail *and* its newline,
+        // so the next append's header glues onto the dangling line —
+        // the block still parses, but its content is two records'
+        // shrapnel. Without the crc this replayed as garbage.
+        let mut text = std::fs::read_to_string(journal.path()).unwrap();
+        let torn = {
+            let mut section = Section::new("submitted");
+            section.push("id", "2");
+            for (key, value) in render_job(&spec("torn")).entries {
+                section.push(key, value);
+            }
+            let full = seal(section).render();
+            // Cut just after a `key = ` so the dangling line still
+            // parses — the block survives the lenient parser and it is
+            // the checksum, not a parse error, that convicts it.
+            let cut = full.rfind(" = ").expect("rendered entries") + 4;
+            full[..cut].to_owned()
+        };
+        text.push_str(&torn);
+        std::fs::write(journal.path(), &text).unwrap();
+        journal.append_finished(1, JobStatus::Done).unwrap();
+        let replay = journal.replay().unwrap();
+        assert!(replay.corrupt >= 1, "the merged block must be convicted");
+        assert!(
+            !replay.pending.iter().any(|(id, _)| *id == 2),
+            "the torn submit must not replay: {:?}",
+            replay.pending
+        );
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn version_2_records_without_crc_replay_unverified() {
+        let journal = temp_journal("v2");
+        let v2 = "\
+[journal]
+version = 2
+
+[submitted]
+id = 1
+name = pre-crc
+model = ncf
+budget = 64
+
+[finished]
+id = 1
+status = done
+";
+        std::fs::write(journal.path(), v2).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.corrupt, 0);
+        assert_eq!(replay.finished, vec![(1, JobStatus::Done)]);
+        assert!(replay.pending.is_empty());
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn torn_append_failpoint_leaves_a_tail_replay_survives() {
+        use digamma_obs::FailSet;
+        // The failpoint logic itself is exercised via a local set (the
+        // global one is shared across the test process); here we prove
+        // the journal-side handling by writing the torn bytes directly.
+        let set = FailSet::new();
+        set.configure("journal.append=short,once").unwrap();
+        assert_eq!(set.fired("journal.append"), Some(FailAction::Short));
+        let journal = temp_journal("torn-tail");
+        journal.append_submitted(1, &spec("whole")).unwrap();
+        let mut text = std::fs::read_to_string(journal.path()).unwrap();
+        let tail = {
+            let mut section = Section::new("finished");
+            section.push("id", "1");
+            section.push("status", "done");
+            let full = seal(section).render();
+            full[..full.len() / 2].to_owned()
+        };
+        text.push_str(&tail);
+        std::fs::write(journal.path(), &text).unwrap();
+        let replay = journal.replay().unwrap();
+        // The torn finish never lands: job 1 is still pending.
+        assert_eq!(replay.pending.len(), 1);
         std::fs::remove_file(journal.path()).ok();
     }
 
@@ -348,6 +626,29 @@ status = done
         std::fs::write(journal.path(), "[journal]\nversion = 99\n").unwrap();
         let err = journal.replay().unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    #[test]
+    fn idempotency_keys_replay_with_their_ids() {
+        let journal = temp_journal("idem");
+        let a = spec("a");
+        let b = spec("b");
+        journal.append_submitted_keyed(&[(1, &a), (2, &b)], Some(("alpha", "k-123"))).unwrap();
+        journal.append_submitted(3, &spec("unkeyed")).unwrap();
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.idempotency, vec![("alpha".into(), "k-123".into(), vec![1, 2])]);
+        assert_eq!(replay.pending.len(), 3, "the key record must not shadow the jobs");
+        assert_eq!(replay.corrupt, 0, "key records are sealed and verify clean");
+        // A torn key record is convicted like any other, dropping the
+        // dedupe entry (safe: the client never got a response).
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        let flipped = text.replace("key = k-123", "key = k-666");
+        assert_ne!(text, flipped);
+        std::fs::write(journal.path(), flipped).unwrap();
+        let replay = journal.replay().unwrap();
+        assert!(replay.idempotency.is_empty());
+        assert_eq!(replay.corrupt, 1);
         std::fs::remove_file(journal.path()).ok();
     }
 

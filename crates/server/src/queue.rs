@@ -26,7 +26,8 @@ use digamma::{
     Gamma, GammaConfig, SearchResult, SearchState, StepAction, StepObserver,
 };
 use digamma_obs::{
-    Histogram, MetricsRegistry, SpanContext, SpanRecord, Tracer, DEFAULT_LATENCY_BUCKETS,
+    FailSet, Histogram, LogLevel, MetricsRegistry, SpanContext, SpanRecord, Tracer,
+    DEFAULT_LATENCY_BUCKETS,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -66,6 +67,21 @@ pub struct ServerConfig {
     /// is [`Tracer::disabled`]: span guards are inert, nothing is
     /// retained, and `/trace` endpoints report tracing as unavailable.
     pub trace_enabled: bool,
+    /// Load-shed watermark: total jobs the tenant queues may hold
+    /// before new submissions are rejected as retryable back-pressure
+    /// (the wire layer answers 503 + `Retry-After`). `0` disables
+    /// shedding.
+    pub shed_queue_depth: usize,
+    /// How long a graceful drain waits for queued and running jobs to
+    /// finish before cancelling the stragglers cooperatively (each
+    /// checkpoints and resumes on the next start).
+    pub drain_deadline: Duration,
+    /// The failpoint set every failure domain under this server
+    /// consults: journal appends, snapshot/spill writes, worker evals
+    /// (the wire layer shares it for socket faults). Defaults to a
+    /// fresh inactive set — one relaxed load per site — and is armed by
+    /// `digamma-netd --failpoints` or a test.
+    pub faults: Arc<FailSet>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +96,9 @@ impl Default for ServerConfig {
             event_log_capacity: 1024,
             metrics_enabled: true,
             trace_enabled: true,
+            shed_queue_depth: 0,
+            drain_deadline: Duration::from_secs(10),
+            faults: Arc::new(FailSet::new()),
         }
     }
 }
@@ -253,6 +272,12 @@ impl SearchServer {
         &self.tracer
     }
 
+    /// The failpoint set this server's failure domains consult (shared
+    /// with the registry's journal and the network front-end).
+    pub fn faults(&self) -> &Arc<FailSet> {
+        &self.config.faults
+    }
+
     /// Loads the spill file (if any) into the fresh cache.
     fn warm_start(&self) {
         let (Some(path), Some(cache)) = (&self.cache_file, &self.cache) else { return };
@@ -302,7 +327,19 @@ impl SearchServer {
         }
         self.spilled_insertions.store(insertions, Ordering::Relaxed);
         let spill_started = Instant::now();
-        let _ = cachefile::write_cache_file(path, &cache.entries());
+        if let Err(e) = cachefile::write_cache_file(path, &cache.entries(), &self.config.faults) {
+            // A failed spill (disk full, torn write) loses nothing but
+            // warmth: the atomic-rename discipline keeps the previous
+            // good file, and the next spill retries from scratch.
+            self.spilled_insertions.store(insertions.saturating_sub(since_last), Ordering::Relaxed);
+            digamma_obs::log::global().log(
+                LogLevel::Warn,
+                "server",
+                None,
+                "cache spill failed; previous spill file retained",
+                &[("path", path.display().to_string()), ("err", e.to_string())],
+            );
+        }
         if self.metrics.enabled() {
             self.metrics
                 .histogram(
@@ -399,6 +436,9 @@ impl SearchServer {
                 problem = problem.with_genome_memo(Arc::clone(genome_view) as _);
             }
         }
+        // The `worker.eval` failpoint rides the batch path; disarmed
+        // (the default) it costs one relaxed load per generation batch.
+        problem = problem.with_eval_faults(Arc::clone(&self.config.faults));
 
         // With tracing on and a claim span stamped on the control, the
         // whole run nests under it: one `job.run` span covering the
@@ -682,11 +722,25 @@ impl DriveObserver<'_> {
         let Some(p) = self.path else { return };
         let write_started = Instant::now();
         let rendered = Snapshot::capture(self.fingerprint, state).render();
-        // Write-then-rename: a kill mid-write must never destroy the
-        // previous good snapshot or leave a truncated one in its place.
+        // Write, fsync, then rename: a kill or power cut mid-write must
+        // never destroy the previous good snapshot or promote a
+        // half-written new one. Failures (including the injected
+        // `snapshot.write` faults) keep the old snapshot and warn.
         let tmp = p.with_extension("snapshot.tmp");
-        if std::fs::write(&tmp, rendered).is_ok() {
-            let _ = std::fs::rename(&tmp, p);
+        if let Err(e) = cachefile::persist_atomic(
+            &tmp,
+            p,
+            rendered.as_bytes(),
+            &self.server.config.faults,
+            "snapshot.write",
+        ) {
+            digamma_obs::log::global().log(
+                LogLevel::Warn,
+                "server",
+                None,
+                "checkpoint write failed; previous snapshot retained",
+                &[("path", p.display().to_string()), ("err", e.to_string())],
+            );
         }
         let elapsed = write_started.elapsed();
         self.checkpoint_wall += elapsed;

@@ -39,7 +39,7 @@ use crate::journal::Journal;
 use crate::queue::{JobControl, JobProgress, SearchServer, ServerConfig};
 use crate::tenant::{valid_tenant_id, TenantSet, TenantSpec};
 use crate::textio::TextError;
-use digamma_obs::{SpanContext, SpanRecord, TraceId, Tracer, DEFAULT_LATENCY_BUCKETS};
+use digamma_obs::{LogLevel, SpanContext, SpanRecord, TraceId, Tracer, DEFAULT_LATENCY_BUCKETS};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -61,6 +61,10 @@ pub enum JobStatus {
     /// Stopped early by [`JobRegistry::cancel`]; the report carries the
     /// partial best and the checkpoint (if any) survives for resumption.
     Cancelled,
+    /// The worker caught the job panicking. Terminal (journaled as
+    /// finished) with no report; the tenant's unconsumed eval budget is
+    /// refunded, and the worker thread survives to run other jobs.
+    Failed,
 }
 
 impl std::fmt::Display for JobStatus {
@@ -70,6 +74,7 @@ impl std::fmt::Display for JobStatus {
             JobStatus::Running => f.write_str("running"),
             JobStatus::Done => f.write_str("done"),
             JobStatus::Cancelled => f.write_str("cancelled"),
+            JobStatus::Failed => f.write_str("failed"),
         }
     }
 }
@@ -90,6 +95,11 @@ pub enum SubmitError {
     /// Accepting the batch would exceed the tenant's `max_queued` or
     /// `max_evals` quota; nothing was accepted.
     QuotaExceeded(String),
+    /// The service cannot accept work *right now* — it is draining,
+    /// shutting down, or shedding load past its queue-depth watermark.
+    /// The wire layer answers 503 with `Retry-After`; nothing about the
+    /// request itself was wrong.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -97,7 +107,8 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Invalid(msg)
             | SubmitError::UnknownTenant(msg)
-            | SubmitError::QuotaExceeded(msg) => f.write_str(msg),
+            | SubmitError::QuotaExceeded(msg)
+            | SubmitError::Unavailable(msg) => f.write_str(msg),
         }
     }
 }
@@ -154,6 +165,8 @@ pub struct RegistryStats {
     pub done: usize,
     /// Jobs cancelled.
     pub cancelled: usize,
+    /// Jobs that panicked and were failed by their worker.
+    pub failed: usize,
     /// Per-tenant breakdown, in tenant-id order.
     pub tenants: Vec<TenantStats>,
 }
@@ -173,6 +186,8 @@ pub struct TenantStats {
     pub done: usize,
     /// Jobs cancelled.
     pub cancelled: usize,
+    /// Jobs that panicked and were failed by their worker.
+    pub failed: usize,
     /// Σ budget over every accepted job (what `max_evals` caps).
     pub evals_submitted: u64,
     /// Σ samples actually evaluated by finished jobs.
@@ -286,6 +301,14 @@ struct RegState {
     jobs: HashMap<JobId, JobEntry>,
     busy_workers: usize,
     shutdown: bool,
+    /// Set by [`JobRegistry::drain`]: stop admitting, keep working off
+    /// what is already accepted.
+    draining: bool,
+    /// Accepted keyed submissions, `(scope, key) → ids`: a retried
+    /// submit with the same key returns the original ids instead of
+    /// creating duplicates. Journaled alongside the batch, so dedupe
+    /// survives a restart.
+    idempotency: HashMap<(String, String), Vec<JobId>>,
 }
 
 impl RegState {
@@ -472,13 +495,19 @@ impl JobRegistry {
         tenants: TenantSet,
     ) -> std::io::Result<JobRegistry> {
         let workers = config.workers.max(1);
-        let journal = journal_path.map(Journal::new);
+        // The journal consults the server's failpoint set, so one
+        // `--failpoints` spec covers storage, eval, and wire faults.
+        let journal = journal_path.map(|p| Journal::with_faults(p, Arc::clone(&config.faults)));
         let mut replayed = Vec::new();
         let mut next_id: JobId = 1;
+        let mut corrupt = 0u64;
+        let mut idempotency = Vec::new();
         if let Some(journal) = &journal {
             let replay = journal.replay()?;
             next_id = replay.next_id;
             replayed = replay.pending;
+            corrupt = replay.corrupt;
+            idempotency = replay.idempotency;
         }
         let inner = Arc::new(Inner {
             server: SearchServer::new(config),
@@ -502,6 +531,24 @@ impl JobRegistry {
                 &[],
             )
             .add(replayed.len() as u64);
+        inner
+            .server
+            .metrics()
+            .counter(
+                "digamma_journal_corrupt_records_total",
+                "Journal records whose checksum failed at replay (skipped, not replayed).",
+                &[],
+            )
+            .add(corrupt);
+        if corrupt > 0 {
+            digamma_obs::log::global().log(
+                LogLevel::Warn,
+                "registry",
+                None,
+                "journal replay skipped corrupt records",
+                &[("corrupt", corrupt.to_string())],
+            );
+        }
         {
             // Controls carry a progress closure capturing `inner`, so
             // replayed jobs enqueue only after `inner` exists.
@@ -516,6 +563,9 @@ impl JobRegistry {
             for (id, spec) in replayed {
                 let entry = JobEntry::new(spec, make_control(&inner, id), None, queued_ns);
                 state.enqueue(id, entry);
+            }
+            for (scope, key, ids) in idempotency {
+                state.idempotency.insert((scope, key), ids);
             }
         }
         let handles = (0..workers)
@@ -580,16 +630,69 @@ impl JobRegistry {
     /// See [`JobRegistry::submit`]; on error, nothing was accepted.
     pub fn submit_all_traced(
         &self,
+        specs: Vec<JobSpec>,
+        trace: Option<SpanContext>,
+    ) -> Result<Vec<JobId>, SubmitError> {
+        self.submit_all_keyed(specs, trace, None)
+    }
+
+    /// [`JobRegistry::submit_all_traced`] with an optional idempotency
+    /// binding `(scope, key)`: the first keyed submission journals the
+    /// key alongside its batch; a retry with the same key — including
+    /// one that lands *after a daemon restart* — returns the original
+    /// ids instead of creating duplicate jobs. The scope is the
+    /// authenticated tenant (or `""` unauthenticated), so tenants
+    /// cannot collide with or probe each other's keys.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRegistry::submit`]; additionally
+    /// [`SubmitError::Unavailable`] while the registry drains, shuts
+    /// down, or sheds load past [`ServerConfig::shed_queue_depth`].
+    pub fn submit_all_keyed(
+        &self,
         mut specs: Vec<JobSpec>,
         trace: Option<SpanContext>,
+        idempotency: Option<(&str, &str)>,
     ) -> Result<Vec<JobId>, SubmitError> {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
         let workers = self.inner.workers;
         let mut state = self.inner.state.lock().expect("registry poisoned");
-        if state.shutdown {
-            return Err(SubmitError::Invalid("registry is shutting down".to_owned()));
+        if state.shutdown || state.draining {
+            return Err(SubmitError::Unavailable(
+                "service is draining or shutting down; retry later".to_owned(),
+            ));
+        }
+        // A replayed key answers before anything else (even while
+        // shedding): the work was already accepted, the client just
+        // never heard.
+        let dedupe_key = idempotency.map(|(scope, key)| (scope.to_owned(), key.to_owned()));
+        if let Some(key) = &dedupe_key {
+            if let Some(ids) = state.idempotency.get(key) {
+                return Ok(ids.clone());
+            }
+        }
+        // Load shedding: past the watermark the healthy answer is a
+        // fast 503 + Retry-After, not an ever-deeper queue.
+        let shed = self.inner.server.config().shed_queue_depth;
+        if shed > 0 {
+            let queued: usize = state.tenants.values().map(|s| s.queue.len()).sum();
+            if queued + specs.len() > shed {
+                self.inner
+                    .server
+                    .metrics()
+                    .counter(
+                        "digamma_submits_shed_total",
+                        "Submissions refused because queue depth hit the shed watermark.",
+                        &[],
+                    )
+                    .inc();
+                return Err(SubmitError::Unavailable(format!(
+                    "queue depth {queued} is at the shed watermark {shed}; retry later"
+                )));
+            }
         }
         // Validate the whole batch first: live-name collisions,
         // intra-batch duplicates, tenant identity, and thread counts.
@@ -667,7 +770,7 @@ impl JobRegistry {
         if let Some(journal) = &self.inner.journal {
             let batch: Vec<(JobId, &JobSpec)> = ids.iter().copied().zip(&specs).collect();
             journal
-                .append_submitted_all(&batch)
+                .append_submitted_keyed(&batch, idempotency)
                 .map_err(|e| SubmitError::Invalid(format!("journal append failed: {e}")))?;
         }
         state.next_id += specs.len() as JobId;
@@ -675,6 +778,9 @@ impl JobRegistry {
         for (&id, spec) in ids.iter().zip(specs) {
             let entry = JobEntry::new(spec, make_control(&self.inner, id), trace, queued_ns);
             state.enqueue(id, entry);
+        }
+        if let Some(key) = dedupe_key {
+            state.idempotency.insert(key, ids.clone());
         }
         drop(state);
         self.inner.cond.notify_all();
@@ -723,6 +829,23 @@ impl JobRegistry {
         tenant: Option<&str>,
         trace: Option<SpanContext>,
     ) -> Result<Vec<JobId>, SubmitError> {
+        self.submit_manifest_keyed(text, tenant, trace, None)
+    }
+
+    /// [`JobRegistry::submit_manifest_traced`] with an optional
+    /// idempotency key, scoped to the authenticated tenant (see
+    /// [`JobRegistry::submit_all_keyed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`JobRegistry::submit_manifest`].
+    pub fn submit_manifest_keyed(
+        &self,
+        text: &str,
+        tenant: Option<&str>,
+        trace: Option<SpanContext>,
+        idempotency_key: Option<&str>,
+    ) -> Result<Vec<JobId>, SubmitError> {
         let manifest = crate::manifest::parse_manifest_full(text)?;
         if manifest.server != crate::manifest::ServerOverrides::default() {
             return Err(SubmitError::Invalid(
@@ -737,7 +860,8 @@ impl JobRegistry {
                 job.tenant = tenant.to_owned();
             }
         }
-        self.submit_all_traced(jobs, trace)
+        let scope = tenant.unwrap_or("");
+        self.submit_all_keyed(jobs, trace, idempotency_key.map(|key| (scope, key)))
     }
 
     /// The trace id of a job's lifecycle spans, once one exists: set at
@@ -798,7 +922,7 @@ impl JobRegistry {
                 entry.user_cancelled = true;
                 entry.control.cancel();
             }
-            JobStatus::Done | JobStatus::Cancelled => {}
+            JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed => {}
         }
         let status = state.jobs[&id].status;
         drop(state);
@@ -898,6 +1022,12 @@ impl JobRegistry {
                         tenant.cancelled += 1;
                     }
                 }
+                JobStatus::Failed => {
+                    stats.failed += 1;
+                    if let Some(tenant) = tenant {
+                        tenant.failed += 1;
+                    }
+                }
             }
         }
         // Queue depth is the scheduler's truth (Σ tenant queues), not a
@@ -974,6 +1104,48 @@ impl JobRegistry {
             }
         }
         metrics.render()
+    }
+
+    /// Whether a [`JobRegistry::drain`] is in progress (submissions
+    /// answer [`SubmitError::Unavailable`]).
+    pub fn draining(&self) -> bool {
+        self.inner.state.lock().expect("registry poisoned").draining
+    }
+
+    /// Graceful drain: stops *accepting* work immediately, but keeps
+    /// the workers running so already-accepted jobs finish (or at least
+    /// checkpoint) — then shuts down. Waits up to `deadline` for the
+    /// queues and running set to empty; whatever is still running at
+    /// the deadline is cancelled cooperatively by [`shutdown`]
+    /// (snapshotting first, staying pending in the journal, resuming on
+    /// the next start). This is the SIGTERM path: no accepted job is
+    /// ever silently lost, and small jobs complete instead of being
+    /// killed.
+    ///
+    /// [`shutdown`]: JobRegistry::shutdown
+    pub fn drain(&self, deadline: Duration) {
+        let started = Instant::now();
+        {
+            let mut state = self.inner.state.lock().expect("registry poisoned");
+            state.draining = true;
+        }
+        self.inner.cond.notify_all();
+        let mut state = self.inner.state.lock().expect("registry poisoned");
+        loop {
+            let queued: usize = state.tenants.values().map(|sched| sched.queue.len()).sum();
+            let running = state.jobs.values().filter(|e| e.status == JobStatus::Running).count();
+            if (queued == 0 && running == 0) || started.elapsed() >= deadline {
+                break;
+            }
+            // Short slices rather than one long wait: job completions
+            // notify the condvar, but a bounded re-check also catches
+            // any missed wakeup before the deadline slips.
+            let slice = deadline.saturating_sub(started.elapsed()).min(Duration::from_millis(50));
+            let (next, _) = self.inner.cond.wait_timeout(state, slice).expect("registry poisoned");
+            state = next;
+        }
+        drop(state);
+        self.shutdown();
     }
 
     /// Stops accepting work and shuts the workers down. Running jobs are
@@ -1157,37 +1329,77 @@ fn worker_loop(inner: &Arc<Inner>) {
             Arc::clone(&entry.control)
         };
         let run_started = Instant::now();
-        let mut report = inner.server.run_job_controlled(&spec, &control);
+        // A panicking job must not take its worker thread (and with it
+        // a slot of the pool) down: catch, fail the job, survive.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.server.run_job_controlled(&spec, &control)
+        }));
         let run_wall = run_started.elapsed();
 
         let mut state = inner.state.lock().expect("registry poisoned");
-        let status = if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
+        let (status, mut report) = match outcome {
+            Ok(report) => {
+                let status = if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
+                (status, Some(report))
+            }
+            Err(panic) => {
+                digamma_obs::log::global().log(
+                    LogLevel::Warn,
+                    "registry",
+                    None,
+                    "job panicked; failing it and keeping the worker",
+                    &[("job", id.to_string()), ("panic", panic_message(panic.as_ref()))],
+                );
+                (JobStatus::Failed, None)
+            }
+        };
         // A shutdown's cooperative stop is not terminal: the job stays
         // pending in the journal (its snapshot survives) and resumes on
-        // the next start. A user's cancel is terminal and journaled.
+        // the next start. A user's cancel is terminal and journaled, as
+        // is a panic-failure.
         let terminal =
-            status == JobStatus::Done || state.jobs.get(&id).is_some_and(|e| e.user_cancelled);
+            status != JobStatus::Cancelled || state.jobs.get(&id).is_some_and(|e| e.user_cancelled);
         let capacity = inner.server.config().event_log_capacity;
+        // What a panicked job actually evaluated before dying: its last
+        // reported generation's running total (read before the usage
+        // borrow below).
+        let consumed_at_failure =
+            state.jobs.get(&id).and_then(|e| e.progress).map_or(0, |p| p.samples as u64);
         {
             // Charge the tenant's lifetime meters before the report
             // moves into the entry.
             let usage = &mut state.tenant_mut(&spec.tenant).usage;
-            usage.evals_consumed += report.samples as u64;
-            usage.cache_hits += report.cache_hits;
-            usage.cache_misses += report.cache_misses;
-            usage.cache_insertions += report.cache_insertions;
-            usage.genome_hits += report.genome_hits;
-            usage.genome_misses += report.genome_misses;
-            usage.genome_insertions += report.genome_insertions;
+            match &report {
+                Some(report) => {
+                    usage.evals_consumed += report.samples as u64;
+                    usage.cache_hits += report.cache_hits;
+                    usage.cache_misses += report.cache_misses;
+                    usage.cache_insertions += report.cache_insertions;
+                    usage.genome_hits += report.genome_hits;
+                    usage.genome_misses += report.genome_misses;
+                    usage.genome_insertions += report.genome_insertions;
+                }
+                None => {
+                    // Refund the unconsumed budget so the `max_evals`
+                    // meter balances: the tenant pays for what the job
+                    // evaluated, not for the budget its crash stranded.
+                    usage.evals_consumed += consumed_at_failure;
+                    usage.evals_submitted = usage
+                        .evals_submitted
+                        .saturating_sub((spec.budget as u64).saturating_sub(consumed_at_failure));
+                }
+            }
         }
         let mut queue_wait = Duration::ZERO;
         if let Some(entry) = state.jobs.get_mut(&id) {
             queue_wait = entry.queue_wait;
-            report.queue_wait = queue_wait;
             entry.status = status;
             entry.push_event(format!("end status={status}"), capacity);
             entry.events_done = true;
-            entry.report = Some(report);
+            if let Some(mut report) = report.take() {
+                report.queue_wait = queue_wait;
+                entry.report = Some(report);
+            }
         }
         state.busy_workers -= 1;
         state.running_threads = state.running_threads.saturating_sub(spec.threads);
@@ -1216,14 +1428,30 @@ fn worker_loop(inner: &Arc<Inner>) {
                 DEFAULT_LATENCY_BUCKETS,
             )
             .observe_duration(run_wall);
+        // A panic-failure keeps its own status label so dashboards can
+        // alert on crashes separately from ordinary failures.
+        let status_label =
+            if status == JobStatus::Failed { "panicked".to_owned() } else { status.to_string() };
         metrics
             .counter(
                 "digamma_jobs_completed_total",
                 "Jobs finished, by tenant and terminal status.",
-                &[("status", &status.to_string()), ("tenant", &spec.tenant)],
+                &[("status", &status_label), ("tenant", &spec.tenant)],
             )
             .inc();
         inner.cond.notify_all();
+    }
+}
+
+/// Best-effort rendering of a caught panic payload (the common `&str`
+/// and `String` cases; anything else is opaque).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -1252,7 +1480,7 @@ mod tests {
     fn wait_done(registry: &JobRegistry, id: JobId) -> JobView {
         for _ in 0..600 {
             let view = registry.job(id).expect("known job");
-            if matches!(view.status, JobStatus::Done | JobStatus::Cancelled) {
+            if matches!(view.status, JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed) {
                 return view;
             }
             std::thread::sleep(Duration::from_millis(10));
@@ -1778,6 +2006,121 @@ mod tests {
         let done = wait_done(&reborn, id);
         let report = done.report.unwrap();
         assert!(report.resumed_at.is_some(), "second life must resume from the snapshot");
+        reborn.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_jobs_fail_cleanly_refund_and_spare_the_worker() {
+        let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+        config.faults.configure("worker.eval=panic,once").unwrap();
+        let registry = JobRegistry::start(config, None).unwrap();
+        let doomed = registry.submit(spec("doomed", 96)).unwrap();
+        let view = wait_done(&registry, doomed);
+        assert_eq!(view.status, JobStatus::Failed);
+        assert!(view.report.is_none(), "a panicked job has no report");
+        let (_, lines, done) = registry.events(doomed, 0, Duration::from_millis(100)).unwrap();
+        assert!(done);
+        assert_eq!(lines.last().unwrap(), "end status=failed");
+        // The worker survived the panic: the next job runs to done.
+        let phoenix = registry.submit(spec("phoenix", 96)).unwrap();
+        assert_eq!(wait_done(&registry, phoenix).status, JobStatus::Done);
+        let stats = registry.stats();
+        assert_eq!(stats.failed, 1);
+        let tenant = stats.tenants.iter().find(|t| t.id == "default").unwrap();
+        assert_eq!(tenant.failed, 1);
+        // The doomed job panicked before evaluating anything, so its
+        // whole budget refunds: both meters settle at phoenix's 96.
+        assert_eq!(tenant.evals_submitted, 96);
+        assert_eq!(tenant.evals_consumed, 96);
+        let text = registry.render_metrics();
+        let samples = digamma_obs::parse_text(&text).expect("exposition must parse");
+        assert!(
+            samples.iter().any(|s| s.name == "digamma_jobs_completed_total"
+                && s.label("status") == Some("panicked")
+                && s.value >= 1.0),
+            "panicked status label missing in:\n{text}"
+        );
+        registry.shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_accepted_work_then_refuses_new() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 1, ..ServerConfig::default() }, None)
+                .unwrap();
+        let a = registry.submit(spec("drain-a", 96)).unwrap();
+        let b = registry.submit(spec("drain-b", 96)).unwrap();
+        registry.drain(Duration::from_secs(60));
+        assert_eq!(registry.job(a).unwrap().status, JobStatus::Done);
+        assert_eq!(registry.job(b).unwrap().status, JobStatus::Done);
+        match registry.submit(spec("late", 64)) {
+            Err(SubmitError::Unavailable(msg)) => assert!(msg.contains("retry"), "{msg}"),
+            other => panic!("post-drain submits must be Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_watermark_answers_unavailable_and_counts() {
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, shed_queue_depth: 2, ..ServerConfig::default() },
+            None,
+        )
+        .unwrap();
+        // Hog the worker so later submits stack up in the queue.
+        let blocker = registry.submit(spec("shed-blocker", 1_000_000)).unwrap();
+        let _ = registry.events(blocker, 0, Duration::from_secs(10));
+        registry.submit(spec("shed-1", 64)).unwrap();
+        registry.submit(spec("shed-2", 64)).unwrap();
+        match registry.submit(spec("shed-3", 64)) {
+            Err(SubmitError::Unavailable(msg)) => assert!(msg.contains("watermark"), "{msg}"),
+            other => panic!("past the watermark must shed, got {other:?}"),
+        }
+        assert!(registry.render_metrics().contains("digamma_submits_shed_total 1"));
+        registry.cancel(blocker);
+        wait_done(&registry, blocker);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn idempotent_submits_dedupe_across_retries_and_restarts() {
+        let dir = std::env::temp_dir().join(format!("digamma-reg-idem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("jobs.journal");
+        let registry = JobRegistry::start(
+            ServerConfig { workers: 1, ..ServerConfig::default() },
+            Some(journal.clone()),
+        )
+        .unwrap();
+        let ids = registry
+            .submit_all_keyed(vec![spec("idem", 96)], None, Some(("default", "key-1")))
+            .unwrap();
+        // A retry with the same key returns the same ids; without the
+        // dedupe it would collide on the live name.
+        let again = registry
+            .submit_all_keyed(vec![spec("idem", 96)], None, Some(("default", "key-1")))
+            .unwrap();
+        assert_eq!(again, ids);
+        // A different scope is a different key space: no dedupe, so the
+        // live-name collision shows through.
+        match registry.submit_all_keyed(vec![spec("idem", 96)], None, Some(("other", "key-1"))) {
+            Err(SubmitError::Invalid(msg)) => assert!(msg.contains("idem"), "{msg}"),
+            other => panic!("a different scope must not dedupe, got {other:?}"),
+        }
+        wait_done(&registry, ids[0]);
+        registry.shutdown();
+        // Second life: the key replayed from the journal, so a retry
+        // arriving after a restart still answers the original ids.
+        let reborn = JobRegistry::start(
+            ServerConfig { workers: 1, ..ServerConfig::default() },
+            Some(journal),
+        )
+        .unwrap();
+        let after = reborn
+            .submit_all_keyed(vec![spec("idem", 96)], None, Some(("default", "key-1")))
+            .unwrap();
+        assert_eq!(after, ids);
         reborn.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
