@@ -9,6 +9,7 @@
 use crate::report::{fmt_ratio, Table};
 use digamma::{CoOptProblem, DiGamma, DiGammaConfig, Objective};
 use digamma_costmodel::Platform;
+use digamma_obs::{OpCounters, OpKind};
 use digamma_workload::Model;
 
 /// Ablation variants, each a config transformation of the full GA.
@@ -25,23 +26,35 @@ pub fn variants(seed: u64) -> Vec<(&'static str, DiGammaConfig)> {
     ]
 }
 
-/// One ablation row: variant name and best latency found.
+/// One ablation row: variant name, best latency found, and the
+/// per-operator attribution the search recorded along the way.
 #[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label.
     pub name: &'static str,
     /// Best feasible latency, if any.
     pub latency: Option<f64>,
+    /// Cumulative operator attribution for this variant's search.
+    pub ops: OpCounters,
 }
 
 /// Runs the ablation on one model/platform at a fixed budget.
+///
+/// Each variant is driven through `init`/`step` rather than
+/// [`DiGamma::search`] so the [`OpCounters`] can be read off the state
+/// before it is consumed — the attribution explains *why* an ablated
+/// variant lost ground, not just that it did.
 pub fn run(model: &Model, platform: &Platform, budget: usize, seed: u64) -> Vec<AblationRow> {
     let problem = CoOptProblem::new(model.clone(), platform.clone(), Objective::Latency);
     variants(seed)
         .into_iter()
         .map(|(name, cfg)| {
-            let result = DiGamma::new(cfg).search(&problem, budget);
-            AblationRow { name, latency: result.best.map(|b| b.latency_cycles) }
+            let ga = DiGamma::new(cfg);
+            let mut state = ga.init(&problem, budget);
+            while ga.step(&problem, &mut state, budget) {}
+            let ops = *state.op_counters();
+            let result = state.into_result();
+            AblationRow { name, latency: result.best.map(|b| b.latency_cycles), ops }
         })
         .collect()
 }
@@ -60,6 +73,33 @@ pub fn table(model_name: &str, platform: &str, rows: &[AblationRow]) -> Table {
             _ => None,
         };
         t.push_row(row.name, vec![fmt_ratio(norm)]);
+    }
+    t
+}
+
+/// Renders the operator-attribution companion table: for each variant,
+/// how many children each operator family produced and how many of
+/// those became a new incumbent. An ablated family shows zero attempts
+/// in its own row — and the interesting signal is where its incumbents
+/// migrate in the remaining families.
+pub fn attribution_table(model_name: &str, platform: &str, rows: &[AblationRow]) -> Table {
+    let columns: Vec<String> = OpKind::ALL
+        .iter()
+        .flat_map(|k| [format!("{} att", k.name()), format!("{} inc", k.name())])
+        .collect();
+    let mut t = Table::new(
+        format!("Operator attribution — {model_name} @ {platform}, attempted/incumbents"),
+        columns,
+    );
+    for row in rows {
+        let cells = OpKind::ALL
+            .iter()
+            .flat_map(|k| {
+                let c = row.ops.get(*k);
+                [c.attempted.to_string(), c.incumbents.to_string()]
+            })
+            .collect();
+        t.push_row(row.name, cells);
     }
     t
 }
@@ -86,5 +126,31 @@ mod tests {
         assert!(md.contains("full DiGamma"));
         // The full variant normalizes to exactly 1.0.
         assert!(md.contains("| full DiGamma | 1.0 |"));
+    }
+
+    #[test]
+    fn ablation_rows_carry_operator_attribution() {
+        let budget = 100;
+        let rows = run(&zoo::ncf(), &Platform::edge(), budget, 23);
+        let population = DiGammaConfig::default().population_size;
+        for row in &rows {
+            // Every stepped child is tagged exactly once, whatever the
+            // ablation: attempts always sum to budget − initial pop.
+            assert_eq!(
+                row.ops.total_attempted() as usize,
+                budget - population,
+                "{}: attribution must cover the budget",
+                row.name
+            );
+        }
+        // Switching off an operator family zeroes its own attribution.
+        let no_crossover = rows.iter().find(|r| r.name == "no Crossover").unwrap();
+        assert_eq!(no_crossover.ops.get(OpKind::Crossover).attempted, 0);
+        let full = &rows[0];
+        assert!(full.ops.get(OpKind::Crossover).attempted > 0);
+
+        let md = attribution_table("ncf", "edge", &rows).to_markdown();
+        assert!(md.contains("crossover att"));
+        assert!(md.contains("| no Crossover |"));
     }
 }

@@ -19,8 +19,12 @@ fn main() {
 
     println!("# E5 — DiGamma operator ablation, budget {budget}, seed {seed}\n");
     for model in &models {
-        eprintln!("running {} (6 variants)...", model.name());
+        eprintln!("running {} (7 variants)...", model.name());
         let rows = ablation::run(model, &platform, budget, seed);
         println!("{}", ablation::table(model.name(), &platform.name, &rows).to_markdown());
+        println!(
+            "{}",
+            ablation::attribution_table(model.name(), &platform.name, &rows).to_markdown()
+        );
     }
 }

@@ -6,8 +6,9 @@
 //!
 //! Runs the fixed seeded workloads (`gemm`, `vgg16`, `bert`) through
 //! the allocating baseline and the scratch evaluation paths, the
-//! cold/warm memo searches, and the metrics-on vs metrics-off
-//! instrumentation comparison, writes the JSON report, re-validates
+//! cold/warm memo searches, the metrics-on vs metrics-off
+//! instrumentation comparison, and the analytics-on vs analytics-off
+//! full-search comparison, writes the JSON report, re-validates
 //! it, and exits non-zero if either timed comparison ever diverged
 //! bit-wise or the file is malformed. Recorded numbers come from
 //! `--mode full` on a release build; CI runs `--mode smoke`.
@@ -64,6 +65,17 @@ fn main() -> ExitCode {
             f.bit_identical
         );
     }
+    for a in &report.analytics {
+        println!(
+            "ga    {:<8} {:>6} evals | analytics off {:>9.0} evals/s | on {:>9.0} evals/s | overhead {:>6.2}% | bit-identical: {}",
+            a.workload,
+            a.evals,
+            a.analytics_off_evals_per_sec,
+            a.analytics_on_evals_per_sec,
+            a.overhead_pct,
+            a.bit_identical
+        );
+    }
 
     let json = render_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
@@ -91,6 +103,10 @@ fn main() -> ExitCode {
     }
     if report.fault_injection.iter().any(|f| !f.bit_identical) {
         eprintln!("perf: a disarmed failpoint set changed evaluation results — numbers are void");
+        return ExitCode::FAILURE;
+    }
+    if report.analytics.iter().any(|a| !a.bit_identical) {
+        eprintln!("perf: enabling search analytics changed the search itself — numbers are void");
         return ExitCode::FAILURE;
     }
     println!("perf: wrote {out}");

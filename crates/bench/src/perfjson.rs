@@ -35,13 +35,20 @@
 //!   *disarmed*, guarding the chaos layer's promise that every
 //!   production `evaluate_batch` call pays at most one relaxed atomic
 //!   load (≈1% budget) for the ability to inject faults at all.
+//! * **analytics** — the same paired measurement one layer up, at the
+//!   search loop: a full seeded `DiGamma::search` with
+//!   [`digamma::DiGammaConfig::analytics`] off vs on, guarding the
+//!   search-introspection layer's promise that per-generation
+//!   [`GenStats`](digamma_obs::GenStats) and operator attribution are
+//!   pure bookkeeping over already-evaluated data — zero extra RNG
+//!   draws, bit-identical incumbents and history, ≤1% search wall time.
 //!
 //! `--mode smoke` shrinks the budgets so CI can assert the file is
 //! produced and well-formed in seconds; recorded numbers come from
 //! `--mode full` on a release build (see the README's Performance
 //! section).
 
-use digamma::{CoOptProblem, EvalMetrics, EvalTrace, Objective};
+use digamma::{CoOptProblem, DiGamma, DiGammaConfig, EvalMetrics, EvalTrace, Objective};
 use digamma_costmodel::{EvalScratch, Evaluator, Mapping, Platform};
 use digamma_encoding::Genome;
 use digamma_obs::{FailSet, MetricsRegistry, SpanContext, Tracer};
@@ -209,6 +216,35 @@ pub struct FaultPerf {
     pub bit_identical: bool,
 }
 
+/// Search-analytics overhead for one workload: the same seeded
+/// [`DiGamma::search`] with [`DiGammaConfig::analytics`] off vs on.
+/// Unlike the `evaluate_batch` trios above, this measurement covers the
+/// whole search loop — selection, operators, evaluation, and the
+/// per-generation [`GenStats`](digamma_obs::GenStats)/attribution
+/// bookkeeping under test. The contract is the strongest in the file:
+/// the analytics path draws no RNG, so the searches must be
+/// *bit-identical* (same incumbent, same best-so-far history), not just
+/// statistically equivalent.
+#[derive(Debug, Clone)]
+pub struct AnalyticsPerf {
+    /// Workload name.
+    pub workload: String,
+    /// Design-point evaluations per search (the sampling budget).
+    pub evals: usize,
+    /// Completed generations per search.
+    pub generations: u64,
+    /// Search throughput with analytics disabled, evaluations/second.
+    pub analytics_off_evals_per_sec: f64,
+    /// Search throughput with analytics enabled.
+    pub analytics_on_evals_per_sec: f64,
+    /// `(off - on) / off`, as a percentage — positive means the
+    /// analytics-enabled search is slower.
+    pub overhead_pct: f64,
+    /// Whether both searches produced bit-identical best-so-far
+    /// histories and incumbent costs.
+    pub bit_identical: bool,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -224,6 +260,8 @@ pub struct PerfReport {
     pub tracing: Vec<TracePerf>,
     /// Disarmed-failpoints vs no-failpoints throughput per workload.
     pub fault_injection: Vec<FaultPerf>,
+    /// Analytics-on vs analytics-off search throughput per workload.
+    pub analytics: Vec<AnalyticsPerf>,
 }
 
 /// The three fixed workloads the harness sweeps.
@@ -559,6 +597,90 @@ fn measure_faults(model: &Model, config: &PerfConfig) -> FaultPerf {
     }
 }
 
+/// The search-loop member of the paired family: a complete seeded
+/// [`DiGamma::search`] with analytics off vs on, same pairing and
+/// median-of-ratios scheme as [`measure_instrumentation`]. The budget
+/// reuses the memo knobs — analytics cost scales with generations, and
+/// the memo search is the harness's canonical "whole search" size.
+fn measure_analytics(model: &Model, config: &PerfConfig) -> AnalyticsPerf {
+    let platform = Platform::edge();
+    let problem = CoOptProblem::new(model.clone(), platform, Objective::Latency);
+    let budget = config.memo_budget;
+    let ga = |analytics: bool| {
+        DiGamma::new(DiGammaConfig {
+            population_size: config.memo_population,
+            threads: 1,
+            analytics,
+            seed: config.seed,
+            ..DiGammaConfig::default()
+        })
+    };
+
+    // Bit-identity gate first — and stricter than the evaluate_batch
+    // measurements: the whole best-so-far trajectory must match, not
+    // just a batch of independent evaluations. Any divergence means the
+    // analytics path consumed RNG or reordered the search.
+    let fingerprint = |result: &digamma::SearchResult| {
+        let mut acc = result.samples as u64;
+        for cost in &result.history {
+            acc = acc.wrapping_mul(31).wrapping_add(cost.to_bits());
+        }
+        if let Some(best) = &result.best {
+            acc = acc.wrapping_mul(31).wrapping_add(best.cost.to_bits());
+        }
+        acc
+    };
+    let off_result = ga(false).search(&problem, budget);
+    let on_ga = ga(true);
+    let mut on_state = on_ga.init(&problem, budget);
+    while on_ga.step(&problem, &mut on_state, budget) {}
+    let generations = on_state.generation();
+    let on_result = on_state.into_result();
+    let bit_identical = fingerprint(&off_result) == fingerprint(&on_result);
+    let evals = off_result.samples;
+
+    // Same pairing rationale as measure_instrumentation — the expected
+    // delta is ≤1%, far below machine drift — but this section has to
+    // resolve that delta against a baseline of whole searches, not a
+    // single large `evaluate_batch`, so it works harder for its error
+    // bars: each iteration times an off/on/on/off quartet (ABBA — any
+    // linear-in-time drift such as turbo decay contributes equally to
+    // both sides and cancels exactly, where plain alternation leaves a
+    // bimodal ratio distribution whose median wobbles between modes)
+    // and the overhead is the median of the per-quartet ratios.
+    const SEARCHES_PER_PASS: usize = 4;
+    let mut off_ns = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for _ in 0..(config.repeats * 24).max(1) {
+        let pass = |analytics: bool| {
+            let start = Instant::now();
+            for _ in 0..SEARCHES_PER_PASS {
+                std::hint::black_box(ga(analytics).search(&problem, budget));
+            }
+            start.elapsed().as_nanos() as f64 / SEARCHES_PER_PASS as f64
+        };
+        let off_a = pass(false);
+        let on_a = pass(true);
+        let on_b = pass(true);
+        let off_b = pass(false);
+        off_ns = off_ns.min(off_a.min(off_b));
+        ratios.push((on_a + on_b) / (off_a + off_b));
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+
+    let analytics_off_evals_per_sec = evals as f64 / (off_ns / 1e9);
+    AnalyticsPerf {
+        workload: model.name().to_owned(),
+        evals,
+        generations,
+        analytics_off_evals_per_sec,
+        analytics_on_evals_per_sec: analytics_off_evals_per_sec / ratio,
+        overhead_pct: (ratio - 1.0) * 100.0,
+        bit_identical,
+    }
+}
+
 /// Runs the full harness.
 pub fn run(config: &PerfConfig) -> PerfReport {
     let models = workloads();
@@ -567,7 +689,16 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     let instrumentation = models.iter().map(|m| measure_instrumentation(m, config)).collect();
     let tracing = models.iter().map(|m| measure_tracing(m, config)).collect();
     let fault_injection = models.iter().map(|m| measure_faults(m, config)).collect();
-    PerfReport { config: config.clone(), eval, memo, instrumentation, tracing, fault_injection }
+    let analytics = models.iter().map(|m| measure_analytics(m, config)).collect();
+    PerfReport {
+        config: config.clone(),
+        eval,
+        memo,
+        instrumentation,
+        tracing,
+        fault_injection,
+        analytics,
+    }
 }
 
 /// JSON string escaping (the only non-trivial JSON need this file has —
@@ -602,7 +733,7 @@ fn json_num(v: f64) -> String {
 pub fn render_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/4")));
+    out.push_str(&format!("  \"schema\": {},\n", json_str("digamma-bench-eval/5")));
     out.push_str(&format!("  \"mode\": {},\n", json_str(&report.config.mode)));
     out.push_str(&format!("  \"seed\": {},\n", report.config.seed));
     out.push_str("  \"eval\": [\n");
@@ -693,6 +824,25 @@ pub fn render_json(report: &PerfReport) -> String {
         out.push_str(&format!("\"bit_identical\": {}", f.bit_identical));
         out.push_str(if i + 1 < report.fault_injection.len() { "},\n" } else { "}\n" });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"analytics\": [\n");
+    for (i, a) in report.analytics.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": {}, ", json_str(&a.workload)));
+        out.push_str(&format!("\"evals\": {}, ", a.evals));
+        out.push_str(&format!("\"generations\": {}, ", a.generations));
+        out.push_str(&format!(
+            "\"analytics_off_evals_per_sec\": {}, ",
+            json_num(a.analytics_off_evals_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"analytics_on_evals_per_sec\": {}, ",
+            json_num(a.analytics_on_evals_per_sec)
+        ));
+        out.push_str(&format!("\"overhead_pct\": {}, ", json_num(a.overhead_pct)));
+        out.push_str(&format!("\"bit_identical\": {}", a.bit_identical));
+        out.push_str(if i + 1 < report.analytics.len() { "},\n" } else { "}\n" });
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -770,6 +920,10 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         "\"fault_injection\"",
         "\"faults_off_evals_per_sec\"",
         "\"faults_on_evals_per_sec\"",
+        "\"analytics\"",
+        "\"analytics_off_evals_per_sec\"",
+        "\"analytics_on_evals_per_sec\"",
+        "\"generations\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -790,6 +944,7 @@ mod tests {
         assert_eq!(report.instrumentation.len(), 3);
         assert_eq!(report.tracing.len(), 3);
         assert_eq!(report.fault_injection.len(), 3);
+        assert_eq!(report.analytics.len(), 3);
         for e in &report.eval {
             assert!(e.bit_identical, "{}: scratch path diverged from baseline", e.workload);
             assert!(e.evals > 0);
@@ -810,6 +965,11 @@ mod tests {
             assert!(f.evals > 0);
             assert!(f.faults_off_evals_per_sec > 0.0 && f.faults_on_evals_per_sec > 0.0);
         }
+        for a in &report.analytics {
+            assert!(a.bit_identical, "{}: analytics changed the search", a.workload);
+            assert!(a.evals > 0 && a.generations > 0);
+            assert!(a.analytics_off_evals_per_sec > 0.0 && a.analytics_on_evals_per_sec > 0.0);
+        }
         for m in &report.memo {
             assert!(
                 (m.warm_genome_hit_rate - 1.0).abs() < 1e-9,
@@ -821,6 +981,21 @@ mod tests {
         }
         let json = render_json(&report);
         validate_json(&json).expect("emitted JSON must be well-formed");
+    }
+
+    /// Manual probe for iterating on the analytics hot path without
+    /// sitting through the full harness:
+    /// `cargo test --release -p digamma_bench -- --ignored analytics_overhead_probe --nocapture`
+    #[test]
+    #[ignore = "manual perf probe; run --release with --nocapture"]
+    fn analytics_overhead_probe() {
+        for model in workloads() {
+            let a = measure_analytics(&model, &PerfConfig::full());
+            println!(
+                "{:<8} overhead {:>6.2}% | off {:>9.0} evals/s | bit-identical: {}",
+                a.workload, a.overhead_pct, a.analytics_off_evals_per_sec, a.bit_identical
+            );
+        }
     }
 
     #[test]
@@ -839,6 +1014,8 @@ mod tests {
         assert!(validate_json(&json.replace("\"overhead_pct\"", "\"ovrhead_pct\"")).is_err());
         assert!(validate_json(&json.replace("\"trace_on_evals_per_sec\"", "\"trace_on\"")).is_err());
         assert!(validate_json(&json.replace("\"fault_injection\"", "\"faults\"")).is_err());
+        assert!(validate_json(&json.replace("\"analytics_on_evals_per_sec\"", "\"analytics_on\""))
+            .is_err());
         assert!(validate_json("{\"unterminated").is_err());
     }
 }

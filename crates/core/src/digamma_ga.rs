@@ -18,7 +18,8 @@
 
 use crate::problem::{CoOptProblem, Constraint, DesignEvaluation};
 use crate::result::{DesignPoint, SearchResult};
-use digamma_encoding::{repair, Genome};
+use digamma_encoding::{repair, Genome, LevelGenes};
+use digamma_obs::{CostPoint, GenStats, OpCounters, OpKind};
 use digamma_workload::{Dim, UniqueLayer, NUM_DIMS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +61,13 @@ pub struct DiGammaConfig {
     /// preserves order and evaluation is deterministic), so this only
     /// trades wall-clock for cores.
     pub threads: usize,
+    /// Compute per-generation search analytics ([`GenStats`], operator
+    /// attribution, cost-vs-evaluations points). Analytics are derived
+    /// entirely from already-evaluated data and consume zero RNG draws,
+    /// so the search trajectory is bit-identical with this on or off
+    /// (the determinism suite and the perf harness's `analytics`
+    /// section both enforce it).
+    pub analytics: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -80,6 +88,7 @@ impl Default for DiGammaConfig {
             num_levels: 2,
             template_seeding: true,
             threads: crate::parallel::default_threads(),
+            analytics: true,
             seed: 0,
         }
     }
@@ -104,6 +113,40 @@ pub struct SearchState {
     history: Vec<f64>,
     samples: usize,
     generation: u64,
+    /// Cumulative per-operator attribution (analytics only; zeros when
+    /// `DiGammaConfig::analytics` is off).
+    ops: OpCounters,
+    /// One `(generation, cumulative evals, best cost)` sample per
+    /// generation boundary, generation 0 included (analytics only).
+    cost_points: Vec<CostPoint>,
+    /// The stats of the most recent generation (analytics only).
+    last_stats: Option<GenStats>,
+    /// Generation in which the incumbent last improved (maintained
+    /// unconditionally — a single store per improvement).
+    last_improved_gen: u64,
+    /// Reused per-generation buffers for the analytics path. Purely
+    /// transient (never snapshotted, never observed): kept only so the
+    /// measured per-generation analytics budget (≤1% of search wall
+    /// time, see `perfjson`) is not spent in the allocator.
+    scratch: StepScratch,
+}
+
+/// Transient buffers reused across [`DiGamma::step`] calls (see
+/// [`SearchState::scratch`]).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// Per-child `(operator, reference cost)` provenance tags.
+    tags: Vec<(OpKind, f64)>,
+    /// Feature rows reused by [`genotypic_diversity`] refreshes.
+    feats: Vec<GenomeFeatures>,
+    /// Population indices sorted ascending by cost, precomputed by
+    /// `push_analytics` for the *next* step. The stats pass needs the
+    /// ranking for its median/worst fields, and the next `step` call
+    /// needs the identical ranking for selection — computing it once
+    /// makes the analytics sort free instead of a second O(n log n)
+    /// pass. `None` whenever analytics are off or no step has run; the
+    /// next step then sorts for itself, producing the same permutation.
+    next_order: Option<Vec<usize>>,
 }
 
 impl SearchState {
@@ -137,6 +180,44 @@ impl SearchState {
         self.generation
     }
 
+    /// Cumulative operator attribution. All-zero unless the search runs
+    /// with [`DiGammaConfig::analytics`] enabled.
+    pub fn op_counters(&self) -> &OpCounters {
+        &self.ops
+    }
+
+    /// Best-so-far cost against cumulative evaluations, one point per
+    /// generation boundary (generation 0 included). Empty unless the
+    /// search runs with analytics enabled.
+    pub fn cost_points(&self) -> &[CostPoint] {
+        &self.cost_points
+    }
+
+    /// The most recent generation's [`GenStats`], if analytics are on
+    /// and at least one generation has completed.
+    pub fn last_gen_stats(&self) -> Option<GenStats> {
+        self.last_stats
+    }
+
+    /// The generation in which the incumbent last improved.
+    pub fn last_improved_generation(&self) -> u64 {
+        self.last_improved_gen
+    }
+
+    /// Rehydrates analytics state from a checkpoint (the server calls
+    /// this after [`DiGamma::restore`] so cumulative operator
+    /// attribution survives a kill).
+    pub fn restore_analytics(
+        &mut self,
+        ops: OpCounters,
+        cost_points: Vec<CostPoint>,
+        last_improved_gen: u64,
+    ) {
+        self.ops = ops;
+        self.cost_points = cost_points;
+        self.last_improved_gen = last_improved_gen;
+    }
+
     /// Finishes the search, converting the state into its result.
     pub fn into_result(self) -> SearchResult {
         SearchResult {
@@ -152,9 +233,232 @@ impl SearchState {
             let better = e.feasible && self.best.as_ref().is_none_or(|(_, b)| e.cost < b.cost);
             if better {
                 self.best = Some((g.clone(), e.clone()));
+                self.last_improved_gen = self.generation;
             }
             self.history.push(self.best.as_ref().map_or(f64::INFINITY, |(_, b)| b.cost));
         }
+    }
+
+    /// Computes this generation's [`GenStats`] from the freshly
+    /// evaluated children and appends the cost-vs-evaluations point.
+    /// Pure bookkeeping over already-evaluated data — no RNG, no extra
+    /// evaluations.
+    /// `cost_sum` and `feasible` are accumulated by the caller's
+    /// attribution pass (same index order as a local loop would use, so
+    /// the mean is bit-identical) to avoid a second walk over `evals`.
+    fn push_analytics(
+        &mut self,
+        children: &[Genome],
+        evals: &[DesignEvaluation],
+        cost_sum: f64,
+        feasible: usize,
+    ) {
+        let best = self.best.as_ref().map_or(f64::INFINITY, |(_, e)| e.cost);
+        self.cost_points.push(CostPoint {
+            generation: self.generation,
+            evals: self.samples as u64,
+            best,
+        });
+        if self.generation == 0 {
+            // Generation 0 is the initial population: no operator ran,
+            // and observers only fire at step boundaries — the cost
+            // point above is all the record that is needed.
+            return;
+        }
+        // Rank the children exactly the way the next `step` call will
+        // (same stable sort, same comparator — ties must permute
+        // identically because the ranking feeds tournament selection).
+        // The ranking is handed to that step through the scratch, so
+        // this sort replaces one rather than adding one — and the
+        // buffer it fills is the one the previous step just drained.
+        let mut order = self.scratch.next_order.take().unwrap_or_default();
+        order.clear();
+        order.extend(0..evals.len());
+        order.sort_by(|&a, &b| evals[a].cost.total_cmp(&evals[b].cost));
+
+        let n = evals.len().max(1);
+        // Population diversity moves on a generations timescale, so it
+        // is refreshed on a deterministic stride (and whenever there is
+        // no previous value to carry, e.g. the first boundary after a
+        // restore) instead of paying the genome walk every generation.
+        let diversity = match self.last_stats {
+            Some(prev) if !self.generation.is_multiple_of(DIVERSITY_STRIDE) => prev.diversity,
+            _ => genotypic_diversity(children, &mut self.scratch.feats),
+        };
+        self.last_stats = Some(GenStats {
+            generation: self.generation,
+            evals: self.samples as u64,
+            best,
+            median: order.get(order.len() / 2).map_or(f64::INFINITY, |&i| evals[i].cost),
+            mean: cost_sum / n as f64,
+            worst: order.last().map_or(f64::INFINITY, |&i| evals[i].cost),
+            feasible_frac: feasible as f64 / n as f64,
+            diversity,
+            stale_gens: self.generation.saturating_sub(self.last_improved_gen),
+        });
+        self.scratch.next_order = Some(order);
+    }
+}
+
+/// Mean normalized gene distance over a deterministic sample: up to
+/// [`GENOME_SAMPLE`] genomes (evenly strided over the population) and,
+/// within each genome, up to [`LAYER_SAMPLE`] unique layers (evenly
+/// strided over the network). Zero RNG draws by construction.
+///
+/// The distance runs on per-genome feature vectors extracted once per
+/// sampled genome, with magnitude genes pre-converted through
+/// [`approx_log2`] — the pairwise loop is subtractions and compares
+/// only. Analytics run inside every generation of every job under a
+/// measured wall-time budget of ≤1% (`perfjson`'s `analytics` section),
+/// which rules out per-pair transcendentals.
+fn genotypic_diversity(population: &[Genome], feats: &mut Vec<GenomeFeatures>) -> f64 {
+    let n = population.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = n.min(GENOME_SAMPLE);
+    // The buffer lives in the step scratch and is sized exactly once
+    // per search; extraction overwrites every row it later reads, so
+    // refreshes never pay to re-zero it.
+    if feats.len() < k {
+        feats.resize(k, GenomeFeatures::EMPTY);
+    }
+    for (i, feat) in feats.iter_mut().enumerate().take(k) {
+        feat.extract_from(&population[i * n / k]);
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0u32;
+    for a in 0..k {
+        for b in a + 1..k {
+            sum += feats[a].distance(&feats[b]);
+            pairs += 1;
+        }
+    }
+    sum / f64::from(pairs)
+}
+
+/// Generations between diversity refreshes. In between, the previous
+/// value is carried forward — diversity drifts on a generations
+/// timescale, and the stride is what keeps the analytics path inside
+/// its overhead budget on microsecond-cheap cost models.
+const DIVERSITY_STRIDE: u64 = 4;
+
+/// Genomes sampled by [`genotypic_diversity`] — at most 6 pairs.
+const GENOME_SAMPLE: usize = 4;
+
+/// Unique layers sampled per genome by [`genotypic_diversity`].
+const LAYER_SAMPLE: usize = 4;
+
+/// Approximate `log2(x.max(1))` read straight off the f64 bit pattern
+/// (exponent plus a linear-in-mantissa correction; max error ≈ 0.09 of
+/// a doubling). Magnitude genes only need "how many doublings apart",
+/// so the approximation is invisible in a `[0, 1]` diversity score
+/// while costing a handful of integer ops instead of a transcendental.
+fn approx_log2(x: u64) -> f64 {
+    const MANTISSA_SCALE: f64 = 1.0 / (1u64 << 52) as f64;
+    (x.max(1) as f64).to_bits() as f64 * MANTISSA_SCALE - 1023.0
+}
+
+/// Saturating magnitude distance between two [`approx_log2`] values:
+/// the fraction of a 2^20× ratio, clamped into `[0, 1]`.
+fn log2_distance(a: f64, b: f64) -> f64 {
+    ((a - b).abs() / 20.0).min(1.0)
+}
+
+/// Per cluster-level distance features (see [`GenomeFeatures`]).
+#[derive(Debug, Clone, Copy)]
+struct LevelFeatures {
+    spatial: Dim,
+    order: [Dim; NUM_DIMS],
+    tile_log2: [f64; NUM_DIMS],
+}
+
+impl LevelFeatures {
+    const EMPTY: LevelFeatures =
+        LevelFeatures { spatial: Dim::K, order: Dim::ALL, tile_log2: [0.0; NUM_DIMS] };
+}
+
+/// Distance features for one sampled genome: one flat
+/// [`LevelFeatures`] row per sampled layer × level, magnitude genes
+/// already in log2 space. Rows past `layers * num_levels` are stale
+/// between refreshes; [`GenomeFeatures::distance`] never reads them.
+#[derive(Debug, Clone, Copy)]
+struct GenomeFeatures {
+    num_levels: usize,
+    layers: usize,
+    fanout_log2: [f64; digamma_costmodel::MAX_LEVELS],
+    levels: [LevelFeatures; LAYER_SAMPLE * digamma_costmodel::MAX_LEVELS],
+}
+
+impl GenomeFeatures {
+    const EMPTY: GenomeFeatures = GenomeFeatures {
+        num_levels: 0,
+        layers: 0,
+        fanout_log2: [0.0; digamma_costmodel::MAX_LEVELS],
+        levels: [LevelFeatures::EMPTY; LAYER_SAMPLE * digamma_costmodel::MAX_LEVELS],
+    };
+
+    /// Overwrites `self` with `g`'s features. Writes the `num_levels`
+    /// and `layers` headers plus exactly the rows `distance` will read
+    /// for them — whatever a previous genome left behind is dead data.
+    fn extract_from(&mut self, g: &Genome) {
+        let num_levels = g.num_levels().min(digamma_costmodel::MAX_LEVELS);
+        self.num_levels = num_levels;
+        for (slot, &f) in self.fanout_log2.iter_mut().zip(&g.fanouts) {
+            *slot = approx_log2(f);
+        }
+        // The layer stride mirrors the genome stride in
+        // `genotypic_diversity`: both genomes of a pair sample the same
+        // layer indices, so rows always compare like with like.
+        self.layers = g.layers.len().min(LAYER_SAMPLE);
+        for li in 0..self.layers {
+            let lg = &g.layers[li * g.layers.len() / self.layers.max(1)];
+            for lvl in 0..num_levels {
+                let genes = lg.levels.get(lvl).copied().unwrap_or_else(LevelGenes::unit);
+                let feat = &mut self.levels[li * num_levels + lvl];
+                feat.spatial = genes.spatial_dim;
+                feat.order = genes.order;
+                for (slot, &d) in feat.tile_log2.iter_mut().zip(Dim::ALL.iter()) {
+                    *slot = approx_log2(genes.tile[d]);
+                }
+            }
+        }
+    }
+
+    /// Normalized gene distance in `[0, 1]`: the mean over per-gene
+    /// terms — level-count mismatch and fan-out magnitudes for the
+    /// hardware genes; spatial-dim inequality, loop-order Hamming
+    /// distance, and tile magnitudes per sampled layer and common
+    /// cluster level for the mapping genes.
+    fn distance(&self, other: &GenomeFeatures) -> f64 {
+        let common_levels = self.num_levels.min(other.num_levels);
+        let mut sum = (self.num_levels.abs_diff(other.num_levels) as f64
+            / digamma_costmodel::MAX_LEVELS.max(1) as f64)
+            .min(1.0);
+        let mut terms = 1u32;
+        for lvl in 0..common_levels {
+            sum += log2_distance(self.fanout_log2[lvl], other.fanout_log2[lvl]);
+            terms += 1;
+        }
+        for li in 0..self.layers.min(other.layers) {
+            let a = &self.levels[li * self.num_levels..];
+            let b = &other.levels[li * other.num_levels..];
+            for (fa, fb) in a.iter().zip(b).take(common_levels) {
+                sum += f64::from(u8::from(fa.spatial != fb.spatial));
+                let mismatched = fa.order.iter().zip(&fb.order).filter(|(x, y)| x != y).count();
+                sum += mismatched as f64 / NUM_DIMS as f64;
+                let tile_dist: f64 = fa
+                    .tile_log2
+                    .iter()
+                    .zip(&fb.tile_log2)
+                    .map(|(&x, &y)| log2_distance(x, y))
+                    .sum::<f64>()
+                    / NUM_DIMS as f64;
+                sum += tile_dist;
+                terms += 3;
+            }
+        }
+        sum / f64::from(terms.max(1))
     }
 }
 
@@ -273,6 +577,11 @@ impl DiGamma {
             history: Vec::with_capacity(budget),
             samples: 0,
             generation: 0,
+            ops: OpCounters::new(),
+            cost_points: Vec::new(),
+            last_stats: None,
+            last_improved_gen: 0,
+            scratch: StepScratch::default(),
         };
 
         // Initial population. Under a Fixed-HW constraint the buffers are
@@ -321,6 +630,11 @@ impl DiGamma {
         }
         let evals = problem.evaluate_batch(&population, cfg.threads);
         state.record(&population, &evals);
+        if cfg.analytics {
+            // Generation 0 returns after the cost point; the
+            // accumulator arguments are never read.
+            state.push_analytics(&population, &evals, 0.0, 0);
+        }
         state.population = population;
         state.evals = evals;
         state
@@ -342,60 +656,111 @@ impl DiGamma {
         let mut rng = self.generation_rng(state.generation);
         let elites = ((cfg.population_size as f64 * cfg.elite_fraction).ceil() as usize).max(1);
 
-        // Rank current population (ascending cost).
-        let mut order: Vec<usize> = (0..state.population.len()).collect();
-        order.sort_by(|&a, &b| state.evals[a].cost.total_cmp(&state.evals[b].cost));
+        // Rank current population (ascending cost) — or take the
+        // identical ranking `push_analytics` precomputed over these
+        // same evaluations at the previous boundary.
+        let order: Vec<usize> = state.scratch.next_order.take().unwrap_or_else(|| {
+            let mut order: Vec<usize> = (0..state.population.len()).collect();
+            order.sort_by(|&a, &b| state.evals[a].cost.total_cmp(&state.evals[b].cost));
+            order
+        });
 
         let want = (cfg.population_size).min(budget - state.samples);
+        let fixed_hw = matches!(problem.constraint(), Constraint::FixedHw(_));
+        // Provenance tags (operator, reference cost) parallel to
+        // `children`, recorded only when analytics are on. Tagging
+        // captures decisions the construction below already makes — it
+        // consumes no RNG draws, so the trajectory is identical either
+        // way.
+        // The tag buffer is taken out of the state (and returned after
+        // attribution) so generations after the first reuse one
+        // allocation for the whole search.
+        let mut provenance: Option<Vec<(OpKind, f64)>> = cfg.analytics.then(|| {
+            let mut tags = std::mem::take(&mut state.scratch.tags);
+            tags.clear();
+            tags.reserve(want);
+            tags
+        });
         let mut children: Vec<Genome> = Vec::with_capacity(want);
         // Elites survive unchanged (re-evaluated only to keep the
         // bookkeeping simple; evaluation is deterministic — and with a
         // fitness cache attached the re-evaluation is a pure cache hit).
         for &i in order.iter().take(elites.min(want)) {
             children.push(state.population[i].clone());
+            if let Some(tags) = &mut provenance {
+                tags.push((OpKind::Elite, state.evals[i].cost));
+            }
         }
-        // A trickle of random immigrants keeps diversity up.
-        let immigrants = (want / 20).min(want.saturating_sub(children.len()));
+        // A trickle of random immigrants keeps diversity up — floored
+        // at one so populations below 20 keep the trickle instead of
+        // silently losing it to integer division.
+        let immigrants = (want / 20).max(1).min(want.saturating_sub(children.len()));
+        // An immigrant "improves" when it beats the previous
+        // generation's median — the bar a random design has to clear to
+        // be worth its evaluation.
+        let median_cost = state.evals[order[order.len() / 2]].cost;
         for _ in 0..immigrants {
             let mut g = Genome::random(&mut rng, unique, platform, cfg.num_levels);
             if let Constraint::FixedHw(hw) = problem.constraint() {
                 g.fanouts = hw.fanouts.clone();
             }
             children.push(g);
+            if let Some(tags) = &mut provenance {
+                tags.push((OpKind::Immigrant, median_cost));
+            }
         }
         // Exploiters: single-mutation neighbours of the incumbent
         // best — cheap hill-climbing woven into the generation.
-        if let Some((best_genome, _)) = &state.best {
+        if let Some((best_genome, best_eval)) = &state.best {
+            let incumbent_cost = best_eval.cost;
             let exploiters = (want / 10).min(want.saturating_sub(children.len()));
             for _ in 0..exploiters {
                 let mut g = best_genome.clone();
-                if cfg.mutate_hw_rate > 0.0 && rng.gen_bool(0.25) {
+                let kind = if cfg.mutate_hw_rate > 0.0 && rng.gen_bool(0.25) {
                     operators::mutate_hw(&mut rng, &mut g, platform.max_pes);
+                    if fixed_hw {
+                        OpKind::HwForced
+                    } else {
+                        OpKind::MutateHw
+                    }
                 } else {
                     let li = rng.gen_range(0..g.layers.len().max(1));
                     operators::mutate_one_layer(&mut rng, &mut g, unique, li);
-                }
+                    OpKind::MutateMap
+                };
                 repair(&mut g, unique, platform);
                 if let Constraint::FixedHw(hw) = problem.constraint() {
                     g.fanouts = hw.fanouts.clone();
                 }
                 children.push(g);
+                if let Some(tags) = &mut provenance {
+                    tags.push((kind, incumbent_cost));
+                }
             }
         }
         while children.len() < want {
-            let parent_a = &state.population[tournament(&mut rng, &order, &state.evals)];
-            let mut child = if rng.gen_bool(cfg.crossover_rate) && state.population.len() >= 2 {
-                let parent_b = &state.population[tournament(&mut rng, &order, &state.evals)];
-                operators::crossover(&mut rng, parent_a, parent_b)
+            let parent_a_idx = tournament(&mut rng, &order, &state.evals);
+            let parent_a = &state.population[parent_a_idx];
+            let parent_a_cost = state.evals[parent_a_idx].cost;
+            let crossed = rng.gen_bool(cfg.crossover_rate) && state.population.len() >= 2;
+            let (mut child, reference) = if crossed {
+                let parent_b_idx = tournament(&mut rng, &order, &state.evals);
+                let parent_b = &state.population[parent_b_idx];
+                // A crossover child improves when it beats its *better*
+                // parent — beating the worse one is not a win.
+                let reference = parent_a_cost.min(state.evals[parent_b_idx].cost);
+                (operators::crossover(&mut rng, parent_a, parent_b), reference)
             } else {
-                parent_a.clone()
+                (parent_a.clone(), parent_a_cost)
             };
             operators::reorder(&mut rng, &mut child, cfg.reorder_rate);
             operators::mutate_map(&mut rng, &mut child, unique, cfg.mutate_map_rate);
-            if rng.gen_bool(cfg.mutate_hw_rate) {
+            let hw_fired = rng.gen_bool(cfg.mutate_hw_rate);
+            if hw_fired {
                 operators::mutate_hw(&mut rng, &mut child, platform.max_pes);
             }
-            if rng.gen_bool(cfg.grow_aging_rate) {
+            let grew = rng.gen_bool(cfg.grow_aging_rate);
+            if grew {
                 operators::grow_or_age(&mut rng, &mut child);
             }
             repair(&mut child, unique, platform);
@@ -403,10 +768,58 @@ impl DiGamma {
                 child.fanouts = hw.fanouts.clone();
             }
             children.push(child);
+            if let Some(tags) = &mut provenance {
+                // One tag per child: the most structural operator that
+                // fired wins (crossover ≻ grow/age ≻ mutate-hw ≻
+                // mutate-map; reorder and mutate-map always run, so the
+                // plain-clone path attributes to mutate_map).
+                let kind = if crossed {
+                    OpKind::Crossover
+                } else if grew {
+                    OpKind::GrowAge
+                } else if hw_fired {
+                    if fixed_hw {
+                        OpKind::HwForced
+                    } else {
+                        OpKind::MutateHw
+                    }
+                } else {
+                    OpKind::MutateMap
+                };
+                tags.push((kind, reference));
+            }
         }
 
         let child_evals = problem.evaluate_batch(&children, cfg.threads);
+        // Attribution: replay the incumbent locally over this batch so
+        // every child is judged against the incumbent *at its own
+        // position*, matching what `record` is about to do.
+        let mut cost_sum = 0.0;
+        let mut feasible = 0usize;
+        if let Some(tags) = provenance.take() {
+            let mut incumbent = state.best.as_ref().map_or(f64::INFINITY, |(_, e)| e.cost);
+            for ((kind, reference), eval) in tags.iter().zip(&child_evals) {
+                cost_sum += eval.cost;
+                feasible += usize::from(eval.feasible);
+                let counter = state.ops.get_mut(*kind);
+                counter.attempted += 1;
+                if eval.feasible && eval.cost < *reference {
+                    counter.improved += 1;
+                }
+                if eval.feasible && eval.cost < incumbent {
+                    counter.incumbents += 1;
+                    incumbent = eval.cost;
+                }
+            }
+            state.scratch.tags = tags;
+        }
         state.record(&children, &child_evals);
+        if cfg.analytics {
+            // The spent ranking buffer rides back in through the
+            // scratch so `push_analytics` can refill it in place.
+            state.scratch.next_order = Some(order);
+            state.push_analytics(&children, &child_evals, cost_sum, feasible);
+        }
         state.population = children;
         state.evals = child_evals;
         true
@@ -446,7 +859,22 @@ impl DiGamma {
             let e = problem.evaluate(&g);
             (g, e)
         });
-        SearchState { population, evals, best, history, samples, generation }
+        SearchState {
+            population,
+            evals,
+            best,
+            history,
+            samples,
+            generation,
+            ops: OpCounters::new(),
+            cost_points: Vec::new(),
+            last_stats: None,
+            // Conservative: treat the restore point as fresh. Callers
+            // with checkpointed analytics overwrite this through
+            // `SearchState::restore_analytics`.
+            last_improved_gen: generation,
+            scratch: StepScratch::default(),
+        }
     }
 }
 
@@ -805,6 +1233,128 @@ mod tests {
         ga.run_observed(&problem, &mut state, 96, &mut count);
         let expect: Vec<u64> = (1..=state.generation()).collect();
         assert_eq!(count.0, expect, "one callback per generation, in order");
+    }
+
+    #[test]
+    fn analytics_on_and_off_are_bit_identical() {
+        // The whole introspection layer is computed from
+        // already-evaluated data and consumes zero RNG draws, so the
+        // search trajectory must not depend on it in any way.
+        let on = DiGamma::new(DiGammaConfig { analytics: true, ..quick_config(31) })
+            .search(&small_problem(), 150);
+        let off = DiGamma::new(DiGammaConfig { analytics: false, ..quick_config(31) })
+            .search(&small_problem(), 150);
+        assert_eq!(on.samples, off.samples);
+        assert_eq!(on.best_cost(), off.best_cost());
+        assert_eq!(
+            on.history.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            off.history.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "histories must match bit-for-bit"
+        );
+        assert_eq!(
+            on.best.map(|b| b.genome),
+            off.best.map(|b| b.genome),
+            "incumbent genomes must be identical"
+        );
+    }
+
+    #[test]
+    fn analytics_off_state_stays_empty() {
+        let problem = small_problem();
+        let ga = DiGamma::new(DiGammaConfig { analytics: false, ..quick_config(31) });
+        let mut state = ga.init(&problem, 100);
+        while ga.step(&problem, &mut state, 100) {}
+        assert_eq!(state.op_counters().total_attempted(), 0);
+        assert!(state.cost_points().is_empty());
+        assert!(state.last_gen_stats().is_none());
+    }
+
+    #[test]
+    fn small_populations_keep_the_immigrant_trickle() {
+        // Regression: `(want / 20)` silently truncated to zero for
+        // populations below 20, so small configs lost the diversity
+        // trickle entirely. The floor guarantees one immigrant per
+        // generation whenever there is room for one.
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(33)); // population 16 < 20
+        let mut state = ga.init(&problem, 160);
+        while ga.step(&problem, &mut state, 160) {}
+        let immigrants = state.op_counters().get(OpKind::Immigrant);
+        assert_eq!(
+            immigrants.attempted,
+            state.generation(),
+            "exactly one immigrant per stepped generation at population 16"
+        );
+    }
+
+    #[test]
+    fn operator_attribution_covers_every_stepped_child() {
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(34));
+        let init_samples = 16; // population_size, consumed by init
+        let mut state = ga.init(&problem, 200);
+        while ga.step(&problem, &mut state, 200) {}
+        let ops = state.op_counters();
+        assert_eq!(
+            ops.total_attempted(),
+            (state.samples() - init_samples) as u64,
+            "every child after the initial population carries exactly one tag"
+        );
+        assert!(ops.get(OpKind::Elite).attempted > 0);
+        assert!(ops.get(OpKind::Crossover).attempted > 0);
+        assert!(
+            ops.total_incumbents() > 0,
+            "a 200-sample ncf search must improve its incumbent at least once"
+        );
+        // Unconstrained searches never force hardware genes.
+        assert_eq!(ops.get(OpKind::HwForced).attempted, 0);
+    }
+
+    #[test]
+    fn gen_stats_and_cost_points_track_the_search() {
+        let problem = small_problem();
+        let ga = DiGamma::new(quick_config(35));
+        let mut state = ga.init(&problem, 120);
+        assert_eq!(state.cost_points().len(), 1, "generation 0 contributes a cost point");
+        assert_eq!(state.cost_points()[0].evals, 16);
+        while ga.step(&problem, &mut state, 120) {}
+        assert_eq!(state.cost_points().len() as u64, state.generation() + 1);
+        let last = state.cost_points().last().unwrap();
+        assert_eq!(last.evals, state.samples() as u64);
+        assert_eq!(last.best.to_bits(), state.best_cost().unwrap_or(f64::INFINITY).to_bits());
+        // Cost points are monotone in evals and non-increasing in cost.
+        for w in state.cost_points().windows(2) {
+            assert!(w[1].evals > w[0].evals);
+            assert!(w[1].best <= w[0].best);
+        }
+        let stats = state.last_gen_stats().expect("analytics on");
+        assert_eq!(stats.generation, state.generation());
+        assert_eq!(stats.evals, state.samples() as u64);
+        assert!((0.0..=1.0).contains(&stats.diversity), "diversity {}", stats.diversity);
+        assert!((0.0..=1.0).contains(&stats.feasible_frac));
+        assert!(stats.best <= stats.median && stats.median <= stats.worst);
+        assert_eq!(stats.stale_gens, state.generation() - state.last_improved_generation());
+    }
+
+    #[test]
+    fn fixed_hw_attribution_reports_forced_hardware_mutations() {
+        // Under a fixed-HW constraint every Mutate-HW draw is nullified
+        // by the fan-out forcing — attribution must expose that as
+        // `hw_forced` rather than crediting a hardware move.
+        let hw = digamma_costmodel::HwConfig {
+            fanouts: vec![8, 16],
+            l2_words: 32 * 1024,
+            mid_words_per_unit: vec![],
+            l1_words_per_pe: 128,
+        };
+        let problem = CoOptProblem::new(zoo::ncf(), Platform::edge(), Objective::Latency)
+            .with_constraint(Constraint::FixedHw(hw));
+        let ga = DiGamma::new(quick_config(36));
+        let mut state = ga.init(&problem, 200);
+        while ga.step(&problem, &mut state, 200) {}
+        let ops = state.op_counters();
+        assert!(ops.get(OpKind::HwForced).attempted > 0, "hw mutations must surface as forced");
+        assert_eq!(ops.get(OpKind::MutateHw).attempted, 0, "no real hw moves under fixed hw");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! digamma-netc [--token TOKEN] stats  <addr>                   # GET /stats
 //! digamma-netc [--token TOKEN] metrics <addr> [--raw]          # GET /metrics
 //! digamma-netc [--token TOKEN] trace <addr> <job-id> [-o FILE] # GET /trace/{id}
+//! digamma-netc [--token TOKEN] analytics <addr> <job-id> [-o FILE] # GET /jobs/{id}/analytics
+//! digamma-netc [--token TOKEN] top <addr> <job-id>             # live convergence dashboard
 //! digamma-netc [--token TOKEN] shutdown <addr>                 # POST /shutdown
 //! digamma-netc smoke <manifest-file> [netd] [--tenants FILE]   # end-to-end self-test
 //! ```
@@ -19,6 +21,15 @@
 //! for piping into Prometheus tooling. `status` appends a `timing:`
 //! line breaking a finished job's wall-clock into queue wait,
 //! evaluation, checkpoint writes, and everything else.
+//!
+//! `analytics` fetches a job's search-analytics document — the
+//! per-generation telemetry window, cumulative operator attribution,
+//! and the cost-vs-evaluations convergence curve — as JSON (`-o FILE`
+//! writes it for offline plotting). `top` is the live view of the same
+//! data: it follows the job's event stream and, on every generation,
+//! redraws an ANSI dashboard — best-cost sparkline, diversity and
+//! feasibility gauges, staleness, and a per-operator win-rate table —
+//! until the job ends.
 //!
 //! `trace` fetches a job's span timeline as Chrome trace-event JSON —
 //! write it to a file with `-o` and load it in Perfetto
@@ -48,14 +59,14 @@
 //! per-tenant usage.
 
 use digamma_net::client;
-use digamma_obs::SpanContext;
+use digamma_obs::{JsonValue, SpanContext};
 use digamma_server::TenantSet;
 use std::io::BufRead;
 use std::process::ExitCode;
 
 fn usage() -> String {
     "usage: digamma-netc [--token TOKEN] \
-     <submit|status|watch|cancel|stats|metrics|trace|shutdown|smoke> ..."
+     <submit|status|watch|cancel|stats|metrics|trace|analytics|top|shutdown|smoke> ..."
         .to_owned()
 }
 
@@ -144,6 +155,35 @@ fn run(
             }
             Ok(())
         }
+        "analytics" => {
+            let addr = arg(1, "<addr>")?;
+            let id = arg(2, "<job-id>")?;
+            let body =
+                client::get_as(addr, &format!("/jobs/{id}/analytics"), token).map_err(stringify)?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let generations = digamma_obs::parse_json(&body)
+                        .ok()
+                        .and_then(|doc| {
+                            doc.get("generations").and_then(|v| v.as_arr()).map(|a| a.len())
+                        })
+                        .unwrap_or(0);
+                    println!(
+                        "wrote {} bytes ({generations} generation record(s)) to {path}",
+                        body.len()
+                    );
+                }
+                None => print!("{body}"),
+            }
+            Ok(())
+        }
+        "top" => {
+            let addr = arg(1, "<addr>")?;
+            let id: u64 =
+                arg(2, "<job-id>")?.parse().map_err(|_| "job id must be a number".to_owned())?;
+            top(addr, id, token)
+        }
         "shutdown" => {
             print!(
                 "{}",
@@ -214,6 +254,137 @@ fn watch(addr: &str, id: u64, token: Option<&str>) -> Result<(), String> {
         println!("# watch: reconnecting from seq {cursor} (attempt {failures}): {reason}");
         std::thread::sleep(policy.delay(failures - 1));
     }
+}
+
+/// Fetches the job's analytics document and parses it through the
+/// in-tree JSON model.
+fn fetch_analytics(addr: &str, id: u64, token: Option<&str>) -> Result<JsonValue, String> {
+    let body = client::get_as(addr, &format!("/jobs/{id}/analytics"), token).map_err(stringify)?;
+    digamma_obs::parse_json(&body).map_err(|e| format!("bad analytics JSON: {e}"))
+}
+
+/// The live convergence dashboard: follows the job's event stream and
+/// redraws [`render_top`] on every generation (refreshing from
+/// `/jobs/{id}/analytics` each time), until the terminal `end status=`
+/// line arrives. The final frame stays on screen with the terminal
+/// status appended.
+fn top(addr: &str, id: u64, token: Option<&str>) -> Result<(), String> {
+    // Prove the job exists (and the token works) before clearing the
+    // user's screen.
+    let doc = fetch_analytics(addr, id, token)?;
+    draw_frame(&render_top(&doc, ""));
+    let mut terminal = String::new();
+    let _ = client::stream_events_as(addr, id, 0, token, |line| {
+        if line.starts_with("end status=") {
+            terminal = line.to_owned();
+            return false;
+        }
+        if let Ok(doc) = fetch_analytics(addr, id, token) {
+            draw_frame(&render_top(&doc, line));
+        }
+        true
+    });
+    let doc = fetch_analytics(addr, id, token)?;
+    if terminal.is_empty() {
+        terminal = "end (stream closed)".to_owned();
+    }
+    draw_frame(&render_top(&doc, &terminal));
+    Ok(())
+}
+
+/// Clears the terminal and draws one dashboard frame.
+fn draw_frame(frame: &str) {
+    use std::io::Write as _;
+    print!("\x1b[2J\x1b[H{frame}");
+    let _ = std::io::stdout().flush();
+}
+
+/// Width of the dashboard's best-cost sparkline, in cells.
+const SPARK_WIDTH: usize = 60;
+
+/// Renders one dashboard frame from an analytics document: a header
+/// line, the best-cost sparkline over the telemetry window (log scale —
+/// costs span orders of magnitude), the population gauges, and the
+/// per-operator attribution table with win rates. Pure string-in,
+/// string-out so it is testable without a terminal.
+fn render_top(doc: &JsonValue, last_event: &str) -> String {
+    let job = doc.get("job").and_then(|v| v.as_u64()).unwrap_or(0);
+    let generation = doc.get("generation").and_then(|v| v.as_u64()).unwrap_or(0);
+    let evals = doc.get("evals").and_then(|v| v.as_u64()).unwrap_or(0);
+    let best = doc.get("best").and_then(|v| v.as_num());
+    let mut out = format!(
+        "digamma top · job {job} · gen {generation} · evals {evals} · best {}\n",
+        best.map_or_else(|| "none".to_owned(), |b| format!("{b:.6e}"))
+    );
+    let empty: &[JsonValue] = &[];
+    let gens = doc.get("generations").and_then(|v| v.as_arr()).unwrap_or(empty);
+    let bests: Vec<f64> =
+        gens.iter().filter_map(|g| g.get("best").and_then(|v| v.as_num())).collect();
+    out.push_str(&format!("best  {}\n", sparkline(&bests, SPARK_WIDTH)));
+    if let Some(last) = gens.last() {
+        let field = |key: &str| last.get(key).and_then(|v| v.as_num()).unwrap_or(0.0);
+        let window_total = doc.get("window_total").and_then(|v| v.as_u64()).unwrap_or(0);
+        out.push_str(&format!(
+            "diversity {:.3} · feasible {:.2} · stale {} gen(s) · window {} of {}\n",
+            field("diversity"),
+            field("feasible_frac"),
+            last.get("stale_gens").and_then(|v| v.as_u64()).unwrap_or(0),
+            gens.len(),
+            window_total,
+        ));
+    } else {
+        out.push_str("(no stepped generations yet)\n");
+    }
+    out.push_str(&format!(
+        "\n{:<10} {:>9} {:>9} {:>10} {:>6}\n",
+        "operator", "attempted", "improved", "incumbent", "win%"
+    ));
+    for op in doc.get("operators").and_then(|v| v.as_arr()).unwrap_or(empty) {
+        let name = op.get("operator").and_then(|v| v.as_str()).unwrap_or("?");
+        let count = |key: &str| op.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        let (attempted, improved, incumbents) =
+            (count("attempted"), count("improved"), count("incumbents"));
+        let win = 100.0 * improved as f64 / attempted.max(1) as f64;
+        out.push_str(&format!(
+            "{name:<10} {attempted:>9} {improved:>9} {incumbents:>10} {win:>5.1}%\n"
+        ));
+    }
+    if !last_event.is_empty() {
+        out.push_str(&format!("\n{last_event}\n"));
+    }
+    out
+}
+
+/// A unicode sparkline of `values` (newest-last), downsampled to at
+/// most `width` cells and log-scaled before the min-max fit — search
+/// costs fall over orders of magnitude, and a linear scale would flatten
+/// everything after the first improvement into one bar.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return "(no data)".to_owned();
+    }
+    let k = finite.len().min(width.max(1));
+    let scaled: Vec<f64> =
+        (0..k).map(|i| finite[i * finite.len() / k].max(f64::MIN_POSITIVE).ln()).collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &scaled {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    scaled
+        .iter()
+        .map(|&v| {
+            let level = if span > 0.0 {
+                (((v - lo) / span) * (BARS.len() - 1) as f64).round() as usize
+            } else {
+                BARS.len() / 2
+            };
+            BARS[level.min(BARS.len() - 1)]
+        })
+        .collect()
 }
 
 /// The `timing:` footer for a finished job's status body: the wire
@@ -456,6 +627,41 @@ fn smoke(
             if !status.contains("status = done") || !status.contains("best_cost") {
                 return Err(format!("job {id} status lacks a best design:\n{status}"));
             }
+            // The analytics surface: valid JSON, a non-empty telemetry
+            // window, and operator counters that account for every
+            // stepped child (evals minus the generation-0 population).
+            let doc = fetch_analytics(&addr, id, token)
+                .map_err(|e| format!("job {id} analytics: {e}"))?;
+            let generations =
+                doc.get("generations").and_then(|v| v.as_arr()).map_or(0, |a| a.len());
+            if generations == 0 {
+                return Err(format!("job {id} analytics has no generation records"));
+            }
+            let evals = doc.get("evals").and_then(|v| v.as_u64()).unwrap_or(0);
+            let seeded = doc
+                .get("cost_points")
+                .and_then(|v| v.as_arr())
+                .and_then(|points| points.first())
+                .and_then(|p| p.get("evals"))
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("job {id} analytics lacks its starting cost point"))?;
+            let attempted: u64 = doc
+                .get("operators")
+                .and_then(|v| v.as_arr())
+                .map(|ops| {
+                    ops.iter().filter_map(|op| op.get("attempted").and_then(|v| v.as_u64())).sum()
+                })
+                .unwrap_or(0);
+            if attempted != evals - seeded {
+                return Err(format!(
+                    "job {id} attribution does not cover the search: \
+                     Σattempted {attempted} != {evals} evals - {seeded} initial"
+                ));
+            }
+            println!(
+                "smoke: job {id} analytics ok \
+                 ({generations} generation(s), {attempted} children attributed)"
+            );
         }
         let stats = client::get_as(&addr, "/stats", token).map_err(stringify)?;
         println!("smoke: stats\n{stats}");
@@ -557,5 +763,67 @@ fn main() -> ExitCode {
             eprintln!("digamma-netc: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_descends_with_falling_costs() {
+        let values: Vec<f64> = (0..10).map(|i| 1e9 / 10f64.powi(i)).collect();
+        let line = sparkline(&values, 60);
+        assert_eq!(line.chars().count(), 10);
+        assert!(line.starts_with('█'), "{line}");
+        assert!(line.ends_with('▁'), "{line}");
+        assert_eq!(sparkline(&[], 60), "(no data)");
+        assert_eq!(sparkline(&[f64::INFINITY], 60), "(no data)");
+        assert_eq!(sparkline(&[5.0, 5.0], 60).chars().count(), 2, "flat series still renders");
+        let wide: Vec<f64> = (0..500).map(|i| 500.0 - i as f64).collect();
+        assert_eq!(sparkline(&wide, 60).chars().count(), 60, "downsampled to the width");
+    }
+
+    #[test]
+    fn dashboard_renders_a_full_document() {
+        let body = r#"{
+            "job": 7, "generation": 3, "evals": 32, "best": 1200.5,
+            "window_total": 3,
+            "generations": [
+                {"generation": 1, "evals": 16, "best": 9000.0, "median": 9500.0,
+                 "mean": 9600.0, "worst": 12000.0, "feasible_frac": 0.75,
+                 "diversity": 0.41, "stale_gens": 0},
+                {"generation": 3, "evals": 32, "best": 1200.5, "median": 2000.0,
+                 "mean": 2100.0, "worst": 4000.0, "feasible_frac": 1.0,
+                 "diversity": 0.33, "stale_gens": 0}
+            ],
+            "operators": [
+                {"operator": "elite", "attempted": 4, "improved": 0, "incumbents": 0},
+                {"operator": "crossover", "attempted": 8, "improved": 4, "incumbents": 2}
+            ],
+            "cost_points": [{"generation": 0, "evals": 8, "best": 9000.0}]
+        }"#;
+        let doc = digamma_obs::parse_json(body).unwrap();
+        let frame = render_top(&doc, "gen=3 samples=32/96 best=1.200500e3");
+        assert!(frame.contains("job 7 · gen 3 · evals 32 · best 1.200500e3"), "{frame}");
+        assert!(frame.contains("diversity 0.330"), "{frame}");
+        assert!(frame.contains("feasible 1.00"), "{frame}");
+        assert!(frame.contains("window 2 of 3"), "{frame}");
+        assert!(frame.contains("crossover"), "{frame}");
+        assert!(frame.contains("50.0%"), "crossover win rate: {frame}");
+        assert!(frame.contains("gen=3 samples=32/96"), "the last event line: {frame}");
+    }
+
+    #[test]
+    fn dashboard_survives_an_empty_window() {
+        let doc = digamma_obs::parse_json(
+            r#"{"job": 1, "generation": 0, "evals": 0, "best": null,
+                "window_total": 0, "generations": [], "operators": [], "cost_points": []}"#,
+        )
+        .unwrap();
+        let frame = render_top(&doc, "");
+        assert!(frame.contains("best none"), "{frame}");
+        assert!(frame.contains("(no stepped generations yet)"), "{frame}");
+        assert!(frame.contains("(no data)"), "{frame}");
     }
 }

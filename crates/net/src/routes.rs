@@ -6,6 +6,7 @@
 //! | `GET /jobs`               | list every job (id, name, status) |
 //! | `GET /jobs/{id}`          | status, live progress, and the report (best-so-far design) |
 //! | `GET /jobs/{id}/events`   | chunked stream: one line per GA generation, then `end status=...` (`?from=N` to skip) |
+//! | `GET /jobs/{id}/analytics`| JSON: per-generation search telemetry, operator attribution, convergence curve |
 //! | `POST /jobs/{id}/cancel`  | cooperative cancel at the next generation boundary |
 //! | `GET /stats`              | queue depth, worker utilization, cache counters, per-tenant usage |
 //! | `GET /metrics`            | Prometheus text exposition of every metric family |
@@ -205,6 +206,15 @@ pub fn handle(
             // Chunked responses always close.
             Ok(false)
         }
+        ("GET", ["jobs", id, "analytics"]) => {
+            match parse_id(id).and_then(|id| registry.analytics_json(id)) {
+                Some(body) => {
+                    write_response_typed(stream, 200, "application/json", &body, keep)?;
+                }
+                None => write_response(stream, 404, "no such job\n", keep)?,
+            }
+            Ok(keep)
+        }
         ("POST", ["jobs", id, "cancel"]) => {
             // Reads are open to any authenticated tenant; cancellation
             // mutates, so it is owner-only.
@@ -289,6 +299,7 @@ pub fn handle(
         (_, ["jobs"])
         | (_, ["jobs", _])
         | (_, ["jobs", _, "events"])
+        | (_, ["jobs", _, "analytics"])
         | (_, ["jobs", _, "cancel"])
         | (_, ["stats"])
         | (_, ["metrics"])
@@ -428,12 +439,21 @@ pub fn render_stats(registry: &JobRegistry) -> String {
     s.push("done", stats.done.to_string());
     s.push("cancelled", stats.cancelled.to_string());
     s.push("failed", stats.failed.to_string());
+    // The search-analytics aggregate: how many children each operator
+    // produced across every job, how many improved on their reference
+    // parent, and how many became new incumbents — plus how many
+    // running jobs are currently stalled.
+    let mut analytics = Section::new("analytics");
+    analytics.push("stalled", stats.stalled.to_string());
+    for (kind, c) in stats.operators.iter() {
+        analytics.push(kind.name(), format!("{} {} {}", c.attempted, c.improved, c.incumbents));
+    }
     let mut process = Section::new("process");
     process.push("start_unix", stats.start_unix.to_string());
     process.push("uptime_seconds", stats.uptime_seconds.to_string());
     process.push("journal_replayed", stats.replayed_jobs.to_string());
     process.push("workers", stats.workers.to_string());
-    let mut sections = vec![s, process];
+    let mut sections = vec![s, analytics, process];
     for tenant in &stats.tenants {
         let mut t = Section::new(format!("tenant {}", tenant.id));
         t.push("weight", tenant.weight.to_string());

@@ -23,10 +23,15 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod fail;
 pub mod log;
 pub mod trace;
 
+pub use analytics::{
+    parse_json, render_analytics_json, AnalyticsRing, CostPoint, GenStats, JsonValue, OpCounter,
+    OpCounters, OpKind,
+};
 pub use fail::{FailAction, FailSet};
 pub use log::{format_line, LogLevel, Logger};
 pub use trace::{

@@ -64,7 +64,7 @@ pub use cache::{
 };
 pub use job::{JobAlgorithm, JobReport, JobSpec};
 pub use manifest::{parse_manifest, parse_manifest_full, render_job, Manifest, ServerOverrides};
-pub use queue::{JobControl, JobProgress, SearchServer, ServerConfig};
+pub use queue::{AnalyticsUpdate, JobControl, JobProgress, SearchServer, ServerConfig};
 pub use registry::{
     JobId, JobRegistry, JobStatus, JobView, RegistryStats, SubmitError, TenantStats,
 };

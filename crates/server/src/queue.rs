@@ -26,8 +26,8 @@ use digamma::{
     Gamma, GammaConfig, SearchResult, SearchState, StepAction, StepObserver,
 };
 use digamma_obs::{
-    FailSet, Histogram, LogLevel, MetricsRegistry, SpanContext, SpanRecord, Tracer,
-    DEFAULT_LATENCY_BUCKETS,
+    FailSet, GenStats, Histogram, LogLevel, MetricsRegistry, OpCounters, SpanContext, SpanRecord,
+    Tracer, DEFAULT_LATENCY_BUCKETS,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -82,6 +82,16 @@ pub struct ServerConfig {
     /// fresh inactive set — one relaxed load per site — and is armed by
     /// `digamma-netd --failpoints` or a test.
     pub faults: Arc<FailSet>,
+    /// Per-job analytics window: the newest this many per-generation
+    /// [`GenStats`] records are retained for `GET /jobs/{id}/analytics`
+    /// and the `netc top` dashboard; older records are dropped (the
+    /// cumulative operator counters are never windowed).
+    pub analytics_capacity: usize,
+    /// After this many stagnant generations (no incumbent improvement)
+    /// the job's event log gains a `stalled` line — once per stall
+    /// episode, re-armed by the next improvement. `0` disables the
+    /// stall detector.
+    pub stall_after: u64,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +109,8 @@ impl Default for ServerConfig {
             shed_queue_depth: 0,
             drain_deadline: Duration::from_secs(10),
             faults: Arc::new(FailSet::new()),
+            analytics_capacity: 512,
+            stall_after: 25,
         }
     }
 }
@@ -128,6 +140,27 @@ impl JobProgress {
     }
 }
 
+/// One generation boundary's search telemetry, forwarded from the GA to
+/// whoever attached an analytics sink (the registry pushes it into the
+/// job's [`GenStats`] ring and keeps the attribution counters current).
+/// `ops` is the job's *cumulative absolute* attribution — after a
+/// resume it already includes the pre-kill half restored from the
+/// snapshot, so consumers tracking deltas must diff against their last
+/// seen absolutes rather than assume a fresh zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticsUpdate {
+    /// The boundary's per-generation statistics.
+    pub stats: GenStats,
+    /// Cumulative per-operator attribution counters, absolute.
+    pub ops: OpCounters,
+    /// On the *first* boundary of a run only: the full
+    /// cost-vs-evaluations history so far — the generation-0 point for
+    /// a fresh search, or the restored pre-kill curve after a resume.
+    /// `None` on every later boundary (the receiver extends its curve
+    /// from `stats` alone).
+    pub seed_points: Option<Vec<digamma_obs::CostPoint>>,
+}
+
 /// External handles into a running job: a cooperative cancellation flag
 /// (checked at generation boundaries) and an optional per-generation
 /// progress sink.
@@ -135,6 +168,7 @@ impl JobProgress {
 pub struct JobControl {
     cancel: AtomicBool,
     progress: Option<Box<dyn Fn(JobProgress) + Send + Sync>>,
+    analytics: Option<Box<dyn Fn(AnalyticsUpdate) + Send + Sync>>,
     /// The job's identity inside the span store: its id plus the claim
     /// span its run should nest under. Stamped by the registry's worker
     /// at claim time, read by [`SearchServer::run_job_controlled`].
@@ -153,6 +187,17 @@ impl JobControl {
         progress: impl Fn(JobProgress) + Send + Sync + 'static,
     ) -> JobControl {
         self.progress = Some(Box::new(progress));
+        self
+    }
+
+    /// Attaches a per-generation analytics callback (see
+    /// [`AnalyticsUpdate`]); called once per stepped generation with the
+    /// boundary's [`GenStats`] and the cumulative operator counters.
+    pub fn with_analytics(
+        mut self,
+        analytics: impl Fn(AnalyticsUpdate) + Send + Sync + 'static,
+    ) -> JobControl {
+        self.analytics = Some(Box::new(analytics));
         self
     }
 
@@ -183,6 +228,12 @@ impl JobControl {
             sink(progress);
         }
     }
+
+    fn report_analytics(&self, update: AnalyticsUpdate) {
+        if let Some(sink) = &self.analytics {
+            sink(update);
+        }
+    }
 }
 
 impl fmt::Debug for JobControl {
@@ -190,6 +241,7 @@ impl fmt::Debug for JobControl {
         f.debug_struct("JobControl")
             .field("cancel", &self.is_cancelled())
             .field("progress", &self.progress.as_ref().map(|_| "fn"))
+            .field("analytics", &self.analytics.as_ref().map(|_| "fn"))
             .finish()
     }
 }
@@ -592,6 +644,7 @@ impl SearchServer {
             last_boundary: Instant::now(),
             run_trace,
             last_boundary_ns: self.tracer.now_ns(),
+            analytics_seeded: false,
         };
         ga.run_observed(problem, &mut state, spec.budget, &mut observer);
         let cancelled = observer.cancelled;
@@ -679,6 +732,9 @@ struct DriveObserver<'a> {
     /// Tracer-clock reading at the last generation boundary — the start
     /// of the next `job.generation` span.
     last_boundary_ns: u64,
+    /// Whether the first analytics update (which carries the seed
+    /// cost-point history) has been sent yet.
+    analytics_seeded: bool,
 }
 
 impl DriveObserver<'_> {
@@ -779,6 +835,15 @@ impl StepObserver for DriveObserver<'_> {
             budget,
             best_cost: state.best_cost(),
         });
+        if let Some(stats) = state.last_gen_stats() {
+            let seed_points = (!self.analytics_seeded).then(|| state.cost_points().to_vec());
+            self.analytics_seeded = true;
+            self.control.report_analytics(AnalyticsUpdate {
+                stats,
+                ops: *state.op_counters(),
+                seed_points,
+            });
+        }
         if self.control.is_cancelled() {
             self.snapshot(state);
             self.spill(false);

@@ -36,10 +36,14 @@
 
 use crate::job::{JobReport, JobSpec};
 use crate::journal::Journal;
-use crate::queue::{JobControl, JobProgress, SearchServer, ServerConfig};
+use crate::queue::{AnalyticsUpdate, JobControl, JobProgress, SearchServer, ServerConfig};
+use crate::snapshot::compress_points;
 use crate::tenant::{valid_tenant_id, TenantSet, TenantSpec};
 use crate::textio::TextError;
-use digamma_obs::{LogLevel, SpanContext, SpanRecord, TraceId, Tracer, DEFAULT_LATENCY_BUCKETS};
+use digamma_obs::{
+    render_analytics_json, AnalyticsRing, CostPoint, LogLevel, OpCounters, SpanContext, SpanRecord,
+    TraceId, Tracer, DEFAULT_LATENCY_BUCKETS,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -167,6 +171,13 @@ pub struct RegistryStats {
     pub cancelled: usize,
     /// Jobs that panicked and were failed by their worker.
     pub failed: usize,
+    /// Running jobs currently inside a stall episode (no incumbent
+    /// improvement for at least [`ServerConfig::stall_after`]
+    /// generations).
+    pub stalled: usize,
+    /// Cumulative per-operator search attribution, aggregated across
+    /// every job the registry has seen.
+    pub operators: OpCounters,
     /// Per-tenant breakdown, in tenant-id order.
     pub tenants: Vec<TenantStats>,
 }
@@ -240,6 +251,18 @@ struct JobEntry {
     /// Tracer-clock reading when the job entered its queue — the start
     /// of its `job.queued` span.
     queued_ns: u64,
+    /// The job's per-generation telemetry window
+    /// ([`ServerConfig::analytics_capacity`] newest records).
+    analytics: AnalyticsRing,
+    /// Cumulative per-operator attribution, absolute (after a resume it
+    /// includes the restored pre-kill half).
+    ops: OpCounters,
+    /// The compressed cost-vs-evaluations curve: one point per
+    /// incumbent change (plus the starting point).
+    cost_points: Vec<CostPoint>,
+    /// Whether the current stall episode already emitted its `stalled`
+    /// event line (re-armed by the next improvement).
+    stall_emitted: bool,
 }
 
 /// Lifetime usage counters for one tenant (fed from finished jobs'
@@ -561,7 +584,13 @@ impl JobRegistry {
             }
             let queued_ns = inner.server.tracer().now_ns();
             for (id, spec) in replayed {
-                let entry = JobEntry::new(spec, make_control(&inner, id), None, queued_ns);
+                let entry = JobEntry::new(
+                    spec,
+                    make_control(&inner, id),
+                    None,
+                    queued_ns,
+                    inner.server.config().analytics_capacity,
+                );
                 state.enqueue(id, entry);
             }
             for (scope, key, ids) in idempotency {
@@ -776,7 +805,13 @@ impl JobRegistry {
         state.next_id += specs.len() as JobId;
         let queued_ns = self.inner.server.tracer().now_ns();
         for (&id, spec) in ids.iter().zip(specs) {
-            let entry = JobEntry::new(spec, make_control(&self.inner, id), trace, queued_ns);
+            let entry = JobEntry::new(
+                spec,
+                make_control(&self.inner, id),
+                trace,
+                queued_ns,
+                self.inner.server.config().analytics_capacity,
+            );
             state.enqueue(id, entry);
         }
         if let Some(key) = dedupe_key {
@@ -969,6 +1004,19 @@ impl JobRegistry {
         }
     }
 
+    /// Renders one job's analytics document — the [`GenStats`] window,
+    /// cumulative operator attribution, and the cost-vs-evaluations
+    /// curve — as the JSON body `GET /jobs/{id}/analytics` serves.
+    /// Works for queued (empty window), live, and finished jobs alike;
+    /// an unknown id returns `None`.
+    ///
+    /// [`GenStats`]: digamma_obs::GenStats
+    pub fn analytics_json(&self, id: JobId) -> Option<String> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        let entry = state.jobs.get(&id)?;
+        Some(render_analytics_json(id, &entry.analytics, &entry.ops, &entry.cost_points))
+    }
+
     /// Aggregate queue/worker counters, with a per-tenant breakdown.
     pub fn stats(&self) -> RegistryStats {
         let state = self.inner.state.lock().expect("registry poisoned");
@@ -1007,6 +1055,10 @@ impl JobRegistry {
             .collect();
         for entry in state.jobs.values() {
             let tenant = per_tenant.get_mut(entry.spec.tenant.as_str());
+            stats.operators.merge(&entry.ops);
+            if entry.status == JobStatus::Running && entry.stall_emitted {
+                stats.stalled += 1;
+            }
             match entry.status {
                 JobStatus::Queued => {}
                 JobStatus::Running => stats.running += 1,
@@ -1087,6 +1139,14 @@ impl JobRegistry {
             metrics
                 .gauge("digamma_workers_busy", "Workers currently running a job.", &[])
                 .set(stats.busy_workers as f64);
+            metrics
+                .gauge(
+                    "digamma_jobs_stalled",
+                    "Running jobs currently inside a stall episode (no incumbent \
+                     improvement for stall_after generations).",
+                    &[],
+                )
+                .set(stats.stalled as f64);
             let residency = [
                 ("fitness", self.inner.server.cache_stats()),
                 ("genome", self.inner.server.genome_memo_stats()),
@@ -1181,18 +1241,88 @@ impl JobRegistry {
 /// map, so a strong capture would be a reference cycle keeping the
 /// whole registry (cache included) alive forever.
 fn make_control(inner: &Arc<Inner>, id: JobId) -> Arc<JobControl> {
-    let inner = Arc::downgrade(inner);
-    Arc::new(JobControl::new().with_progress(move |progress: JobProgress| {
-        let Some(inner) = inner.upgrade() else { return };
-        let capacity = inner.server.config().event_log_capacity;
-        let mut state = inner.state.lock().expect("registry poisoned");
-        if let Some(entry) = state.jobs.get_mut(&id) {
-            entry.progress = Some(progress);
-            entry.push_event(progress.line(), capacity);
-        }
-        drop(state);
-        inner.cond.notify_all();
-    }))
+    let weak = Arc::downgrade(inner);
+    let weak_analytics = Arc::downgrade(inner);
+    Arc::new(
+        JobControl::new()
+            .with_progress(move |progress: JobProgress| {
+                let Some(inner) = weak.upgrade() else { return };
+                let capacity = inner.server.config().event_log_capacity;
+                let mut state = inner.state.lock().expect("registry poisoned");
+                if let Some(entry) = state.jobs.get_mut(&id) {
+                    entry.progress = Some(progress);
+                    entry.push_event(progress.line(), capacity);
+                }
+                drop(state);
+                inner.cond.notify_all();
+            })
+            .with_analytics(move |update: AnalyticsUpdate| {
+                let Some(inner) = weak_analytics.upgrade() else { return };
+                let config = inner.server.config();
+                let (capacity, stall_after) = (config.event_log_capacity, config.stall_after);
+                let stats = update.stats;
+                // Per-operator incumbent deltas against the last seen
+                // absolutes (after a resume the first update carries the
+                // whole restored history as one delta). Gathered under
+                // the lock, fed to the metrics registry after it drops.
+                let mut deltas: Vec<(&'static str, u64)> = Vec::new();
+                let mut state = inner.state.lock().expect("registry poisoned");
+                if let Some(entry) = state.jobs.get_mut(&id) {
+                    for (kind, now) in update.ops.iter() {
+                        let delta = now.incumbents.saturating_sub(entry.ops.get(kind).incumbents);
+                        if delta > 0 {
+                            deltas.push((kind.name(), delta));
+                        }
+                    }
+                    entry.ops = update.ops;
+                    if let Some(seed) = update.seed_points {
+                        entry.cost_points = compress_points(&seed);
+                    }
+                    match entry.cost_points.last() {
+                        Some(last) if last.best.to_bits() == stats.best.to_bits() => {}
+                        _ => entry.cost_points.push(CostPoint {
+                            generation: stats.generation,
+                            evals: stats.evals,
+                            best: stats.best,
+                        }),
+                    }
+                    entry.analytics.push(stats);
+                    if stats.stale_gens == 0 {
+                        entry.stall_emitted = false;
+                    } else if stall_after > 0
+                        && stats.stale_gens >= stall_after
+                        && !entry.stall_emitted
+                    {
+                        entry.stall_emitted = true;
+                        entry.push_event(
+                            format!(
+                                "stalled gen={} stale={} best={}",
+                                stats.generation,
+                                stats.stale_gens,
+                                match stats.best.is_finite() {
+                                    true => format!("{:.6e}", stats.best),
+                                    false => "none".to_owned(),
+                                }
+                            ),
+                            capacity,
+                        );
+                    }
+                }
+                drop(state);
+                let metrics = inner.server.metrics();
+                for (operator, delta) in deltas {
+                    metrics
+                        .counter(
+                            "digamma_search_improvements_total",
+                            "New incumbent designs produced, by the GA operator that \
+                             generated them.",
+                            &[("operator", operator)],
+                        )
+                        .add(delta);
+                }
+                inner.cond.notify_all();
+            }),
+    )
 }
 
 impl JobEntry {
@@ -1201,6 +1331,7 @@ impl JobEntry {
         control: Arc<JobControl>,
         trace: Option<SpanContext>,
         queued_ns: u64,
+        analytics_capacity: usize,
     ) -> JobEntry {
         JobEntry {
             spec,
@@ -1216,6 +1347,10 @@ impl JobEntry {
             report: None,
             trace,
             queued_ns,
+            analytics: AnalyticsRing::new(analytics_capacity),
+            ops: OpCounters::new(),
+            cost_points: Vec::new(),
+            stall_emitted: false,
         }
     }
 
@@ -1486,6 +1621,44 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn analytics_document_tracks_a_finished_job() {
+        let registry =
+            JobRegistry::start(ServerConfig { workers: 1, ..ServerConfig::default() }, None)
+                .unwrap();
+        let id = registry.submit(spec("telemetry", 96)).unwrap();
+        assert!(registry.analytics_json(999).is_none(), "unknown ids answer None");
+        wait_done(&registry, id);
+        let body = registry.analytics_json(id).expect("known job");
+        let doc = digamma_obs::parse_json(&body).expect("endpoint body is valid JSON");
+        assert_eq!(doc.get("job").and_then(|v| v.as_u64()), Some(id));
+        let generations = doc.get("generations").and_then(|v| v.as_arr()).unwrap();
+        assert!(!generations.is_empty(), "a stepped job has a telemetry window");
+        // Every stepped child is attributed to exactly one operator:
+        // the counters sum to samples minus the initial population.
+        let attempted: u64 = doc
+            .get("operators")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .iter()
+            .map(|op| op.get("attempted").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        let view = registry.job(id).unwrap();
+        let samples = view.report.as_ref().unwrap().samples as u64;
+        assert_eq!(attempted, samples - 8, "96 budget, population 8");
+        let points = doc.get("cost_points").and_then(|v| v.as_arr()).unwrap();
+        assert!(!points.is_empty(), "the convergence curve has at least its seed point");
+        assert_eq!(
+            points[0].get("generation").and_then(|v| v.as_u64()),
+            Some(0),
+            "the curve starts at the initial population"
+        );
+        // The aggregate surfaces through /stats too.
+        let stats = registry.stats();
+        assert_eq!(stats.operators.total_attempted(), attempted);
+        registry.shutdown();
     }
 
     #[test]
@@ -1845,7 +2018,7 @@ mod tests {
                 let id = next;
                 next += 1;
                 state.tenants.get_mut(tid).unwrap().queue.push_back(id);
-                state.jobs.insert(id, JobEntry::new(s, Arc::new(JobControl::new()), None, 0));
+                state.jobs.insert(id, JobEntry::new(s, Arc::new(JobControl::new()), None, 0, 8));
             }
         }
         // Claim 8 with a roomy pool, releasing each claim's threads so
@@ -1875,8 +2048,8 @@ mod tests {
         wide.threads = 2;
         let mut narrow = spec("narrow", 64);
         narrow.tenant = "capped".to_owned();
-        state.jobs.insert(1, JobEntry::new(wide, Arc::new(JobControl::new()), None, 0));
-        state.jobs.insert(2, JobEntry::new(narrow, Arc::new(JobControl::new()), None, 0));
+        state.jobs.insert(1, JobEntry::new(wide, Arc::new(JobControl::new()), None, 0, 8));
+        state.jobs.insert(2, JobEntry::new(narrow, Arc::new(JobControl::new()), None, 0, 8));
         let sched = state.tenants.get_mut("capped").unwrap();
         sched.queue.push_back(1);
         sched.queue.push_back(2);

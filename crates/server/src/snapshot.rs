@@ -27,14 +27,28 @@
 //! samples — checkpoints stay flat-sized even on 100k-sample budgets
 //! while still round-tripping bit-identically. Version 1 documents (one
 //! 16-hex word per sample) still parse.
+//!
+//! Version 3 adds an `[analytics]` section: cumulative per-operator
+//! attribution counters, the last-improvement generation, and the
+//! cost-vs-evaluations curve (compressed to its improvement points), so
+//! operator attribution survives SIGKILL and resumes counting where it
+//! left off. Versions 1 and 2 still parse, restoring with zeroed
+//! analytics. Note: the release that introduced version 3 also floors
+//! the GA's immigrant count at one per generation (populations under 20
+//! previously got none), so search trajectories differ from pre-v3
+//! builds. A version-1/2 snapshot still restores cleanly — it resumes
+//! from its boundary under the *new* trajectory, which bit-matches a
+//! fresh run of this build from that boundary, not the old build's
+//! finished curve.
 
 use crate::textio::{self, Section, TextError};
 use digamma::{CoOptProblem, DiGamma, SearchState};
 use digamma_encoding::Genome;
+use digamma_obs::{CostPoint, OpCounters, OpKind};
 
-/// Current snapshot format version. Parsing accepts this and version 1
-/// (the pre-RLE history encoding).
-pub const SNAPSHOT_VERSION: u64 = 2;
+/// Current snapshot format version. Parsing accepts this and versions
+/// 1–2 (pre-analytics; version 1 is additionally pre-RLE).
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// A parsed (or about-to-be-rendered) checkpoint.
 #[derive(Debug, Clone)]
@@ -51,6 +65,29 @@ pub struct Snapshot {
     pub best: Option<Genome>,
     /// The population at the generation boundary.
     pub population: Vec<Genome>,
+    /// Cumulative per-operator attribution (since version 3; zeros for
+    /// older documents).
+    pub ops: OpCounters,
+    /// Generation in which the incumbent last improved (since version
+    /// 3; defaults to `generation` for older documents).
+    pub last_improved_gen: u64,
+    /// Cost-vs-evaluations curve, compressed to the points where the
+    /// best cost changed (plus the first point) so the rendered size
+    /// tracks improvements, like the history RLE does.
+    pub cost_points: Vec<CostPoint>,
+}
+
+/// Keeps the first point and every point whose best-cost bits differ
+/// from the previous kept point's — the exact knee set a step-function
+/// convergence plot needs.
+pub(crate) fn compress_points(points: &[CostPoint]) -> Vec<CostPoint> {
+    let mut out: Vec<CostPoint> = Vec::new();
+    for p in points {
+        if out.last().is_none_or(|prev| prev.best.to_bits() != p.best.to_bits()) {
+            out.push(*p);
+        }
+    }
+    out
 }
 
 impl Snapshot {
@@ -64,6 +101,9 @@ impl Snapshot {
             history: state.history().to_vec(),
             best: state.best_genome().cloned(),
             population: state.population().to_vec(),
+            ops: *state.op_counters(),
+            last_improved_gen: state.last_improved_generation(),
+            cost_points: compress_points(state.cost_points()),
         }
     }
 
@@ -98,14 +138,16 @@ impl Snapshot {
                 self.samples
             )));
         }
-        Ok(ga.restore(
+        let mut state = ga.restore(
             problem,
             self.population.clone(),
             self.best.clone(),
             self.history.clone(),
             self.samples,
             self.generation,
-        ))
+        );
+        state.restore_analytics(self.ops, self.cost_points.clone(), self.last_improved_gen);
+        Ok(state)
     }
 
     /// Renders the versioned text form.
@@ -123,11 +165,29 @@ impl Snapshot {
         if let Some(best) = &self.best {
             head.push("best", best.to_text());
         }
+        // The [analytics] section sits *before* [population], so a file
+        // truncated anywhere inside it also loses the population section
+        // and is rejected outright instead of parsing with partial
+        // counters.
+        let mut analytics = Section::new("analytics");
+        analytics.push("last_improved_gen", self.last_improved_gen.to_string());
+        for (kind, c) in self.ops.iter() {
+            analytics.push(
+                "op",
+                format!("{} {} {} {}", kind.name(), c.attempted, c.improved, c.incumbents),
+            );
+        }
+        for p in &self.cost_points {
+            analytics.push(
+                "point",
+                format!("{} {} {}", p.generation, p.evals, textio::f64_to_text(p.best)),
+            );
+        }
         let mut pop = Section::new("population");
         for g in &self.population {
             pop.push("genome", g.to_text());
         }
-        textio::render_sections(&[head, pop])
+        textio::render_sections(&[head, analytics, pop])
     }
 
     /// Parses a document rendered by [`Snapshot::render`].
@@ -187,13 +247,59 @@ impl Snapshot {
                 history.len()
             )));
         }
+        let generation: u64 = head.get_parsed_or("generation", 0)?;
+        // Version 3 carries analytics; older documents restore with
+        // zeroed counters and an empty curve.
+        let mut ops = OpCounters::new();
+        let mut last_improved_gen = generation;
+        let mut cost_points = Vec::new();
+        if let Some(analytics) = sections.iter().find(|s| s.name == "analytics") {
+            last_improved_gen = analytics.get_parsed_or("last_improved_gen", generation)?;
+            for raw in analytics.get_all("op") {
+                let mut parts = raw.split_whitespace();
+                let kind = parts
+                    .next()
+                    .and_then(OpKind::from_name)
+                    .ok_or_else(|| TextError::new(format!("bad op line: {raw:?}")))?;
+                let mut next = || {
+                    parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| TextError::new(format!("bad op line: {raw:?}")))
+                };
+                let counter = ops.get_mut(kind);
+                counter.attempted = next()?;
+                counter.improved = next()?;
+                counter.incumbents = next()?;
+            }
+            for raw in analytics.get_all("point") {
+                let mut parts = raw.split_whitespace();
+                let mut next_u64 = || {
+                    parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| TextError::new(format!("bad point line: {raw:?}")))
+                };
+                let generation = next_u64()?;
+                let evals = next_u64()?;
+                let best = textio::f64_from_text(
+                    parts
+                        .next()
+                        .ok_or_else(|| TextError::new(format!("bad point line: {raw:?}")))?,
+                )?;
+                cost_points.push(CostPoint { generation, evals, best });
+            }
+        }
         Ok(Snapshot {
             fingerprint: head.require("fingerprint")?.to_owned(),
-            generation: head.get_parsed_or("generation", 0)?,
+            generation,
             samples,
             history,
             best,
             population,
+            ops,
+            last_improved_gen,
+            cost_points,
         })
     }
 }
@@ -301,6 +407,83 @@ mod tests {
         for (a, b) in parsed.history.iter().zip(&snap.history) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn v2_documents_still_parse_with_zeroed_analytics() {
+        // A surviving checkpoint from a pre-analytics build (version 2,
+        // no [analytics] section) must restore after an upgrade.
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 64);
+        ga.step(&problem, &mut state, 64);
+        let snap = Snapshot::capture("j", &state);
+        let v2: String = snap
+            .render()
+            .lines()
+            .filter(|line| {
+                !line.starts_with("last_improved_gen = ")
+                    && !line.starts_with("op = ")
+                    && !line.starts_with("point = ")
+                    && *line != "[analytics]"
+            })
+            .map(|line| {
+                if line.starts_with("version = ") {
+                    "version = 2".to_owned()
+                } else {
+                    line.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Snapshot::parse(&v2).unwrap();
+        assert_eq!(parsed.population, snap.population);
+        assert_eq!(parsed.ops, digamma_obs::OpCounters::new());
+        assert!(parsed.cost_points.is_empty());
+        assert_eq!(parsed.last_improved_gen, parsed.generation, "defaults to the boundary");
+        assert!(parsed.restore(&ga, &problem, "j").is_ok());
+    }
+
+    #[test]
+    fn analytics_survive_the_text_roundtrip_and_restore() {
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 64);
+        while ga.step(&problem, &mut state, 64) {}
+        assert!(state.op_counters().total_attempted() > 0);
+        let snap = Snapshot::capture("j", &state);
+        let parsed = Snapshot::parse(&snap.render()).unwrap();
+        assert_eq!(parsed.ops, *state.op_counters());
+        assert_eq!(parsed.last_improved_gen, state.last_improved_generation());
+        assert!(!parsed.cost_points.is_empty());
+        // Compressed points keep the knees: first point and every
+        // best-cost change, bit-exactly.
+        for (a, b) in parsed.cost_points.iter().zip(&snap.cost_points) {
+            assert_eq!((a.generation, a.evals), (b.generation, b.evals));
+            assert_eq!(a.best.to_bits(), b.best.to_bits());
+        }
+        let restored = parsed.restore(&ga, &problem, "j").unwrap();
+        assert_eq!(restored.op_counters(), state.op_counters());
+        assert_eq!(restored.last_improved_generation(), state.last_improved_generation());
+    }
+
+    #[test]
+    fn resumed_searches_keep_counting_attribution() {
+        // Kill at the midpoint, restore, finish: the final counters must
+        // cover every stepped child across both halves.
+        let (problem, ga) = setup();
+        let mut state = ga.init(&problem, 96);
+        while state.samples() < 48 && ga.step(&problem, &mut state, 96) {}
+        let snap = Snapshot::capture("j", &state);
+        let parsed = Snapshot::parse(&snap.render()).unwrap();
+        let mut resumed = parsed.restore(&ga, &problem, "j").unwrap();
+        while ga.step(&problem, &mut resumed, 96) {}
+        let mut uninterrupted = ga.init(&problem, 96);
+        while ga.step(&problem, &mut uninterrupted, 96) {}
+        assert_eq!(
+            resumed.op_counters(),
+            uninterrupted.op_counters(),
+            "attribution across a kill must equal an uninterrupted run"
+        );
+        assert_eq!(resumed.last_improved_generation(), uninterrupted.last_improved_generation());
     }
 
     #[test]

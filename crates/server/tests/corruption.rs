@@ -47,6 +47,9 @@ fn reference_snapshot() -> String {
         history,
         best: Some(population[0].clone()),
         population,
+        ops: digamma_obs::OpCounters::new(),
+        last_improved_gen: 7,
+        cost_points: Vec::new(),
     }
     .render()
 }
